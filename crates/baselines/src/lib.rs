@@ -1,0 +1,23 @@
+//! # skelcl-baselines — hand-written low-level GPU APIs
+//!
+//! The paper compares SkelCL against programs written directly against the
+//! OpenCL C API and the CUDA runtime API. This crate provides faithful Rust
+//! facsimiles of both, driving the same [`vgpu`] virtual hardware:
+//!
+//! * [`opencl`] — `clCreateBuffer` / `clEnqueueWriteBuffer` /
+//!   `clCreateProgramWithSource` / `clBuildProgram` / `clSetKernelArg` /
+//!   `clEnqueueNDRangeKernel` ... — every step explicit, exactly the
+//!   boilerplate Section II complains about ("a lengthy creation and
+//!   initialization of different data structures which take about 20 lines
+//!   of code").
+//! * [`cuda`] — `cudaSetDevice` / `cudaMalloc` / `cudaMemcpy` /
+//!   `<<<grid, block>>>`-style launches of offline-compiled modules, with a
+//!   lower-overhead driver profile (the paper, citing Kong et al.: "CUDA
+//!   was usually faster than OpenCL").
+//!
+//! The two applications (`skelcl-mandel`, `skelcl-osem`) implement their
+//! OpenCL and CUDA variants against these APIs; the program-size experiment
+//! counts the lines those variants actually need.
+
+pub mod cuda;
+pub mod opencl;

@@ -1,0 +1,78 @@
+//! Criterion bench regenerating Figure 1's runtime comparison.
+//!
+//! `iter_custom` reports **virtual** (modeled) seconds, so results are
+//! independent of the host machine — exactly what the cost model produces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skelcl_bench::{figure_platform, time_virtual};
+use skelcl_mandel::{cuda_impl, opencl_impl, skelcl_impl, MandelParams};
+use std::time::Duration;
+
+fn params() -> MandelParams {
+    // Small enough for quick Criterion runs; ratios are scale-stable.
+    MandelParams {
+        width: 256,
+        height: 192,
+        max_iter: 1024,
+        ..MandelParams::default()
+    }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let p = params();
+    let platform = figure_platform(1);
+    let ctx = skelcl::Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+
+    // Warm builds so the binary cache isn't measured here (see the
+    // kernel_cache bench for that).
+    skelcl_impl::run(&ctx, &p).unwrap();
+    opencl_impl::run(&platform, &p).unwrap();
+    cuda_impl::run(&platform, &p).unwrap();
+
+    let mut group = c.benchmark_group("fig1_mandelbrot_virtual");
+    group.sample_size(10);
+
+    group.bench_function("skelcl", |b| {
+        b.iter_custom(|iters| {
+            let mut total = 0.0;
+            for _ in 0..iters {
+                total += time_virtual(&platform, || {
+                    skelcl_impl::run(&ctx, &p).unwrap();
+                });
+            }
+            Duration::from_secs_f64(total)
+        })
+    });
+    group.bench_function("opencl", |b| {
+        b.iter_custom(|iters| {
+            let mut total = 0.0;
+            for _ in 0..iters {
+                total += time_virtual(&platform, || {
+                    opencl_impl::run(&platform, &p).unwrap();
+                });
+            }
+            Duration::from_secs_f64(total)
+        })
+    });
+    group.bench_function("cuda", |b| {
+        b.iter_custom(|iters| {
+            let mut total = 0.0;
+            for _ in 0..iters {
+                total += time_virtual(&platform, || {
+                    cuda_impl::run(&platform, &p).unwrap();
+                });
+            }
+            Duration::from_secs_f64(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench regenerating Figure 2's runtime comparison
+//! (virtual seconds; reduced problem size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::{figure_platform, osem_bench_params, time_virtual};
+use skelcl_osem::{cuda_impl, opencl_impl, skelcl_impl};
+use std::time::Duration;
+
+fn bench_fig2(c: &mut Criterion) {
+    let params = osem_bench_params();
+    let subsets = params.generate_subsets();
+    let vol = params.volume;
+
+    let mut group = c.benchmark_group("fig2_osem_virtual");
+    group.sample_size(10);
+
+    for n_gpus in [1usize, 2, 4] {
+        let platform = figure_platform(n_gpus);
+        let ctx = skelcl::Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+        skelcl_impl::reconstruct(&ctx, &vol, &subsets[..1]).unwrap();
+        opencl_impl::reconstruct(&platform, &vol, &subsets[..1]).unwrap();
+        cuda_impl::reconstruct(&platform, &vol, &subsets[..1]).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("skelcl", n_gpus), &n_gpus, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        skelcl_impl::reconstruct(&ctx, &vol, &subsets).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("opencl", n_gpus), &n_gpus, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        opencl_impl::reconstruct(&platform, &vol, &subsets).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cuda", n_gpus), &n_gpus, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        cuda_impl::reconstruct(&platform, &vol, &subsets).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_fig2
+}
+criterion_main!(benches);

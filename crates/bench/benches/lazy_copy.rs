@@ -1,0 +1,73 @@
+//! Criterion bench for lazy copying (paper Section III-A): the chained
+//! dot product with the intermediate kept on the device vs a forced host
+//! round trip (virtual seconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl::{Context, Reduce, Vector, Zip};
+use skelcl_bench::{figure_platform, time_virtual};
+use std::time::Duration;
+
+fn bench_lazy(c: &mut Criterion) {
+    let platform = figure_platform(1);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let sum = Reduce::new(
+        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    );
+
+    let mut group = c.benchmark_group("lazy_copy_virtual");
+    group.sample_size(10);
+    for pow in [16usize, 20] {
+        let n = 1usize << pow;
+        let a_data: Vec<f32> = (0..n).map(|i| (i % 17) as f32).collect();
+        let b_data: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
+        // Warm builds.
+        {
+            let a = Vector::from_slice(&ctx, &a_data);
+            let b = Vector::from_slice(&ctx, &b_data);
+            sum.apply(&mult.apply(&a, &b).unwrap()).unwrap();
+        }
+
+        group.bench_with_input(BenchmarkId::new("lazy_chain", n), &n, |bench, _| {
+            bench.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        let a = Vector::from_slice(&ctx, &a_data);
+                        let b = Vector::from_slice(&ctx, &b_data);
+                        let ab = mult.apply(&a, &b).unwrap();
+                        sum.apply(&ab).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eager_roundtrip", n), &n, |bench, _| {
+            bench.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        let a = Vector::from_slice(&ctx, &a_data);
+                        let b = Vector::from_slice(&ctx, &b_data);
+                        let ab = mult.apply(&a, &b).unwrap();
+                        let host = ab.to_vec().unwrap();
+                        let ab2 = Vector::from_vec(&ctx, host);
+                        sum.apply(&ab2).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_lazy
+}
+criterion_main!(benches);

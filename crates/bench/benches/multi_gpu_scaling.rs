@@ -1,0 +1,37 @@
+//! Multi-GPU scaling of the skeletons over block-distributed vectors
+//! (experiment E10; the paper's Section III-D machinery). Virtual seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::map_scaling_virtual_s;
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_gpu_map_virtual");
+    group.sample_size(10);
+    let n = 1usize << 22;
+    for devices in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("block_map", devices),
+            &devices,
+            |b, &devices| {
+                b.iter_custom(|iters| {
+                    let mut total = 0.0;
+                    for _ in 0..iters {
+                        total += map_scaling_virtual_s(n, devices);
+                    }
+                    Duration::from_secs_f64(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_scaling
+}
+criterion_main!(benches);

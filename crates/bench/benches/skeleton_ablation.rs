@@ -1,0 +1,64 @@
+//! Ablation benches (experiment E9): the design choices the paper calls
+//! out for Reduce ("saves the intermediate results in the device's fast
+//! local memory") and Scan ("tries to avoid memory bank conflicts") against
+//! their naive counterparts. Virtual seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::{reduce_virtual_s, scan_virtual_s};
+use skelcl::{ReduceStrategy, ScanStrategy};
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skeleton_ablation_virtual");
+    group.sample_size(10);
+
+    for pow in [18usize, 21] {
+        let n = 1usize << pow;
+        group.bench_with_input(BenchmarkId::new("reduce_local_tree", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += reduce_virtual_s(n, ReduceStrategy::LocalTree);
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reduce_global_naive", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += reduce_virtual_s(n, ReduceStrategy::GlobalNaive);
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_bank_aware", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += scan_virtual_s(n, ScanStrategy::BankAware);
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_conflicting", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += scan_virtual_s(n, ScanStrategy::Conflicting);
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Throughput of the four basic skeletons across input sizes (virtual
+//! seconds on one device) — the library-level microbenchmark suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use skelcl::{Context, Map, Reduce, Scan, Vector, Zip};
+use skelcl_bench::{figure_platform, time_virtual};
+use std::time::Duration;
+
+fn bench_skeletons(c: &mut Criterion) {
+    let platform = figure_platform(1);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+
+    let map = Map::new(skelcl::skel_fn!(fn square(x: f32) -> f32 { x * x }));
+    let zip = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let reduce = Reduce::new(
+        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    );
+    let scan = Scan::new(
+        skelcl::skel_fn!(fn sum2(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    );
+
+    let mut group = c.benchmark_group("skeletons_virtual");
+    group.sample_size(10);
+    for pow in [16usize, 20] {
+        let n = 1usize << pow;
+        group.throughput(Throughput::Elements(n as u64));
+        let data: Vec<f32> = (0..n).map(|i| (i % 9) as f32).collect();
+        let a = Vector::from_slice(&ctx, &data);
+        let b = Vector::from_slice(&ctx, &data);
+        a.ensure_on_devices().unwrap();
+        b.ensure_on_devices().unwrap();
+        // Warm program builds.
+        map.apply(&a).unwrap();
+        zip.apply(&a, &b).unwrap();
+        reduce.apply(&a).unwrap();
+        scan.apply(&a).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("map", n), &n, |bench, _| {
+            bench.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        map.apply(&a).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("zip", n), &n, |bench, _| {
+            bench.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        zip.apply(&a, &b).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", n), &n, |bench, _| {
+            bench.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        reduce.apply(&a).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |bench, _| {
+            bench.iter_custom(|iters| {
+                let mut total = 0.0;
+                for _ in 0..iters {
+                    total += time_virtual(&platform, || {
+                        scan.apply(&a).unwrap();
+                    });
+                }
+                Duration::from_secs_f64(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_skeletons
+}
+criterion_main!(benches);

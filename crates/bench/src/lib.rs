@@ -1,0 +1,469 @@
+//! # skelcl-bench — the experiment harness
+//!
+//! One runner function per paper artifact (see DESIGN.md's experiment
+//! index). The `figures` binary prints paper-style tables; the Criterion
+//! benches reuse the same runners with `iter_custom`, reporting *virtual*
+//! (modeled) seconds so results are host-machine independent.
+
+use skelcl::{Context, Distribution, Reduce, ReduceStrategy, Scan, ScanStrategy, Vector, Zip};
+use skelcl_loc::{LocRow, VariantLoc};
+use skelcl_mandel::MandelParams;
+use skelcl_osem::{OsemParams, Volume};
+use vgpu::{DriverProfile, Platform, PlatformConfig, Program};
+
+/// Default fig-1 parameters: the paper's region and aspect ratio at reduced
+/// resolution, iteration cap raised so compute dominates transfers as it
+/// does at the paper's full scale.
+pub fn fig1_default_params() -> MandelParams {
+    MandelParams {
+        max_iter: 4096,
+        ..MandelParams::bench_scale()
+    }
+}
+
+/// A platform with the paper's hardware (Tesla-C1060-class devices).
+pub fn figure_platform(n_devices: usize) -> Platform {
+    Platform::new(
+        PlatformConfig::default()
+            .devices(n_devices)
+            .cache_tag("figures"),
+    )
+}
+
+/// Measure the virtual duration of `f` on `platform` (clocks reset first,
+/// all devices joined afterwards), **excluding program-build time**.
+///
+/// The paper's measured runtimes (18–26 s Mandelbrot, 3–3.7 s OSEM)
+/// amortise the one-time runtime compilation to invisibility; at this
+/// repository's reduced default scales a rebuilding baseline would be
+/// dominated by it, so build cost is accounted separately (experiment E6).
+pub fn time_virtual(platform: &Platform, f: impl FnOnce()) -> f64 {
+    platform.reset_clocks();
+    let before = platform.stats_snapshot();
+    f();
+    platform.sync_all();
+    let build = (platform.stats_snapshot() - before).build_virtual_ns as f64 * 1e-9;
+    platform.host_now_s() - build
+}
+
+/// Figure 1 (runtime): Mandelbrot with SkelCL / OpenCL / CUDA on one GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Runtimes {
+    pub skelcl_s: f64,
+    pub opencl_s: f64,
+    pub cuda_s: f64,
+}
+
+impl Fig1Runtimes {
+    /// OpenCL advantage over SkelCL, as the paper reports it (4 %).
+    pub fn opencl_vs_skelcl(&self) -> f64 {
+        (self.skelcl_s - self.opencl_s) / self.skelcl_s
+    }
+
+    /// CUDA advantage over SkelCL (paper: 31 %).
+    pub fn cuda_vs_skelcl(&self) -> f64 {
+        (self.skelcl_s - self.cuda_s) / self.skelcl_s
+    }
+}
+
+pub fn run_fig1(p: &MandelParams) -> Fig1Runtimes {
+    let platform = figure_platform(1);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+
+    // Warm-up: pays one-time program builds / binary-cache population, so
+    // the timed runs measure the computation like the paper's runs do.
+    skelcl_mandel::skelcl_impl::run(&ctx, p).expect("skelcl warmup");
+    skelcl_mandel::opencl_impl::run(&platform, p).expect("opencl warmup");
+    skelcl_mandel::cuda_impl::run(&platform, p).expect("cuda warmup");
+
+    let skelcl_s = time_virtual(&platform, || {
+        skelcl_mandel::skelcl_impl::run(&ctx, p).expect("skelcl run");
+    });
+    let opencl_s = time_virtual(&platform, || {
+        skelcl_mandel::opencl_impl::run(&platform, p).expect("opencl run");
+    });
+    let cuda_s = time_virtual(&platform, || {
+        skelcl_mandel::cuda_impl::run(&platform, p).expect("cuda run");
+    });
+    Fig1Runtimes {
+        skelcl_s,
+        opencl_s,
+        cuda_s,
+    }
+}
+
+/// Figure 1 (program size): LoC of the three Mandelbrot variants, measured
+/// from the actual sources.
+pub fn fig1_loc() -> Vec<LocRow> {
+    vec![
+        LocRow {
+            variant: "CUDA",
+            loc: VariantLoc::measure_marked(include_str!("../../mandel/src/cuda_impl.rs")),
+        },
+        LocRow {
+            variant: "OpenCL",
+            loc: VariantLoc::measure_marked(include_str!("../../mandel/src/opencl_impl.rs")),
+        },
+        LocRow {
+            variant: "SkelCL",
+            loc: VariantLoc::measure_marked(include_str!("../../mandel/src/skelcl_impl.rs")),
+        },
+    ]
+}
+
+/// Figure 2 (runtime): one row per (variant, device count).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Row {
+    pub variant: &'static str,
+    pub n_gpus: usize,
+    pub seconds: f64,
+}
+
+pub fn run_fig2(params: &OsemParams, device_counts: &[usize]) -> Vec<Fig2Row> {
+    let subsets = params.generate_subsets();
+    let vol = params.volume;
+    let mut rows = Vec::new();
+    for &n in device_counts {
+        let platform = figure_platform(n);
+        let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+
+        // Warm-up builds.
+        skelcl_osem::skelcl_impl::reconstruct(&ctx, &vol, &subsets[..1]).expect("warmup");
+        skelcl_osem::opencl_impl::reconstruct(&platform, &vol, &subsets[..1]).expect("warmup");
+        skelcl_osem::cuda_impl::reconstruct(&platform, &vol, &subsets[..1]).expect("warmup");
+
+        let t = time_virtual(&platform, || {
+            skelcl_osem::skelcl_impl::reconstruct(&ctx, &vol, &subsets).expect("skelcl");
+        });
+        rows.push(Fig2Row {
+            variant: "SkelCL",
+            n_gpus: n,
+            seconds: t,
+        });
+        let t = time_virtual(&platform, || {
+            skelcl_osem::opencl_impl::reconstruct(&platform, &vol, &subsets).expect("opencl");
+        });
+        rows.push(Fig2Row {
+            variant: "OpenCL",
+            n_gpus: n,
+            seconds: t,
+        });
+        let t = time_virtual(&platform, || {
+            skelcl_osem::cuda_impl::reconstruct(&platform, &vol, &subsets).expect("cuda");
+        });
+        rows.push(Fig2Row {
+            variant: "CUDA",
+            n_gpus: n,
+            seconds: t,
+        });
+    }
+    rows
+}
+
+/// Figure 2 (program size).
+pub fn fig2_loc() -> Vec<LocRow> {
+    vec![
+        LocRow {
+            variant: "SkelCL",
+            loc: VariantLoc::measure_marked(include_str!("../../osem/src/skelcl_impl.rs")),
+        },
+        LocRow {
+            variant: "CUDA",
+            loc: VariantLoc::measure_marked(include_str!("../../osem/src/cuda_impl.rs")),
+        },
+        LocRow {
+            variant: "OpenCL",
+            loc: VariantLoc::measure_marked(include_str!("../../osem/src/opencl_impl.rs")),
+        },
+    ]
+}
+
+/// E5: the dot-product program-size comparison (Listing 1 vs the NVIDIA
+/// OpenCL sample's ~68 lines). The SkelCL dot product is the quickstart
+/// example; its OpenCL counterpart is the saxpy-style workflow written
+/// against the baseline API.
+pub fn dot_product_loc() -> Vec<LocRow> {
+    let opencl_host = VariantLoc::measure_marked(include_str!("dot_opencl.rs"));
+    vec![
+        LocRow {
+            variant: "SkelCL",
+            loc: VariantLoc::measure_marked(include_str!("../../../examples/quickstart.rs")),
+        },
+        LocRow {
+            variant: "OpenCL",
+            loc: VariantLoc {
+                host: opencl_host.host,
+                // The kernel lives in its own .cl file for this program.
+                kernel: opencl_host.kernel + skelcl_loc::count_c_like(DOT_OPENCL_KERNEL),
+            },
+        },
+    ]
+}
+
+/// The dot-product kernel of the OpenCL comparison program.
+pub const DOT_OPENCL_KERNEL: &str = include_str!("dot_kernel.cl");
+
+pub mod dot_opencl;
+
+/// E6: kernel binary cache — virtual and wall cost of building a skeleton
+/// program from source vs loading it from the cache.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheResult {
+    pub compile_virtual_s: f64,
+    pub load_virtual_s: f64,
+    pub compile_wall_s: f64,
+    pub load_wall_s: f64,
+}
+
+impl CacheResult {
+    pub fn virtual_speedup(&self) -> f64 {
+        self.compile_virtual_s / self.load_virtual_s
+    }
+}
+
+pub fn run_cache_experiment() -> CacheResult {
+    let platform = figure_platform(1);
+    platform.compiler().clear_cache().expect("clear cache");
+    let queue = platform.queue(0, DriverProfile::opencl());
+    // A representative generated skeleton program.
+    let program = skelcl::codegen::scan_program(
+        "sum",
+        "float sum(float x, float y) { return x + y; }",
+        "float",
+    );
+    let body: vgpu::KernelBody = std::sync::Arc::new(|_wg: &vgpu::WorkGroup| {});
+
+    let (_, first) = queue
+        .build_kernel_traced(&program, body.clone())
+        .expect("build");
+    assert!(!first.from_cache);
+    let (_, second) = queue.build_kernel_traced(&program, body).expect("rebuild");
+    assert!(second.from_cache);
+    platform.compiler().clear_cache().expect("clear cache");
+    CacheResult {
+        compile_virtual_s: first.virtual_s,
+        load_virtual_s: second.virtual_s,
+        compile_wall_s: first.wall_s,
+        load_wall_s: second.wall_s,
+    }
+}
+
+/// E8: lazy copying — transfers needed by the chained dot product
+/// (`sum(mult(A, B))`) with SkelCL's lazy vectors vs an eager
+/// download/upload between the two skeletons.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyCopyResult {
+    pub lazy_transfers: u64,
+    pub lazy_bytes: u64,
+    pub eager_transfers: u64,
+    pub eager_bytes: u64,
+    pub lazy_virtual_s: f64,
+    pub eager_virtual_s: f64,
+}
+
+pub fn run_lazy_copy_experiment(n: usize) -> LazyCopyResult {
+    let platform = figure_platform(1);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let sum = Reduce::new(skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }), 0.0);
+    let a_data: Vec<f32> = (0..n).map(|i| (i % 17) as f32).collect();
+    let b_data: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
+
+    // Warm program builds.
+    {
+        let a = Vector::from_slice(&ctx, &a_data);
+        let b = Vector::from_slice(&ctx, &b_data);
+        sum.apply(&mult.apply(&a, &b).expect("zip")).expect("reduce");
+    }
+
+    // Lazy chain: intermediate stays on the device.
+    platform.reset_clocks();
+    let before = platform.stats_snapshot();
+    let lazy_value;
+    {
+        let a = Vector::from_slice(&ctx, &a_data);
+        let b = Vector::from_slice(&ctx, &b_data);
+        let ab = mult.apply(&a, &b).expect("zip");
+        lazy_value = sum.apply(&ab).expect("reduce").get_value();
+    }
+    platform.sync_all();
+    let lazy_virtual_s = platform.host_now_s();
+    let lazy = platform.stats_snapshot() - before;
+
+    // Eager baseline: the intermediate makes a host round trip, as it
+    // would without the lazy coherence protocol.
+    platform.reset_clocks();
+    let before = platform.stats_snapshot();
+    let eager_value;
+    {
+        let a = Vector::from_slice(&ctx, &a_data);
+        let b = Vector::from_slice(&ctx, &b_data);
+        let ab = mult.apply(&a, &b).expect("zip");
+        let roundtrip = ab.to_vec().expect("download");
+        let ab2 = Vector::from_vec(&ctx, roundtrip);
+        eager_value = sum.apply(&ab2).expect("reduce").get_value();
+    }
+    platform.sync_all();
+    let eager_virtual_s = platform.host_now_s();
+    let eager = platform.stats_snapshot() - before;
+
+    assert_eq!(lazy_value, eager_value, "both paths must agree");
+    LazyCopyResult {
+        lazy_transfers: lazy.total_transfers(),
+        lazy_bytes: lazy.total_transfer_bytes(),
+        eager_transfers: eager.total_transfers(),
+        eager_bytes: eager.total_transfer_bytes(),
+        lazy_virtual_s,
+        eager_virtual_s,
+    }
+}
+
+/// E9 helper: virtual time of one Reduce under a given strategy.
+pub fn reduce_virtual_s(n: usize, strategy: ReduceStrategy) -> f64 {
+    let platform = figure_platform(1);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let sum = Reduce::new(
+        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    )
+    .with_strategy(strategy);
+    let v = Vector::from_vec(&ctx, (0..n).map(|i| (i % 13) as f32).collect());
+    v.ensure_on_devices().expect("upload");
+    sum.apply(&v).expect("warm");
+    time_virtual(&platform, || {
+        sum.apply(&v).expect("reduce");
+    })
+}
+
+/// E9 helper: virtual time of one Scan under a given strategy.
+pub fn scan_virtual_s(n: usize, strategy: ScanStrategy) -> f64 {
+    let platform = figure_platform(1);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let sum = Scan::new(
+        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    )
+    .with_strategy(strategy);
+    let v = Vector::from_vec(&ctx, (0..n).map(|i| (i % 7) as f32).collect());
+    v.ensure_on_devices().expect("upload");
+    sum.apply(&v).expect("warm");
+    time_virtual(&platform, || {
+        sum.apply(&v).expect("scan");
+    })
+}
+
+/// E10 helper: virtual time of a block-distributed Map across devices.
+pub fn map_scaling_virtual_s(n: usize, devices: usize) -> f64 {
+    let platform = figure_platform(devices);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let heavy = skelcl::UserFn::new(
+        "heavy",
+        "float heavy(float x) { float acc = x; for (int i = 0; i < 256; ++i) acc = acc * 1.0001f + 0.5f; return acc; }",
+        |x: f32| {
+            skelcl::work(512);
+            let mut acc = x;
+            for _ in 0..8 {
+                acc = acc * 1.0001 + 0.5;
+            }
+            acc
+        },
+    );
+    let map = skelcl::Map::new(heavy);
+    let v = Vector::from_vec(&ctx, vec![1.0f32; n]);
+    v.set_distribution(Distribution::Block).expect("dist");
+    v.ensure_on_devices().expect("upload");
+    map.apply(&v).expect("warm");
+    time_virtual(&platform, || {
+        map.apply(&v).expect("map");
+    })
+}
+
+/// Sanity anchor used by tests: OpenCL-vs-CUDA and SkelCL-vs-OpenCL
+/// relations the paper reports, checked at bench scale.
+pub fn paper_shape_holds(f1: &Fig1Runtimes) -> bool {
+    f1.cuda_s < f1.opencl_s && f1.opencl_s <= f1.skelcl_s
+}
+
+/// The generated source of a Program a SkelCL Map would build — exposed so
+/// benches can measure compilation costs against realistic sizes.
+pub fn representative_program() -> Program {
+    skelcl::codegen::map_program(
+        "mandelbrot",
+        skelcl_mandel::skelcl_impl::KERNEL_SOURCE,
+        "Complex",
+        "uint",
+        0,
+    )
+}
+
+/// Quick OSEM parameters for Criterion benches.
+pub fn osem_bench_params() -> OsemParams {
+    OsemParams {
+        volume: Volume::new(24, 24, 24, 8.0),
+        total_events: 60_000,
+        n_subsets: 4,
+        seed: 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_loc_shape_matches_the_paper() {
+        // Paper: OpenCL total is the largest by far; CUDA and SkelCL are
+        // close to each other.
+        let rows = fig1_loc();
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap().loc;
+        let (cuda, opencl, skelcl) = (get("CUDA"), get("OpenCL"), get("SkelCL"));
+        assert!(opencl.total() > cuda.total());
+        assert!(opencl.total() > skelcl.total());
+        assert!(opencl.host > 2 * skelcl.host, "OpenCL host boilerplate dominates");
+    }
+
+    #[test]
+    fn fig2_loc_shape_matches_the_paper() {
+        // Paper: SkelCL 232 < CUDA 329 < OpenCL 436; SkelCL's host share is
+        // by far the smallest (32 vs 130 vs 243).
+        let rows = fig2_loc();
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap().loc;
+        let (skelcl, cuda, opencl) = (get("SkelCL"), get("CUDA"), get("OpenCL"));
+        assert!(skelcl.total() < cuda.total());
+        assert!(cuda.total() < opencl.total());
+        assert!(skelcl.host < cuda.host);
+        assert!(cuda.host < opencl.host);
+    }
+
+    #[test]
+    fn cache_experiment_reproduces_the_5x_claim() {
+        let r = run_cache_experiment();
+        assert!(
+            r.virtual_speedup() >= 5.0,
+            "cache speedup {} below the paper's >=5x",
+            r.virtual_speedup()
+        );
+        assert!(r.compile_wall_s > r.load_wall_s, "real wall time should agree");
+    }
+
+    #[test]
+    fn lazy_copying_saves_transfers() {
+        let r = run_lazy_copy_experiment(1 << 14);
+        assert!(r.lazy_transfers < r.eager_transfers);
+        assert!(r.lazy_bytes < r.eager_bytes);
+        assert!(r.lazy_virtual_s < r.eager_virtual_s);
+    }
+
+    #[test]
+    fn ablations_point_the_right_way() {
+        let n = 1 << 16;
+        assert!(
+            reduce_virtual_s(n, ReduceStrategy::GlobalNaive)
+                > reduce_virtual_s(n, ReduceStrategy::LocalTree)
+        );
+        assert!(
+            scan_virtual_s(n, ScanStrategy::Conflicting)
+                > scan_virtual_s(n, ScanStrategy::BankAware)
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! # skelcl-loc — program-size accounting (paper Figures 1 & 2)
+//!
+//! The paper measures programming effort as lines of code, split into
+//! *host program* and *kernel function* shares. This crate provides a
+//! comment- and blank-aware line counter for Rust host sources and C-like
+//! kernel sources, plus the report structure the figures harness prints.
+//!
+//! To keep the measurement honest, host counts are taken from the *actual
+//! Rust sources* of each application variant (with test modules stripped),
+//! and kernel counts from the embedded kernel strings those variants ship.
+
+/// Count effective lines of a C-like (OpenCL/CUDA kernel) source: strips
+/// blank lines, `//` comments and `/* */` blocks.
+pub fn count_c_like(source: &str) -> usize {
+    count_with_comment_rules(source)
+}
+
+/// Count effective lines of a Rust source: strips blanks and comments
+/// (line, block and doc), attributes, and everything from the first
+/// `#[cfg(test)]` onward (the unit-test module is not application code).
+pub fn count_rust(source: &str) -> usize {
+    let app_part = match source.find("#[cfg(test)]") {
+        Some(pos) => &source[..pos],
+        None => source,
+    };
+    count_with_comment_rules(app_part)
+}
+
+/// Shared comment-stripping line counter (Rust and C share `//` + `/* */`).
+fn count_with_comment_rules(source: &str) -> usize {
+    let mut count = 0usize;
+    let mut in_block_comment = false;
+    for line in source.lines() {
+        let mut effective = String::new();
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                }
+                continue;
+            }
+            match c {
+                '/' if chars.peek() == Some(&'/') => break, // line comment
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                }
+                _ => effective.push(c),
+            }
+        }
+        let trimmed = effective.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Attributes are metadata, not program text.
+        if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Program size of one implementation variant, split as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VariantLoc {
+    pub host: usize,
+    pub kernel: usize,
+}
+
+impl VariantLoc {
+    pub fn total(&self) -> usize {
+        self.host + self.kernel
+    }
+
+    /// Measure a variant from its Rust host source and its embedded kernel
+    /// source strings. The kernel strings live inside the host file, so
+    /// their share is subtracted from the host count rather than counted
+    /// twice.
+    pub fn measure(host_rust: &str, kernels: &[&str]) -> VariantLoc {
+        let kernel: usize = kernels.iter().map(|k| count_c_like(k)).sum();
+        let host_all = count_rust(host_rust);
+        VariantLoc {
+            host: host_all.saturating_sub(kernel),
+            kernel,
+        }
+    }
+}
+
+/// Marker opening a kernel region in an application source file. Rust
+/// cannot compile kernel strings, so every variant carries the kernel twice
+/// — once as the C-like source string and once as the executable Rust twin;
+/// both are kernel code, and the markers attribute them to the kernel share
+/// instead of the host share.
+pub const KERNEL_BEGIN: &str = "// >>> kernel";
+/// Marker closing a kernel region.
+pub const KERNEL_END: &str = "// <<< kernel";
+
+/// Split a source file into `(host_part, kernel_part)` along the
+/// [`KERNEL_BEGIN`]/[`KERNEL_END`] markers.
+pub fn split_kernel_regions(source: &str) -> (String, String) {
+    let mut host = String::new();
+    let mut kernel = String::new();
+    let mut in_kernel = false;
+    for line in source.lines() {
+        let t = line.trim();
+        if t == KERNEL_BEGIN {
+            in_kernel = true;
+            continue;
+        }
+        if t == KERNEL_END {
+            in_kernel = false;
+            continue;
+        }
+        let target = if in_kernel { &mut kernel } else { &mut host };
+        target.push_str(line);
+        target.push('\n');
+    }
+    (host, kernel)
+}
+
+impl VariantLoc {
+    /// Measure a variant whose source marks its kernel regions (source
+    /// strings and Rust twins) with [`KERNEL_BEGIN`]/[`KERNEL_END`].
+    pub fn measure_marked(source: &str) -> VariantLoc {
+        let app_part = match source.find("#[cfg(test)]") {
+            Some(pos) => &source[..pos],
+            None => source,
+        };
+        let (host, kernel) = split_kernel_regions(app_part);
+        VariantLoc {
+            host: count_rust(&host),
+            kernel: count_c_like(&kernel),
+        }
+    }
+}
+
+/// One row of a program-size figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocRow {
+    pub variant: &'static str,
+    pub loc: VariantLoc,
+}
+
+/// Render rows in the paper's style.
+pub fn render_table(title: &str, rows: &[LocRow]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>8} {:>7}\n",
+        "variant", "host", "kernel", "total"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>8} {:>7}\n",
+            r.variant,
+            r.loc.host,
+            r.loc.kernel,
+            r.loc.total()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_and_comment_lines_are_ignored() {
+        let src = "\n// comment\nint x = 1;\n\n/* block\n   still block\n*/\nint y = 2;\n";
+        assert_eq!(count_c_like(src), 2);
+    }
+
+    #[test]
+    fn trailing_line_comments_keep_the_code_line() {
+        let src = "int x = 1; // set x\n";
+        assert_eq!(count_c_like(src), 1);
+    }
+
+    #[test]
+    fn inline_block_comments_keep_surrounding_code() {
+        let src = "int /* the */ x = 1;\n/* only comment */\n";
+        assert_eq!(count_c_like(src), 1);
+    }
+
+    #[test]
+    fn rust_counter_strips_tests_and_attributes() {
+        let src = r#"
+//! doc
+use std::fmt;
+
+#[derive(Debug)]
+pub struct A;
+
+pub fn f() -> usize { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert_eq!(super::f(), 1); }
+}
+"#;
+        // use + struct + fn = 3 lines
+        assert_eq!(count_rust(src), 3);
+    }
+
+    #[test]
+    fn variant_measure_separates_host_and_kernel() {
+        let kernel = "__kernel void k() {\n  int x = 0;\n}\n";
+        let host = "fn main() {\n    run();\n}\n__kernel void k() {\n  int x = 0;\n}\n";
+        let v = VariantLoc::measure(host, &[kernel]);
+        assert_eq!(v.kernel, 3);
+        assert_eq!(v.host, 6 - 3);
+    }
+
+    #[test]
+    fn render_table_is_aligned() {
+        let rows = vec![
+            LocRow {
+                variant: "SkelCL",
+                loc: VariantLoc {
+                    host: 31,
+                    kernel: 26,
+                },
+            },
+            LocRow {
+                variant: "OpenCL",
+                loc: VariantLoc {
+                    host: 90,
+                    kernel: 28,
+                },
+            },
+        ];
+        let t = render_table("Mandelbrot program size", &rows);
+        assert!(t.contains("SkelCL"));
+        assert!(t.contains("57"));
+        assert!(t.contains("118"));
+    }
+
+    #[test]
+    fn empty_source_counts_zero() {
+        assert_eq!(count_c_like(""), 0);
+        assert_eq!(count_rust("// only\n\n/* comments */"), 0);
+    }
+
+    #[test]
+    fn multiline_block_comment_spanning_code() {
+        let src = "a/*\n comment \n*/b\nc\n";
+        // line 1 has 'a', line 3 has 'b', line 4 has 'c'
+        assert_eq!(count_c_like(src), 3);
+    }
+
+    #[test]
+    fn kernel_region_markers_split_the_source() {
+        let src = "\
+host1();
+// >>> kernel
+kernel_line_1;
+kernel_line_2;
+// <<< kernel
+host2();
+// >>> kernel
+more_kernel;
+// <<< kernel
+host3();
+";
+        let (host, kernel) = split_kernel_regions(src);
+        assert_eq!(count_rust(&host), 3);
+        assert_eq!(count_c_like(&kernel), 3);
+        assert!(host.contains("host2"));
+        assert!(kernel.contains("more_kernel"));
+        assert!(!host.contains("kernel_line_1"));
+    }
+
+    #[test]
+    fn measure_marked_attributes_shares_correctly() {
+        let src = "\
+fn main() {
+    setup();
+// >>> kernel
+    |x| { x * 2 }
+// <<< kernel
+}
+
+#[cfg(test)]
+mod tests {
+    fn huge_test_module() {}
+}
+";
+        let v = VariantLoc::measure_marked(src);
+        assert_eq!(v.kernel, 1);
+        assert_eq!(v.host, 3, "fn main, setup, closing brace; tests stripped");
+    }
+
+    #[test]
+    fn unbalanced_markers_do_not_lose_code() {
+        // A begin without an end: everything after goes to the kernel
+        // share, nothing disappears.
+        let src = "a;\n// >>> kernel\nb;\nc;\n";
+        let (host, kernel) = split_kernel_regions(src);
+        assert_eq!(count_rust(&host) + count_c_like(&kernel), 3);
+    }
+
+    #[test]
+    fn markers_require_exact_trimmed_match() {
+        let src = "let s = \"// >>> kernel-ish\";\n";
+        let (host, kernel) = split_kernel_regions(src);
+        assert_eq!(count_rust(&host), 1);
+        assert_eq!(count_c_like(&kernel), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Mandelbrot with the CUDA runtime: "In CUDA, the kernel is called like an
+//! ordinary function. A proprietary syntax is used to specify the size of
+//! work-groups" (paper Section IV-A-1). One line of initialization, typed
+//! launches, but the data transfer and grid sizing stay manual.
+
+use crate::{color, escape_iterations, MandelParams, OPS_PER_ITER};
+use skelcl_baselines::cuda::*;
+use std::sync::Arc;
+use vgpu::{Platform, Result, WorkGroup};
+
+/// The `__global__` kernel nvcc would compile offline.
+// >>> kernel
+pub const KERNEL_SOURCE: &str = r#"
+__global__ void mandelbrot(uint* out, uint width, uint height,
+                           float4 region, uint max_iter) {
+    uint x = blockIdx.x * blockDim.x + threadIdx.x;
+    uint y = blockIdx.y * blockDim.y + threadIdx.y;
+    if (x >= width || y >= height) {
+        return;
+    }
+    float re = region.x + (region.y - region.x) * ((float)x / (float)(width - 1));
+    float im = region.z + (region.w - region.z) * ((float)y / (float)(height - 1));
+    float zr = 0.0f;
+    float zi = 0.0f;
+    uint iter = 0;
+    while (iter < max_iter) {
+        float zr2 = zr * zr;
+        float zi2 = zi * zi;
+        if (zr2 + zi2 > 4.0f) {
+            break;
+        }
+        zi = 2.0f * zr * zi + im;
+        zr = zr2 - zi2 + re;
+        iter = iter + 1;
+    }
+    uint t = iter * 2654435761u;
+    uint col = ((iter * 7u) & 0xffu) << 16 | (((t >> 8) & 0xffu) << 8) | (t & 0xffu);
+    out[y * width + x] = (iter >= max_iter) ? 0u : col;
+}
+"#;
+// <<< kernel
+
+/// The thread-block shape the paper's CUDA version hand-picks.
+pub const BLOCK: (usize, usize) = (16, 16);
+
+/// Compute the fractal through the CUDA runtime API.
+pub fn run(platform: &Platform, p: &MandelParams) -> Result<Vec<u32>> {
+    let rt = CudaRuntime::new(platform);
+    rt.set_device(0)?;
+
+    let out = rt.malloc::<u32>(p.pixels())?;
+
+    let module = CudaModule::new(&rt);
+    let params = *p;
+    let mandel = module.kernel(
+        "mandelbrot",
+        KERNEL_SOURCE,
+        // >>> kernel
+        Arc::new(move |wg: &WorkGroup, args: &CudaArgs| {
+            let out = args.get_ptr::<u32>(0);
+            let width = args.get_scalar::<u32>(1) as usize;
+            let height = args.get_scalar::<u32>(2) as usize;
+            let max_iter = args.get_scalar::<u32>(3);
+            wg.for_each_item(|it| {
+                if !it.in_bounds() {
+                    return;
+                }
+                let (x, y) = (it.global_id(0), it.global_id(1));
+                if x >= width || y >= height {
+                    return;
+                }
+                let c = params.pixel_to_complex(x, y);
+                let iters = escape_iterations(c, max_iter);
+                it.work(iters as u64 * OPS_PER_ITER);
+                it.write(out, y * width + x, color(iters, max_iter));
+            });
+        }),
+        // <<< kernel
+    )?;
+
+    // mandelbrot<<<grid, block>>>(out, width, height, region, max_iter)
+    let grid = (p.width.div_ceil(BLOCK.0), p.height.div_ceil(BLOCK.1));
+    rt.launch_kernel_2d(
+        &mandel,
+        grid,
+        BLOCK,
+        CudaArgs::new()
+            .ptr(&out)
+            .scalar(p.width as u32)
+            .scalar(p.height as u32)
+            .scalar(p.max_iter),
+    )?;
+    rt.device_synchronize();
+
+    let mut image = vec![0u32; p.pixels()];
+    rt.memcpy_d2h(&mut image, &out)?;
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::{DeviceSpec, PlatformConfig};
+
+    #[test]
+    fn matches_the_sequential_reference() {
+        let platform = Platform::new(
+            PlatformConfig::default()
+                .spec(DeviceSpec::tiny())
+                .cache_tag("mandel-cuda-test"),
+        );
+        let p = MandelParams::test_scale();
+        let got = run(&platform, &p).unwrap();
+        assert_eq!(got, crate::reference(&p));
+    }
+
+    #[test]
+    fn cuda_beats_opencl_on_the_same_hardware() {
+        // The compute-bound kernel exposes the compiler-efficiency gap the
+        // paper reports ("CUDA was usually faster than OpenCL").
+        let platform = Platform::new(
+            PlatformConfig::default()
+                .spec(DeviceSpec::tiny())
+                .cache_tag("mandel-cuda-test"),
+        );
+        let p = MandelParams::test_scale();
+        // warm the binary cache so compile time is excluded
+        crate::opencl_impl::run(&platform, &p).unwrap();
+
+        platform.reset_clocks();
+        crate::opencl_impl::run(&platform, &p).unwrap();
+        let t_ocl = platform.host_now_s();
+
+        platform.reset_clocks();
+        run(&platform, &p).unwrap();
+        let t_cuda = platform.host_now_s();
+
+        assert!(
+            t_cuda < t_ocl,
+            "cuda={t_cuda} should beat opencl={t_ocl}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! # skelcl-mandel — the Mandelbrot case study (paper Section IV-A)
+//!
+//! "The Mandelbrot set are all complex numbers c for which the sequence
+//! z_{i+1} = z_i² + c starting with z_0 = 0 does not escape to infinity
+//! [...] We created three similar parallel implementations for computing a
+//! Mandelbrot fractal using CUDA, OpenCL, and SkelCL."
+//!
+//! This crate provides the shared math (escape iteration, colouring, the
+//! sequential reference) plus the three parallel variants, each in its own
+//! module/file so the program-size experiment can count them separately:
+//!
+//! * [`skelcl_impl`] — `Map` skeleton over a vector of complex numbers,
+//!   SkelCL's default 1-D work-groups of 256;
+//! * [`opencl_impl`] — full OpenCL boilerplate, 16×16 work-groups;
+//! * [`cuda_impl`] — CUDA runtime style, 16×16 thread blocks.
+
+pub mod cuda_impl;
+pub mod opencl_impl;
+pub mod skelcl_impl;
+
+/// A complex number pixel; the SkelCL variant maps over a vector of these
+/// ("A Vector of complex numbers, each of which is represented by a pixel
+/// of the Mandelbrot fractal, is passed to the Map skeleton").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    pub re: f32,
+    pub im: f32,
+}
+
+vgpu::impl_scalar!(Complex);
+
+/// Fractal parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MandelParams {
+    pub width: usize,
+    pub height: usize,
+    pub re_min: f32,
+    pub re_max: f32,
+    pub im_min: f32,
+    pub im_max: f32,
+    pub max_iter: u32,
+}
+
+impl MandelParams {
+    /// The paper's full-size experiment: "a Mandelbrot fractal of size
+    /// 4096×3072 pixels".
+    pub fn paper_scale() -> Self {
+        MandelParams {
+            width: 4096,
+            height: 3072,
+            ..MandelParams::default()
+        }
+    }
+
+    /// A reduced size for quick benchmarking; same aspect ratio and region,
+    /// so per-pixel behaviour (and all runtime *ratios*) are preserved.
+    pub fn bench_scale() -> Self {
+        MandelParams::default()
+    }
+
+    /// A tiny size for unit tests.
+    pub fn test_scale() -> Self {
+        MandelParams {
+            width: 64,
+            height: 48,
+            max_iter: 64,
+            ..MandelParams::default()
+        }
+    }
+
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// The complex number of pixel `(x, y)`.
+    #[inline]
+    pub fn pixel_to_complex(&self, x: usize, y: usize) -> Complex {
+        let re = self.re_min
+            + (self.re_max - self.re_min) * (x as f32 / (self.width - 1).max(1) as f32);
+        let im = self.im_min
+            + (self.im_max - self.im_min) * (y as f32 / (self.height - 1).max(1) as f32);
+        Complex { re, im }
+    }
+
+    /// The host-side complex grid the SkelCL variant maps over.
+    pub fn complex_grid(&self) -> Vec<Complex> {
+        let mut grid = Vec::with_capacity(self.pixels());
+        for y in 0..self.height {
+            for x in 0..self.width {
+                grid.push(self.pixel_to_complex(x, y));
+            }
+        }
+        grid
+    }
+}
+
+impl Default for MandelParams {
+    fn default() -> Self {
+        MandelParams {
+            width: 1024,
+            height: 768,
+            re_min: -2.0,
+            re_max: 1.0,
+            im_min: -1.125,
+            im_max: 1.125,
+            max_iter: 1024,
+        }
+    }
+}
+
+/// Arithmetic operations one escape-loop iteration costs (z² + c plus the
+/// magnitude test: 5 multiplies, 3 adds, 1 compare).
+pub const OPS_PER_ITER: u64 = 9;
+
+/// The escape iteration shared by every variant: the number of steps until
+/// |z| > 2, or `max_iter` if the point is (presumed) in the set.
+#[inline]
+pub fn escape_iterations(c: Complex, max_iter: u32) -> u32 {
+    let mut zr = 0.0f32;
+    let mut zi = 0.0f32;
+    let mut i = 0u32;
+    while i < max_iter {
+        let zr2 = zr * zr;
+        let zi2 = zi * zi;
+        if zr2 + zi2 > 4.0 {
+            break;
+        }
+        zi = 2.0 * zr * zi + c.im;
+        zr = zr2 - zi2 + c.re;
+        i += 1;
+    }
+    i
+}
+
+/// Map an iteration count to a pixel colour: members of the set are painted
+/// black, others get a colour derived from the iteration count.
+#[inline]
+pub fn color(iters: u32, max_iter: u32) -> u32 {
+    if iters >= max_iter {
+        return 0x000000;
+    }
+    let t = iters.wrapping_mul(2654435761);
+    let r = (iters * 7) & 0xff;
+    let g = (t >> 8) & 0xff;
+    let b = t & 0xff;
+    (r << 16) | (g << 8) | b
+}
+
+/// The sequential reference implementation.
+pub fn reference(p: &MandelParams) -> Vec<u32> {
+    let mut out = Vec::with_capacity(p.pixels());
+    for y in 0..p.height {
+        for x in 0..p.width {
+            let c = p.pixel_to_complex(x, y);
+            out.push(color(escape_iterations(c, p.max_iter), p.max_iter));
+        }
+    }
+    out
+}
+
+/// Render the image as a binary PPM (P6) byte stream — lets the examples
+/// write an actual picture.
+pub fn to_ppm(p: &MandelParams, pixels: &[u32]) -> Vec<u8> {
+    assert_eq!(pixels.len(), p.pixels());
+    let mut out = format!("P6\n{} {}\n255\n", p.width, p.height).into_bytes();
+    out.reserve(pixels.len() * 3);
+    for &px in pixels {
+        out.push((px >> 16) as u8);
+        out.push((px >> 8) as u8);
+        out.push(px as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_in_the_set() {
+        let c = Complex { re: 0.0, im: 0.0 };
+        assert_eq!(escape_iterations(c, 1000), 1000);
+    }
+
+    #[test]
+    fn far_points_escape_immediately() {
+        let c = Complex { re: 2.5, im: 2.5 };
+        assert!(escape_iterations(c, 1000) <= 1);
+    }
+
+    #[test]
+    fn period_2_bulb_is_in_the_set() {
+        let c = Complex { re: -1.0, im: 0.0 };
+        assert_eq!(escape_iterations(c, 1000), 1000);
+    }
+
+    #[test]
+    fn members_are_black() {
+        assert_eq!(color(100, 100), 0x000000);
+        assert_ne!(color(50, 100), 0x000000);
+    }
+
+    #[test]
+    fn pixel_mapping_covers_the_region() {
+        let p = MandelParams::test_scale();
+        let tl = p.pixel_to_complex(0, 0);
+        let br = p.pixel_to_complex(p.width - 1, p.height - 1);
+        assert_eq!(tl.re, p.re_min);
+        assert_eq!(tl.im, p.im_min);
+        assert!((br.re - p.re_max).abs() < 1e-5);
+        assert!((br.im - p.im_max).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reference_image_has_set_members_and_escapees() {
+        let p = MandelParams::test_scale();
+        let img = reference(&p);
+        assert_eq!(img.len(), p.pixels());
+        let black = img.iter().filter(|&&c| c == 0).count();
+        assert!(black > 0, "some pixels must be in the set");
+        assert!(black < img.len(), "some pixels must escape");
+    }
+
+    #[test]
+    fn ppm_has_correct_size_and_header() {
+        let p = MandelParams::test_scale();
+        let img = reference(&p);
+        let ppm = to_ppm(&p, &img);
+        assert!(ppm.starts_with(b"P6\n64 48\n255\n"));
+        assert_eq!(ppm.len(), 13 + 3 * p.pixels());
+    }
+
+    #[test]
+    fn complex_grid_is_row_major() {
+        let p = MandelParams::test_scale();
+        let grid = p.complex_grid();
+        assert_eq!(grid.len(), p.pixels());
+        assert_eq!(grid[0], p.pixel_to_complex(0, 0));
+        assert_eq!(grid[p.width], p.pixel_to_complex(0, 1));
+    }
+}

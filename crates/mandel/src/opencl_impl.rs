@@ -1,0 +1,139 @@
+//! Mandelbrot with raw OpenCL: "a lengthy creation and initialization of
+//! different data structures" (paper Section IV-A-1). Context, queue,
+//! buffer, program, build, kernel, five argument bindings, an explicitly
+//! sized 2-D launch with hand-chosen 16×16 work-groups, and an explicit
+//! read-back — the boilerplate SkelCL hides.
+
+use crate::{color, escape_iterations, MandelParams, OPS_PER_ITER};
+use skelcl_baselines::opencl::*;
+use std::sync::Arc;
+use vgpu::{Platform, Result, WorkGroup};
+
+/// The kernel source handed to `clCreateProgramWithSource` (the positions
+/// are computed from the global IDs — unlike SkelCL, "no positions are
+/// passed to the kernel").
+// >>> kernel
+pub const KERNEL_SOURCE: &str = r#"
+__kernel void mandelbrot(__global uint* out,
+                         const uint width,
+                         const uint height,
+                         const float4 region,
+                         const uint max_iter) {
+    uint x = get_global_id(0);
+    uint y = get_global_id(1);
+    if (x >= width || y >= height) {
+        return;
+    }
+    float re = region.x + (region.y - region.x) * ((float)x / (float)(width - 1));
+    float im = region.z + (region.w - region.z) * ((float)y / (float)(height - 1));
+    float zr = 0.0f;
+    float zi = 0.0f;
+    uint iter = 0;
+    while (iter < max_iter) {
+        float zr2 = zr * zr;
+        float zi2 = zi * zi;
+        if (zr2 + zi2 > 4.0f) {
+            break;
+        }
+        zi = 2.0f * zr * zi + im;
+        zr = zr2 - zi2 + re;
+        iter = iter + 1;
+    }
+    uint t = iter * 2654435761u;
+    uint col = ((iter * 7u) & 0xffu) << 16 | (((t >> 8) & 0xffu) << 8) | (t & 0xffu);
+    out[y * width + x] = (iter >= max_iter) ? 0u : col;
+}
+"#;
+// <<< kernel
+
+/// The 2-D work-group size the paper's OpenCL version hand-picks.
+pub const WORK_GROUP: (usize, usize) = (16, 16);
+
+/// Compute the fractal through the OpenCL host API.
+pub fn run(platform: &Platform, p: &MandelParams) -> Result<Vec<u32>> {
+    // -- initialization boilerplate ------------------------------------
+    let platform_ids = cl_get_platform_ids(platform);
+    let device_ids = cl_get_device_ids_for(platform, platform_ids[0]);
+    let context = cl_create_context(platform, &device_ids)?;
+    let queue = cl_create_command_queue(&context, 0)?;
+
+    // -- memory objects -------------------------------------------------
+    let out_mem = cl_create_buffer::<u32>(&context, 0, p.pixels())?;
+
+    // -- program + kernel -----------------------------------------------
+    let program = cl_create_program_with_source(&context, "mandelbrot_cl", KERNEL_SOURCE);
+    cl_build_program(&queue, &program)?;
+    let build_log = cl_get_program_build_log(&program);
+    if !build_log.contains("successful") {
+        panic!("kernel build failed: {build_log}");
+    }
+    let params = *p;
+    let kernel = cl_create_kernel(
+        &program,
+        // >>> kernel
+        Arc::new(move |wg: &WorkGroup, args: &ClArgs| {
+            let out = args.buf::<u32>(0);
+            let width = args.scalar::<u32>(1) as usize;
+            let height = args.scalar::<u32>(2) as usize;
+            let max_iter = args.scalar::<u32>(3);
+            wg.for_each_item(|it| {
+                if !it.in_bounds() {
+                    return;
+                }
+                let (x, y) = (it.global_id(0), it.global_id(1));
+                if x >= width || y >= height {
+                    return;
+                }
+                let c = params.pixel_to_complex(x, y);
+                let iters = escape_iterations(c, max_iter);
+                it.work(iters as u64 * OPS_PER_ITER);
+                it.write(out, y * width + x, color(iters, max_iter));
+            });
+        }),
+        // <<< kernel
+    )?;
+
+    // -- argument binding ------------------------------------------------
+    cl_set_kernel_arg_mem(&kernel, 0, &out_mem);
+    cl_set_kernel_arg_scalar(&kernel, 1, p.width as u32);
+    cl_set_kernel_arg_scalar(&kernel, 2, p.height as u32);
+    cl_set_kernel_arg_scalar(&kernel, 3, p.max_iter);
+
+    // -- launch with explicit global/local sizes -------------------------
+    let global = (
+        p.width.next_multiple_of(WORK_GROUP.0),
+        p.height.next_multiple_of(WORK_GROUP.1),
+    );
+    cl_enqueue_nd_range_kernel_2d(&queue, &kernel, global, WORK_GROUP)?;
+    cl_finish(&queue);
+
+    // -- explicit download -------------------------------------------------
+    let mut image = vec![0u32; p.pixels()];
+    cl_enqueue_read_buffer(&queue, &out_mem, &mut image)?;
+
+    // -- explicit teardown (the C API requires releasing every object) ----
+    cl_release_kernel(kernel);
+    cl_release_program(program);
+    cl_release_mem_object(out_mem);
+    cl_release_command_queue(queue);
+    cl_release_context(context);
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vgpu::{DeviceSpec, PlatformConfig};
+
+    #[test]
+    fn matches_the_sequential_reference() {
+        let platform = Platform::new(
+            PlatformConfig::default()
+                .spec(DeviceSpec::tiny())
+                .cache_tag("mandel-opencl-test"),
+        );
+        let p = MandelParams::test_scale();
+        let got = run(&platform, &p).unwrap();
+        assert_eq!(got, crate::reference(&p));
+    }
+}

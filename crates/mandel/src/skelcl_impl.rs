@@ -1,0 +1,90 @@
+//! Mandelbrot with SkelCL: the whole host program is "create a Map
+//! skeleton, hand it the vector of pixel positions" (paper Section IV-A-1:
+//! "In SkelCL, the kernel \[is\] passed to a newly created instance of a Map
+//! skeleton [...] Specifying the work-group size is [...] optional in
+//! SkelCL" — the default of 256 is used here, as in the paper's runs).
+
+use crate::{color, escape_iterations, Complex, MandelParams, OPS_PER_ITER};
+use skelcl::{Context, Map, Result, UserFn, Vector};
+
+/// The customizing function's OpenCL-C source, as a SkelCL user would write
+/// it (counted as this variant's kernel share in the program-size figure).
+// >>> kernel
+pub const KERNEL_SOURCE: &str = r#"
+typedef struct { float re; float im; } Complex;
+uint mandelbrot(Complex c) {
+    float zr = 0.0f;
+    float zi = 0.0f;
+    uint iter = 0;
+    while (iter < MAX_ITER) {
+        float zr2 = zr * zr;
+        float zi2 = zi * zi;
+        if (zr2 + zi2 > 4.0f) {
+            break;
+        }
+        zi = 2.0f * zr * zi + c.im;
+        zr = zr2 - zi2 + c.re;
+        iter = iter + 1;
+    }
+    if (iter >= MAX_ITER) {
+        return 0;
+    }
+    uint t = iter * 2654435761u;
+    uint r = (iter * 7u) & 0xffu;
+    uint g = (t >> 8) & 0xffu;
+    uint b = t & 0xffu;
+    return (r << 16) | (g << 8) | b;
+}
+"#;
+// <<< kernel
+
+/// Compute the fractal with the Map skeleton; returns the pixel colours.
+pub fn run(ctx: &Context, p: &MandelParams) -> Result<Vec<u32>> {
+    let max_iter = p.max_iter;
+    let mandel = UserFn::new(
+        "mandelbrot",
+        KERNEL_SOURCE,
+        // >>> kernel
+        move |c: Complex| -> u32 {
+            let iters = escape_iterations(c, max_iter);
+            skelcl::work(iters as u64 * OPS_PER_ITER);
+            color(iters, max_iter)
+        },
+        // <<< kernel
+    );
+    let map = Map::new(mandel);
+    let positions = Vector::from_vec(ctx, p.complex_grid());
+    let image = map.apply(&positions)?;
+    image.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skelcl::ContextConfig;
+
+    #[test]
+    fn matches_the_sequential_reference() {
+        let ctx = Context::new(
+            ContextConfig::default()
+                .spec(vgpu::DeviceSpec::tiny())
+                .cache_tag("mandel-skelcl-test"),
+        );
+        let p = MandelParams::test_scale();
+        let got = run(&ctx, &p).unwrap();
+        assert_eq!(got, crate::reference(&p));
+    }
+
+    #[test]
+    fn multi_device_run_matches_too() {
+        let ctx = Context::new(
+            ContextConfig::default()
+                .devices(3)
+                .spec(vgpu::DeviceSpec::tiny())
+                .cache_tag("mandel-skelcl-test"),
+        );
+        let p = MandelParams::test_scale();
+        let got = run(&ctx, &p).unwrap();
+        assert_eq!(got, crate::reference(&p));
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic list-mode event generation: the stand-in for the paper's
+//! "huge sets of so-called events recorded in positron emission tomography".
+//!
+//! Each event is generated physically: sample an emission point from the
+//! phantom's activity distribution (rejection sampling), draw an isotropic
+//! photon-pair direction, and project both photons onto the detector
+//! cylinder. The two detection points form the line of response.
+
+use crate::geometry::{Event, Scanner, Volume};
+use crate::phantom::Phantom;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic event generator.
+pub struct EventGenerator {
+    phantom: Phantom,
+    scanner: Scanner,
+    rng: StdRng,
+}
+
+impl EventGenerator {
+    pub fn new(vol: &Volume, seed: u64) -> Self {
+        let phantom = Phantom::for_volume(vol);
+        let scanner = Scanner::enclosing(vol);
+        EventGenerator {
+            phantom,
+            scanner,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn phantom(&self) -> &Phantom {
+        &self.phantom
+    }
+
+    /// Sample one emission point from the activity distribution.
+    fn sample_emission(&mut self) -> [f32; 3] {
+        let r_max = self.phantom.emission_radius();
+        let z_max = self.phantom.emission_half_z();
+        let a_max = self.phantom.max_activity();
+        loop {
+            let x = self.rng.gen_range(-r_max..r_max);
+            let y = self.rng.gen_range(-r_max..r_max);
+            let z = self.rng.gen_range(-z_max..z_max);
+            let p = [x, y, z];
+            let a = self.phantom.activity(p);
+            if a > 0.0 && self.rng.gen_range(0.0..a_max) < a {
+                return p;
+            }
+        }
+    }
+
+    /// Project from `origin` along `±dir` to the detector cylinder; returns
+    /// `None` when a photon escapes axially (no detection).
+    fn project(&self, origin: [f32; 3], dir: [f32; 3]) -> Option<([f32; 3], [f32; 3])> {
+        // Solve |o_xy + t*d_xy| = R for both photon directions.
+        let (ox, oy, oz) = (origin[0], origin[1], origin[2]);
+        let (dx, dy, dz) = (dir[0], dir[1], dir[2]);
+        let a = dx * dx + dy * dy;
+        if a < 1e-12 {
+            return None; // ray parallel to the scanner axis escapes
+        }
+        let b = 2.0 * (ox * dx + oy * dy);
+        let c = ox * ox + oy * oy - self.scanner.radius_mm * self.scanner.radius_mm;
+        let disc = b * b - 4.0 * a * c;
+        if disc <= 0.0 {
+            return None;
+        }
+        let sq = disc.sqrt();
+        let t1 = (-b + sq) / (2.0 * a); // forward photon
+        let t2 = (-b - sq) / (2.0 * a); // backward photon
+        let p1 = [ox + t1 * dx, oy + t1 * dy, oz + t1 * dz];
+        let p2 = [ox + t2 * dx, oy + t2 * dy, oz + t2 * dz];
+        if p1[2].abs() > self.scanner.half_z_mm || p2[2].abs() > self.scanner.half_z_mm {
+            return None;
+        }
+        Some((p1, p2))
+    }
+
+    /// Generate one detected event.
+    pub fn next_event(&mut self) -> Event {
+        loop {
+            let origin = self.sample_emission();
+            // Isotropic direction.
+            let cos_t: f32 = self.rng.gen_range(-1.0..1.0);
+            let sin_t = (1.0 - cos_t * cos_t).sqrt();
+            let phi: f32 = self.rng.gen_range(0.0..std::f32::consts::TAU);
+            let dir = [sin_t * phi.cos(), sin_t * phi.sin(), cos_t];
+            if let Some((p1, p2)) = self.project(origin, dir) {
+                return Event {
+                    x1: p1[0],
+                    y1: p1[1],
+                    z1: p1[2],
+                    x2: p2[0],
+                    y2: p2[1],
+                    z2: p2[2],
+                };
+            }
+        }
+    }
+
+    /// Generate `n` events.
+    pub fn events(&mut self, n: usize) -> Vec<Event> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
+
+    /// Generate the full data set split into equally sized subsets, like
+    /// the paper's "data set [...] split into 10 equally sized subsets".
+    pub fn subsets(&mut self, total_events: usize, n_subsets: usize) -> Vec<Vec<Event>> {
+        let per = total_events / n_subsets;
+        (0..n_subsets).map(|_| self.events(per)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_end_on_the_detector_cylinder() {
+        let vol = Volume::test_scale();
+        let mut generator = EventGenerator::new(&vol, 1);
+        let scanner = Scanner::enclosing(&vol);
+        for e in generator.events(200) {
+            for p in [e.p1(), e.p2()] {
+                let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+                assert!(
+                    (r - scanner.radius_mm).abs() < scanner.radius_mm * 1e-3,
+                    "endpoint not on the ring: r={r}"
+                );
+                assert!(p[2].abs() <= scanner.half_z_mm);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let vol = Volume::test_scale();
+        let a = EventGenerator::new(&vol, 42).events(50);
+        let b = EventGenerator::new(&vol, 42).events(50);
+        let c = EventGenerator::new(&vol, 43).events(50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lors_pass_near_the_phantom() {
+        // Each LOR must intersect the volume (it came from an emission
+        // inside it).
+        let vol = Volume::test_scale();
+        let mut generator = EventGenerator::new(&vol, 2);
+        for e in generator.events(100) {
+            let path = crate::siddon::compute_path(&vol, e.p1(), e.p2());
+            assert!(!path.is_empty(), "LOR must cross the volume");
+        }
+    }
+
+    #[test]
+    fn subsets_are_equal_sized() {
+        let vol = Volume::test_scale();
+        let mut generator = EventGenerator::new(&vol, 3);
+        let subsets = generator.subsets(1000, 10);
+        assert_eq!(subsets.len(), 10);
+        assert!(subsets.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn hot_rod_attracts_more_lors() {
+        // Count LORs passing through the hot rod's voxel column vs a
+        // background voxel: the hot rod must see more activity.
+        let vol = Volume::new(32, 32, 8, 4.0);
+        let mut generator = EventGenerator::new(&vol, 4);
+        let phantom = Phantom::for_volume(&vol);
+        let r = phantom.emission_radius();
+        let hot_xy = [r * 0.45, 0.0];
+        let bg_xy = [-r * 0.7, 0.0];
+        let mut hot_hits = 0u32;
+        let mut bg_hits = 0u32;
+        for e in generator.events(3000) {
+            crate::siddon::for_each_voxel(&vol, e.p1(), e.p2(), |lin, _| {
+                let ix = lin % vol.nx;
+                let iy = (lin / vol.nx) % vol.ny;
+                let c = vol.voxel_center(ix, iy, 0);
+                let dh = (c[0] - hot_xy[0]).powi(2) + (c[1] - hot_xy[1]).powi(2);
+                let db = (c[0] - bg_xy[0]).powi(2) + (c[1] - bg_xy[1]).powi(2);
+                if dh < (vol.voxel_mm * 1.5).powi(2) {
+                    hot_hits += 1;
+                }
+                if db < (vol.voxel_mm * 1.5).powi(2) {
+                    bg_hits += 1;
+                }
+            });
+        }
+        assert!(
+            hot_hits > bg_hits,
+            "hot rod must receive more LORs: hot={hot_hits} bg={bg_hits}"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Scanner and image-volume geometry for the synthetic PET setup.
+//!
+//! The paper reconstructs a 150×150×280 image from list-mode events
+//! recorded by a PET scanner. We model a cylindrical detector ring around
+//! a centred voxel volume; events are lines of response (LORs) between two
+//! detection points on the cylinder.
+
+/// The reconstruction volume: `nx × ny × nz` cubic voxels centred at the
+/// world origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Volume {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    /// Voxel edge length in millimetres.
+    pub voxel_mm: f32,
+}
+
+impl Volume {
+    pub fn new(nx: usize, ny: usize, nz: usize, voxel_mm: f32) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        Volume {
+            nx,
+            ny,
+            nz,
+            voxel_mm,
+        }
+    }
+
+    /// The paper's image size.
+    pub fn paper_scale() -> Self {
+        Volume::new(150, 150, 280, 2.0)
+    }
+
+    /// Reduced size for benchmarking.
+    pub fn bench_scale() -> Self {
+        Volume::new(48, 48, 48, 4.0)
+    }
+
+    /// Tiny size for unit tests.
+    pub fn test_scale() -> Self {
+        Volume::new(16, 16, 16, 8.0)
+    }
+
+    pub fn n_voxels(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// World-space half extents (volume is centred at the origin).
+    pub fn half_extent(&self) -> [f32; 3] {
+        [
+            self.nx as f32 * self.voxel_mm / 2.0,
+            self.ny as f32 * self.voxel_mm / 2.0,
+            self.nz as f32 * self.voxel_mm / 2.0,
+        ]
+    }
+
+    /// Lower corner of the volume in world space.
+    pub fn world_min(&self) -> [f32; 3] {
+        let h = self.half_extent();
+        [-h[0], -h[1], -h[2]]
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        [self.nx, self.ny, self.nz]
+    }
+
+    /// Linear voxel index (x fastest, matching the C convention).
+    #[inline]
+    pub fn linear(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny && iz < self.nz);
+        (iz * self.ny + iy) * self.nx + ix
+    }
+
+    /// World position of a voxel's centre.
+    pub fn voxel_center(&self, ix: usize, iy: usize, iz: usize) -> [f32; 3] {
+        let min = self.world_min();
+        [
+            min[0] + (ix as f32 + 0.5) * self.voxel_mm,
+            min[1] + (iy as f32 + 0.5) * self.voxel_mm,
+            min[2] + (iz as f32 + 0.5) * self.voxel_mm,
+        ]
+    }
+
+    /// An upper bound on the number of voxels any straight line can cross.
+    pub fn max_path_len(&self) -> usize {
+        self.nx + self.ny + self.nz + 3
+    }
+}
+
+/// The detector: a cylinder of radius `radius_mm` (transaxial) and half
+/// length `half_z_mm` (axial), enclosing the volume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scanner {
+    pub radius_mm: f32,
+    pub half_z_mm: f32,
+}
+
+impl Scanner {
+    /// A scanner that comfortably encloses `vol`.
+    pub fn enclosing(vol: &Volume) -> Self {
+        let h = vol.half_extent();
+        let r = (h[0] * h[0] + h[1] * h[1]).sqrt() * 1.3;
+        Scanner {
+            radius_mm: r,
+            half_z_mm: h[2] * 1.6 + vol.voxel_mm,
+        }
+    }
+}
+
+/// One list-mode event: the two detection points of a positron
+/// annihilation's photon pair — the line of response (LOR).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Event {
+    pub x1: f32,
+    pub y1: f32,
+    pub z1: f32,
+    pub x2: f32,
+    pub y2: f32,
+    pub z2: f32,
+}
+
+vgpu::impl_scalar!(Event);
+
+impl Event {
+    pub fn p1(&self) -> [f32; 3] {
+        [self.x1, self.y1, self.z1]
+    }
+
+    pub fn p2(&self) -> [f32; 3] {
+        [self.x2, self.y2, self.z2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_is_x_fastest() {
+        let v = Volume::new(4, 3, 2, 1.0);
+        assert_eq!(v.linear(0, 0, 0), 0);
+        assert_eq!(v.linear(1, 0, 0), 1);
+        assert_eq!(v.linear(0, 1, 0), 4);
+        assert_eq!(v.linear(0, 0, 1), 12);
+        assert_eq!(v.linear(3, 2, 1), 23);
+        assert_eq!(v.n_voxels(), 24);
+    }
+
+    #[test]
+    fn volume_is_centred() {
+        let v = Volume::new(10, 10, 10, 2.0);
+        assert_eq!(v.world_min(), [-10.0, -10.0, -10.0]);
+        let c = v.voxel_center(4, 4, 4);
+        assert_eq!(c, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn scanner_encloses_the_volume() {
+        let v = Volume::bench_scale();
+        let s = Scanner::enclosing(&v);
+        let h = v.half_extent();
+        assert!(s.radius_mm > (h[0] * h[0] + h[1] * h[1]).sqrt());
+        assert!(s.half_z_mm > h[2]);
+    }
+
+    #[test]
+    fn event_is_a_device_scalar() {
+        assert_eq!(<Event as vgpu::Scalar>::TYPE_NAME, "Event");
+        assert_eq!(std::mem::size_of::<Event>(), 24);
+    }
+
+    #[test]
+    fn paper_scale_matches_the_paper() {
+        let v = Volume::paper_scale();
+        assert_eq!((v.nx, v.ny, v.nz), (150, 150, 280));
+    }
+}

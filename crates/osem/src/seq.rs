@@ -1,0 +1,119 @@
+//! The sequential list-mode OSEM reference — a direct transcription of the
+//! paper's Listing 3:
+//!
+//! ```c
+//! for (l = 0; l < num_subsets; l++) {
+//!     events = read_events();
+//!     for (i = 0; i < num_events; i++) {
+//!         path = compute_path(events[i]);
+//!         for (fp = 0, m = 0; m < path_len; m++)
+//!             fp += f[path[m].coord] * path[m].len;
+//!         for (m = 0; m < path_len; m++)
+//!             c[path[m].coord] += path[m].len / fp;
+//!     }
+//!     for (j = 0; j < image_size; j++)
+//!         if (c[j] > 0.0) f[j] *= c[j];
+//! }
+//! ```
+
+use crate::geometry::{Event, Volume};
+use crate::siddon;
+
+/// Run list-mode OSEM sequentially; returns the reconstruction image `f`.
+///
+/// `f` starts uniform (all ones) as is standard for MLEM-family algorithms.
+pub fn reconstruct(vol: &Volume, subsets: &[Vec<Event>]) -> Vec<f32> {
+    let image_size = vol.n_voxels();
+    let mut f = vec![1.0f32; image_size];
+    let mut c = vec![0.0f32; image_size];
+
+    for events in subsets {
+        // compute error image c
+        c.iter_mut().for_each(|v| *v = 0.0);
+        for event in events {
+            let path = siddon::compute_path(vol, event.p1(), event.p2());
+            // compute forward projection fp
+            let mut fp = 0.0f32;
+            for elem in &path {
+                fp += f[elem.coord as usize] * elem.len;
+            }
+            // add path to error image
+            if fp > 0.0 {
+                for elem in &path {
+                    c[elem.coord as usize] += elem.len / fp;
+                }
+            }
+        }
+        // update reconstruction image f
+        for j in 0..image_size {
+            if c[j] > 0.0 {
+                f[j] *= c[j];
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventGenerator;
+    use crate::metrics;
+    use crate::phantom::Phantom;
+
+    #[test]
+    fn reconstruction_recovers_phantom_structure() {
+        let vol = Volume::new(24, 24, 12, 6.0);
+        let mut generator = EventGenerator::new(&vol, 11);
+        let subsets = generator.subsets(20_000, 4);
+        let f = reconstruct(&vol, &subsets);
+
+        let phantom = Phantom::for_volume(&vol);
+        let reference = phantom.reference_image(&vol);
+
+        // The reconstruction must correlate with the phantom much better
+        // than the uniform start image does.
+        let corr = metrics::correlation(&f, &reference);
+        assert!(corr > 0.5, "correlation too low: {corr}");
+
+        // Hot rod voxel should reconstruct hotter than a background voxel.
+        let r = phantom.emission_radius();
+        let hot_world = [r * 0.45, 0.0, 0.0];
+        let bg_world = [-r * 0.7, 0.0, 0.0];
+        let to_idx = |w: [f32; 3]| {
+            let min = vol.world_min();
+            let ix = ((w[0] - min[0]) / vol.voxel_mm) as usize;
+            let iy = ((w[1] - min[1]) / vol.voxel_mm) as usize;
+            let iz = ((w[2] - min[2]) / vol.voxel_mm) as usize;
+            vol.linear(ix, iy, iz)
+        };
+        assert!(
+            f[to_idx(hot_world)] > 1.5 * f[to_idx(bg_world)],
+            "hot rod {} must exceed background {}",
+            f[to_idx(hot_world)],
+            f[to_idx(bg_world)]
+        );
+    }
+
+    #[test]
+    fn empty_subsets_leave_f_uniform() {
+        let vol = Volume::test_scale();
+        let f = reconstruct(&vol, &[vec![]]);
+        assert!(f.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn more_subsets_sharpen_the_image() {
+        // A smoke test that iteration does something: two subsets change f
+        // more than one.
+        let vol = Volume::test_scale();
+        let mut generator = EventGenerator::new(&vol, 5);
+        let all = generator.subsets(4000, 2);
+        let f1 = reconstruct(&vol, &all[..1]);
+        let f2 = reconstruct(&vol, &all);
+        let d1: f32 = f1.iter().map(|v| (v - 1.0).abs()).sum();
+        let d2: f32 = f2.iter().map(|v| (v - 1.0).abs()).sum();
+        assert!(d2 > d1 * 0.5, "second subset must keep refining");
+        assert_ne!(f1, f2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the Siddon ray tracer and the OSEM math —
+//! the geometric invariants every reconstruction variant depends on.
+
+use proptest::prelude::*;
+use skelcl_osem::geometry::Volume;
+use skelcl_osem::siddon::{compute_path, for_each_voxel};
+
+fn vol_strategy() -> impl Strategy<Value = Volume> {
+    (2usize..24, 2usize..24, 2usize..24, 1u32..6).prop_map(|(nx, ny, nz, v)| {
+        Volume::new(nx, ny, nz, v as f32)
+    })
+}
+
+fn point_strategy() -> impl Strategy<Value = [f32; 3]> {
+    [-120.0f32..120.0, -120.0f32..120.0, -120.0f32..120.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    // Σ chord lengths equals the segment length clipped to the volume box
+    // (verified against dense numerical integration).
+    #[test]
+    fn chord_length_conservation(vol in vol_strategy(), a in point_strategy(), b in point_strategy()) {
+        let mut total = 0.0f64;
+        for_each_voxel(&vol, a, b, |_, l| total += l as f64);
+
+        // Reference by sampling.
+        let steps = 4000;
+        let min = vol.world_min();
+        let h = vol.half_extent();
+        let mut inside = 0usize;
+        for s in 0..steps {
+            let t = (s as f32 + 0.5) / steps as f32;
+            let p = [
+                a[0] + t * (b[0] - a[0]),
+                a[1] + t * (b[1] - a[1]),
+                a[2] + t * (b[2] - a[2]),
+            ];
+            if p[0] > min[0] && p[0] < h[0]
+                && p[1] > min[1] && p[1] < h[1]
+                && p[2] > min[2] && p[2] < h[2]
+            {
+                inside += 1;
+            }
+        }
+        let d = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+        let seg = ((d[0] * d[0] + d[1] * d[1] + d[2] * d[2]) as f64).sqrt();
+        let want = seg * inside as f64 / steps as f64;
+        let tol = want * 0.02 + seg * 0.002 + 0.01;
+        prop_assert!((total - want).abs() <= tol, "got {total}, want {want}, tol {tol}");
+    }
+
+    // Every visited voxel is unique, in bounds, with a positive length no
+    // greater than the voxel diagonal; the count respects max_path_len.
+    #[test]
+    fn path_elements_are_sane(vol in vol_strategy(), a in point_strategy(), b in point_strategy()) {
+        let path = compute_path(&vol, a, b);
+        prop_assert!(path.len() <= vol.max_path_len());
+        let diag = vol.voxel_mm * 3.0f32.sqrt() + 1e-3;
+        let mut seen = std::collections::HashSet::new();
+        for e in &path {
+            prop_assert!((e.coord as usize) < vol.n_voxels());
+            prop_assert!(e.len > 0.0);
+            prop_assert!(e.len <= diag, "len {} > diagonal {}", e.len, diag);
+            prop_assert!(seen.insert(e.coord), "voxel visited twice");
+        }
+    }
+
+    // Traversal is symmetric: a→b and b→a visit the same voxels with the
+    // same lengths (order reversed).
+    #[test]
+    fn traversal_is_symmetric(vol in vol_strategy(), a in point_strategy(), b in point_strategy()) {
+        let fwd = compute_path(&vol, a, b);
+        let mut bwd = compute_path(&vol, b, a);
+        bwd.reverse();
+        prop_assert_eq!(fwd.len(), bwd.len());
+        for (f, r) in fwd.iter().zip(&bwd) {
+            prop_assert_eq!(f.coord, r.coord);
+            prop_assert!((f.len - r.len).abs() < vol.voxel_mm * 0.02 + 1e-3,
+                "asymmetric lengths {} vs {}", f.len, r.len);
+        }
+    }
+
+    // Rays whose both endpoints are far outside on the same side miss.
+    #[test]
+    fn rays_beside_the_box_miss(vol in vol_strategy(), y in 200.0f32..400.0, z in -50.0f32..50.0) {
+        let path = compute_path(&vol, [-200.0, y, z], [200.0, y, z]);
+        prop_assert!(path.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    // Event endpoints always land on the scanner cylinder barrel.
+    #[test]
+    fn events_on_the_detector(seed in 0u64..1000) {
+        let vol = Volume::test_scale();
+        let scanner = skelcl_osem::Scanner::enclosing(&vol);
+        let mut generator = skelcl_osem::EventGenerator::new(&vol, seed);
+        for e in generator.events(20) {
+            for p in [e.p1(), e.p2()] {
+                let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+                prop_assert!((r - scanner.radius_mm).abs() < scanner.radius_mm * 1e-3);
+                prop_assert!(p[2].abs() <= scanner.half_z_mm + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The SkelCL context: the paper's `SkelCL::init()`.
+//!
+//! A [`Context`] owns one command queue per device (under the SkelCL driver
+//! profile), an in-memory registry of already-built skeleton programs (the
+//! first layer of the paper's kernel cache; the second, on-disk layer lives
+//! in [`vgpu::compiler`]), and the configuration shared by every vector and
+//! skeleton created from it.
+
+use crate::error::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vgpu::{
+    CommandQueue, CompiledKernel, Device, DriverProfile, KernelBody, Platform, PlatformConfig,
+    Program, WorkGroup,
+};
+
+/// One-time host-side cost of generating a skeleton program's source
+/// (string templating + user-function merging).
+const CODEGEN_COST_S: f64 = 0.4e-3;
+
+/// SkelCL's default work-group size — the paper: "SkelCL uses its default
+/// work-group size of 256" (Section IV-A).
+pub const DEFAULT_WORK_GROUP: usize = 256;
+
+/// Configuration for [`Context::new`].
+#[derive(Debug, Clone)]
+pub struct ContextConfig {
+    /// Number of devices to attach (the paper's system has up to 4).
+    pub n_devices: usize,
+    /// Virtual device model.
+    pub spec: vgpu::DeviceSpec,
+    /// Default 1-D work-group size for skeleton launches.
+    pub work_group: usize,
+    /// Kernel binary cache directory tag (isolates test binaries).
+    pub cache_tag: Option<String>,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        ContextConfig {
+            n_devices: 1,
+            spec: vgpu::DeviceSpec::default(),
+            work_group: DEFAULT_WORK_GROUP,
+            cache_tag: None,
+        }
+    }
+}
+
+impl ContextConfig {
+    pub fn devices(mut self, n: usize) -> Self {
+        self.n_devices = n;
+        self
+    }
+
+    pub fn spec(mut self, spec: vgpu::DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    pub fn work_group(mut self, wg: usize) -> Self {
+        self.work_group = wg;
+        self
+    }
+
+    pub fn cache_tag(mut self, tag: impl Into<String>) -> Self {
+        self.cache_tag = Some(tag.into());
+        self
+    }
+}
+
+struct ContextInner {
+    platform: Platform,
+    queues: Vec<CommandQueue>,
+    profile: DriverProfile,
+    work_group: usize,
+    /// program hash → built kernel (body is a placeholder; launches rebind).
+    programs: Mutex<HashMap<u64, CompiledKernel>>,
+}
+
+/// A SkelCL session: devices + queues + program registry.
+///
+/// Cheap to clone; clones share all state (vectors hold one).
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+impl Context {
+    /// `SkelCL::init()` — create a context on `n_devices` default devices.
+    pub fn init(n_devices: usize) -> Context {
+        Context::new(ContextConfig::default().devices(n_devices))
+    }
+
+    /// Create a context with explicit configuration.
+    pub fn new(config: ContextConfig) -> Context {
+        let mut pc = PlatformConfig::default()
+            .devices(config.n_devices)
+            .spec(config.spec);
+        if let Some(tag) = &config.cache_tag {
+            pc = pc.cache_tag(tag);
+        }
+        let platform = Platform::new(pc);
+        Context::from_platform(platform, config.work_group)
+    }
+
+    /// Wrap an existing platform (so benchmarks can run SkelCL and the
+    /// low-level baselines against the *same* virtual hardware).
+    pub fn from_platform(platform: Platform, work_group: usize) -> Context {
+        let profile = DriverProfile::skelcl();
+        let queues = (0..platform.n_devices())
+            .map(|i| platform.queue(i, profile))
+            .collect();
+        Context {
+            inner: Arc::new(ContextInner {
+                platform,
+                queues,
+                profile,
+                work_group,
+                programs: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    pub fn n_devices(&self) -> usize {
+        self.inner.queues.len()
+    }
+
+    pub fn platform(&self) -> &Platform {
+        &self.inner.platform
+    }
+
+    pub fn device(&self, i: usize) -> Arc<Device> {
+        self.inner.platform.device(i)
+    }
+
+    /// The queue driving device `i`.
+    pub fn queue(&self, i: usize) -> &CommandQueue {
+        &self.inner.queues[i]
+    }
+
+    pub fn queues(&self) -> &[CommandQueue] {
+        &self.inner.queues
+    }
+
+    pub fn profile(&self) -> &DriverProfile {
+        &self.inner.profile
+    }
+
+    /// Default 1-D work-group size for skeleton launches.
+    pub fn work_group(&self) -> usize {
+        self.inner.work_group
+    }
+
+    /// Current virtual host time (seconds since context epoch).
+    pub fn host_now_s(&self) -> f64 {
+        self.inner.platform.host_now_s()
+    }
+
+    /// Host waits for all devices.
+    pub fn sync(&self) {
+        self.inner.platform.sync_all();
+    }
+
+    /// Build (or fetch from the two-level cache) the kernel for `program`.
+    ///
+    /// First call per context: pays code generation + source build (or disk
+    /// cache load) on the virtual host clock. Subsequent calls are free —
+    /// matching SkelCL, which keeps built kernels alive per process.
+    pub fn get_or_build(&self, program: &Program) -> Result<CompiledKernel> {
+        let hash = program.hash();
+        {
+            let programs = self.inner.programs.lock();
+            if let Some(k) = programs.get(&hash) {
+                return Ok(k.clone());
+            }
+        }
+        // One-time code generation cost (string templating) on the host.
+        self.inner.platform.charge_host(CODEGEN_COST_S);
+        let placeholder: KernelBody = Arc::new(|_wg: &WorkGroup| {
+            unreachable!("placeholder kernel body must be rebound before launch")
+        });
+        let kernel = self.inner.queues[0]
+            .build_kernel(program, placeholder)
+            .map_err(Error::Platform)?;
+        self.inner
+            .programs
+            .lock()
+            .insert(hash, kernel.clone());
+        Ok(kernel)
+    }
+
+    /// Number of programs built in this context so far.
+    pub fn programs_built(&self) -> usize {
+        self.inner.programs.lock().len()
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("devices", &self.n_devices())
+            .field("work_group", &self.work_group())
+            .field("programs_built", &self.programs_built())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize) -> Context {
+        Context::new(
+            ContextConfig::default()
+                .devices(n)
+                .spec(vgpu::DeviceSpec::tiny())
+                .cache_tag("skelcl-context-tests"),
+        )
+    }
+
+    #[test]
+    fn init_creates_queues_per_device() {
+        let c = ctx(3);
+        assert_eq!(c.n_devices(), 3);
+        assert_eq!(c.queue(2).device().id().0, 2);
+        assert_eq!(c.profile().name, "SkelCL");
+    }
+
+    #[test]
+    fn get_or_build_charges_only_once() {
+        let c = ctx(1);
+        c.platform().compiler().clear_cache().unwrap();
+        let p = Program::from_source("k", "__kernel void k() { /* ctx test */ }");
+        let t0 = c.host_now_s();
+        c.get_or_build(&p).unwrap();
+        let t1 = c.host_now_s();
+        assert!(t1 > t0, "first build must cost host time");
+        c.get_or_build(&p).unwrap();
+        assert_eq!(c.host_now_s(), t1, "second build must be free");
+        assert_eq!(c.programs_built(), 1);
+        c.platform().compiler().clear_cache().unwrap();
+    }
+
+    #[test]
+    fn second_context_hits_the_disk_cache() {
+        let cfg = ContextConfig::default()
+            .spec(vgpu::DeviceSpec::tiny())
+            .cache_tag("skelcl-context-disk");
+        let p = Program::from_source("k", "__kernel void k() { /* disk cache */ }");
+
+        let c1 = Context::new(cfg.clone());
+        c1.platform().compiler().clear_cache().unwrap();
+        c1.get_or_build(&p).unwrap();
+        let cold = c1.host_now_s();
+
+        let c2 = Context::new(cfg);
+        c2.get_or_build(&p).unwrap();
+        let warm = c2.host_now_s();
+        assert!(
+            cold / warm >= 4.0,
+            "disk-cached build should be much cheaper: cold={cold} warm={warm}"
+        );
+        c2.platform().compiler().clear_cache().unwrap();
+    }
+
+    #[test]
+    fn default_work_group_matches_paper() {
+        let c = Context::init(1);
+        assert_eq!(c.work_group(), 256);
+    }
+}

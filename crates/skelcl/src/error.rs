@@ -1,0 +1,78 @@
+//! SkelCL-level errors.
+
+use std::fmt;
+
+/// Errors surfaced by the skeleton library.
+#[derive(Debug)]
+pub enum Error {
+    /// The underlying virtual platform failed.
+    Platform(vgpu::Error),
+    /// Zip inputs (or a Zip-like combine) have different lengths.
+    LengthMismatch { left: usize, right: usize },
+    /// An operation needed a device-side copy that does not exist.
+    NotOnDevice(String),
+    /// An `Arguments` slot was accessed with the wrong type or index.
+    BadArgument(String),
+    /// A distribution change is not meaningful (e.g. block-merge from a
+    /// non-Copy distribution).
+    BadDistribution(String),
+    /// An empty vector was passed to a skeleton requiring data (Reduce).
+    Empty(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Platform(e) => write!(f, "platform error: {e}"),
+            Error::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            Error::NotOnDevice(msg) => write!(f, "not on device: {msg}"),
+            Error::BadArgument(msg) => write!(f, "bad argument: {msg}"),
+            Error::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
+            Error::Empty(op) => write!(f, "{op} requires a non-empty vector"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vgpu::Error> for Error {
+    fn from(e: vgpu::Error) -> Self {
+        Error::Platform(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_errors_convert() {
+        let e: Error = vgpu::Error::SizeMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(matches!(e, Error::Platform(_)));
+        assert!(e.to_string().contains("size mismatch"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::LengthMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains("3 vs 4"));
+        assert!(Error::Empty("reduce").to_string().contains("reduce"));
+    }
+}

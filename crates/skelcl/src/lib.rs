@@ -1,0 +1,74 @@
+//! # skelcl — a Rust reproduction of the SkelCL skeleton library
+//!
+//! Reproduces Steuwer, Kegel & Gorlatch, *SkelCL — A Portable Skeleton
+//! Library for High-Level GPU Programming* (IPDPS 2011) on top of the
+//! [`vgpu`] virtual OpenCL-like platform:
+//!
+//! * [`Vector`] — the abstract vector spanning host and device memory with
+//!   **lazy, implicit transfers** (Section III-A),
+//! * the four basic skeletons [`Map`], [`Zip`], [`Reduce`], [`Scan`]
+//!   (Section III-B), customized by [`UserFn`]s created with [`skel_fn!`],
+//! * [`Arguments`] — passing additional scalars and vectors to the
+//!   customizing function (Section III-C),
+//! * multi-GPU [`Distribution`]s — `Single`, `Copy`, `Block` — with
+//!   automatic inter-device exchange on redistribution, including
+//!   redistribution with a combine operator (Section III-D),
+//! * plus the [`MapOverlap`] stencil and the with-arguments Map/Zip
+//!   variants the paper's applications rely on.
+//!
+//! ## Dot product (the paper's Listing 1)
+//!
+//! ```
+//! use skelcl::{Context, ContextConfig, Reduce, Vector, Zip};
+//!
+//! let ctx = Context::new(ContextConfig::default().cache_tag("doc-dot"));
+//!
+//! // create skeletons (customizing functions written once, used as both
+//! // source string and executable code)
+//! let sum  = Reduce::new(skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }), 0.0);
+//! let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+//!
+//! // create input vectors
+//! let a = Vector::from_vec(&ctx, vec![1.0f32; 1024]);
+//! let b = Vector::from_vec(&ctx, vec![2.0f32; 1024]);
+//!
+//! // execute skeletons: C = sum(mult(A, B))
+//! let c = sum.apply(&mult.apply(&a, &b).unwrap()).unwrap();
+//!
+//! // fetch result
+//! assert_eq!(c.get_value(), 2048.0);
+//! ```
+
+pub mod algorithms;
+pub mod arguments;
+pub mod codegen;
+pub mod context;
+pub mod error;
+pub mod meter;
+pub mod scalar;
+pub mod skeletons;
+pub mod vector;
+
+pub use arguments::{ArgVec, Arguments, KernelEnv};
+pub use codegen::UserFn;
+pub use context::{Context, ContextConfig, DEFAULT_WORK_GROUP};
+pub use error::{Error, Result};
+pub use meter::work;
+pub use scalar::Scalar;
+pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
+pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
+pub use vector::{Distribution, Vector};
+
+/// The element trait vectors are generic over (re-exported from the
+/// platform; the name `Scalar` is taken by the paper's reduce-result type).
+pub use vgpu::Scalar as Element;
+
+/// Commonly used items for glob import.
+pub mod prelude {
+    pub use crate::skel_fn;
+    pub use crate::{
+        Arguments, Boundary, Context, ContextConfig, Distribution, Element, Error, KernelEnv,
+        Map, MapArgs, MapOverlap, MapVoid, Reduce, Result, Scalar, Scan, UserFn, Vector, Zip,
+        ZipArgs,
+    };
+}

@@ -1,0 +1,67 @@
+//! Dynamic work reporting from inside customizing functions.
+//!
+//! The virtual platform charges compute time for the work kernels declare.
+//! Straight-line user functions are covered by the static estimate from
+//! their source text ([`crate::codegen::estimate_static_ops`]); functions
+//! with data-dependent loops (the Mandelbrot iteration!) call [`work`] to
+//! report the operations they actually executed — that is what makes warp
+//! divergence visible to the cost model.
+
+use std::cell::Cell;
+
+thread_local! {
+    static METER: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Report `ops` units of arithmetic executed by the current customizing
+/// function call. A no-op outside kernel execution.
+#[inline]
+pub fn work(ops: u64) {
+    METER.with(|m| m.set(m.get().saturating_add(ops)));
+}
+
+/// Run `f` with a fresh meter; returns `(result, dynamic_ops)`.
+/// Used by the skeleton implementations around each user-function call.
+#[inline]
+pub fn metered<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    METER.with(|m| {
+        let saved = m.replace(0);
+        let r = f();
+        let ops = m.replace(saved);
+        (r, ops)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metered_captures_reported_work() {
+        let (v, ops) = metered(|| {
+            work(10);
+            work(5);
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(ops, 15);
+    }
+
+    #[test]
+    fn meter_nests_without_leaking() {
+        let (_, outer) = metered(|| {
+            work(1);
+            let (_, inner) = metered(|| work(100));
+            assert_eq!(inner, 100);
+            work(2);
+        });
+        assert_eq!(outer, 3, "inner meter must not leak into outer");
+    }
+
+    #[test]
+    fn work_outside_kernel_is_harmless() {
+        work(123); // must not panic or poison later meters
+        let (_, ops) = metered(|| work(1));
+        assert_eq!(ops, 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! The scalar result wrapper (`SkelCL::Scalar<float> C = sum(...)` in the
+//! paper's Listing 1).
+
+use vgpu::Scalar as Element;
+
+/// Result of a full reduction: a single value plus the virtual time at
+/// which it became available on the host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scalar<T: Element> {
+    value: T,
+    ready_at_s: f64,
+}
+
+impl<T: Element> Scalar<T> {
+    pub(crate) fn new(value: T, ready_at_s: f64) -> Self {
+        Scalar { value, ready_at_s }
+    }
+
+    /// The paper's `getValue()`.
+    pub fn get_value(&self) -> T {
+        self.value
+    }
+
+    /// Virtual host time at which the value was available.
+    pub fn ready_at_s(&self) -> f64 {
+        self.ready_at_s
+    }
+}
+
+impl<T: Element> From<Scalar<T>> for f64
+where
+    T: Into<f64>,
+{
+    fn from(s: Scalar<T>) -> f64 {
+        s.value.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_value_returns_the_payload() {
+        let s = Scalar::new(42.5f32, 1.0);
+        assert_eq!(s.get_value(), 42.5);
+        assert_eq!(s.ready_at_s(), 1.0);
+        let f: f64 = s.into();
+        assert_eq!(f, 42.5);
+    }
+}

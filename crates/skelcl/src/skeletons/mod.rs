@@ -1,0 +1,81 @@
+//! The algorithmic skeletons (paper Section III-B):
+//! [`Map`], [`Zip`], [`Reduce`], [`Scan`] — plus the with-arguments Map
+//! variants of Section III-C ([`MapArgs`], [`MapVoid`]) and the
+//! [`MapOverlap`] stencil extension that the paper's conclusion announces
+//! as follow-up work.
+//!
+//! Every skeleton is a higher-order entity customized by a [`UserFn`](crate::UserFn)
+//! (source string + Rust twin, see [`crate::skel_fn!`]). Construction
+//! generates the OpenCL-C program; the first call per context builds it
+//! through the two-level kernel cache; every call then launches on each
+//! device holding a part of the input, per the input's distribution.
+
+mod map;
+mod map_overlap;
+mod map_reduce;
+mod reduce;
+mod scan;
+mod zip;
+
+pub use map::{Map, MapArgs, MapVoid};
+pub use map_overlap::{Boundary, MapOverlap, StencilView};
+pub use map_reduce::{MapIndex, MapReduce};
+pub use reduce::{Reduce, ReduceStrategy};
+pub use scan::{Scan, ScanStrategy};
+pub use zip::{Zip, ZipArgs};
+
+use crate::context::Context;
+use crate::error::Result;
+use crate::vector::{DevicePart, Distribution, Vector};
+use vgpu::Scalar as Element;
+
+/// Allocate output parts matching an input part layout (same devices, same
+/// offsets/lengths). Used by the element-wise skeletons, whose output
+/// inherits the input's distribution.
+pub(crate) fn alloc_matching_parts<T: Element, U: Element>(
+    ctx: &Context,
+    parts: &[DevicePart<T>],
+) -> Result<Vec<DevicePart<U>>> {
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        out.push(DevicePart {
+            device: p.device,
+            offset: p.offset,
+            len: p.len,
+            buffer: ctx.device(p.device).alloc::<U>(p.len)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Wrap computed parts as the output vector of an element-wise skeleton.
+pub(crate) fn output_vector<U: Element>(
+    ctx: &Context,
+    len: usize,
+    dist: Distribution,
+    parts: Vec<DevicePart<U>>,
+) -> Vector<U> {
+    Vector::from_device_parts(ctx, len, dist, parts)
+}
+
+/// 1-D launch range for `len` elements under the context's work-group size.
+pub(crate) fn linear_range(ctx: &Context, len: usize) -> vgpu::NDRange {
+    let wg = ctx.work_group().min(len.max(1));
+    vgpu::NDRange::linear(len.max(1), wg)
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::context::{Context, ContextConfig};
+
+    /// A small multi-CU context for skeleton tests.
+    pub fn ctx(n_devices: usize) -> Context {
+        Context::new(
+            ContextConfig::default()
+                .devices(n_devices)
+                .spec(vgpu::DeviceSpec::tiny())
+                .work_group(64)
+                .cache_tag("skelcl-skeleton-tests"),
+        )
+    }
+}

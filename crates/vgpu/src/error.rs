@@ -1,0 +1,103 @@
+//! Error type shared across the virtual platform.
+
+use crate::types::DeviceId;
+use std::fmt;
+
+/// Errors raised by the virtual platform.
+///
+/// The variants mirror the failure modes of a real OpenCL runtime that the
+/// paper's library has to handle: allocation failure, invalid launch
+/// configurations, out-of-range accesses detected at the API boundary, and
+/// build/cache problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Device memory exhausted: requested vs. remaining bytes.
+    OutOfDeviceMemory {
+        device: DeviceId,
+        requested: usize,
+        available: usize,
+    },
+    /// A host slice and a device buffer disagree on length.
+    SizeMismatch { expected: usize, actual: usize },
+    /// A buffer belonging to device `expected` was used on device `actual`.
+    WrongDevice { expected: DeviceId, actual: DeviceId },
+    /// No device with this index exists on the platform.
+    NoSuchDevice { device: usize, available: usize },
+    /// Launch configuration invalid (zero sizes, local > device limit, ...).
+    InvalidLaunch(String),
+    /// Work-group local memory request exceeds the device's per-CU budget.
+    LocalMemExceeded { requested: usize, limit: usize },
+    /// Program build failed (empty source, cache I/O problems, ...).
+    BuildFailure(String),
+    /// Access outside a buffer's bounds, caught at the API boundary.
+    OutOfBounds { index: usize, len: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfDeviceMemory {
+                device,
+                requested,
+                available,
+            } => write!(
+                f,
+                "device {device:?} out of memory: requested {requested} bytes, {available} available"
+            ),
+            Error::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected}, got {actual}")
+            }
+            Error::WrongDevice { expected, actual } => {
+                write!(f, "buffer belongs to device {expected:?}, used on {actual:?}")
+            }
+            Error::NoSuchDevice { device, available } => {
+                write!(f, "no device {device}; platform has {available}")
+            }
+            Error::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            Error::LocalMemExceeded { requested, limit } => {
+                write!(f, "local memory request {requested} exceeds limit {limit}")
+            }
+            Error::BuildFailure(msg) => write!(f, "program build failed: {msg}"),
+            Error::OutOfBounds { index, len } => {
+                write!(f, "buffer access out of bounds: index {index}, length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::OutOfDeviceMemory {
+            device: DeviceId(1),
+            requested: 100,
+            available: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("10"));
+
+        let e = Error::SizeMismatch {
+            expected: 4,
+            actual: 8,
+        };
+        assert!(e.to_string().contains("expected 4"));
+
+        let e = Error::InvalidLaunch("local size 0".into());
+        assert!(e.to_string().contains("local size 0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<Error>();
+    }
+}

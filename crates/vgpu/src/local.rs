@@ -1,0 +1,203 @@
+//! Work-group local (shared) memory with bank-conflict accounting.
+//!
+//! The paper's Scan implementation (a port of Harris et al., *GPU Gems 3*
+//! ch. 39) is "highly optimized and makes heavy use of local memory, as well
+//! as it tries to avoid memory bank conflicts". To reproduce that design
+//! point — and to make the bank-conflict-avoidance ablation (E9) measurable —
+//! local memory here is allocated per work-group and accessed through a
+//! model that counts how many serialised passes a warp's access pattern
+//! costs on an `N`-bank memory.
+
+use crate::types::Scalar;
+use std::cell::{Cell, RefCell};
+
+/// A typed local-memory array, private to one work-group.
+///
+/// Access is sequential within the simulated work-group (loop fission), so
+/// interior mutability via `Cell` is both safe and free.
+pub struct LocalBuf<T: Scalar> {
+    data: Box<[Cell<T>]>,
+}
+
+impl<T: Scalar> LocalBuf<T> {
+    pub(crate) fn new(len: usize) -> Self {
+        LocalBuf {
+            data: (0..len).map(|_| Cell::new(T::default())).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data[i].get()
+    }
+
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        self.data[i].set(v)
+    }
+
+    /// Dump to a host vector (testing/debugging aid).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.iter().map(Cell::get).collect()
+    }
+}
+
+/// Counts bank conflicts for warp-wide access patterns.
+///
+/// On an `n_banks`-bank local memory, a warp's simultaneous accesses are
+/// serialised into as many passes as the most-contended bank receives
+/// distinct words. A conflict-free pattern costs 1 pass; the classic naive
+/// tree-scan pattern with power-of-two strides costs up to `n_banks` passes.
+#[derive(Debug)]
+pub struct BankModel {
+    n_banks: usize,
+    /// Extra passes (beyond the first) accumulated so far.
+    conflicts: Cell<u64>,
+    /// Scratch histogram, reused across calls.
+    histo: RefCell<Vec<u32>>,
+}
+
+impl BankModel {
+    pub fn new(n_banks: usize) -> Self {
+        assert!(n_banks > 0);
+        BankModel {
+            n_banks,
+            conflicts: Cell::new(0),
+            histo: RefCell::new(vec![0; n_banks]),
+        }
+    }
+
+    pub fn n_banks(&self) -> usize {
+        self.n_banks
+    }
+
+    /// Total conflict passes recorded (each costs
+    /// [`crate::timing::BANK_CONFLICT_CYCLES`] in the kernel cost model).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.get()
+    }
+
+    /// Record one warp-wide access with the given word indices; returns the
+    /// number of extra serialised passes this access costs.
+    ///
+    /// Kernels that use local memory call this once per warp per access
+    /// phase with the indices the warp's lanes touch (the scan kernel does).
+    pub fn record_access(&self, indices: impl IntoIterator<Item = usize>) -> u64 {
+        let mut histo = self.histo.borrow_mut();
+        histo.iter_mut().for_each(|h| *h = 0);
+        let mut max = 0u32;
+        let mut any = false;
+        for idx in indices {
+            any = true;
+            let b = idx % self.n_banks;
+            histo[b] += 1;
+            max = max.max(histo[b]);
+        }
+        if !any {
+            return 0;
+        }
+        let extra = (max - 1) as u64;
+        self.conflicts.set(self.conflicts.get() + extra);
+        extra
+    }
+
+    pub(crate) fn reset(&self) {
+        self.conflicts.set(0);
+    }
+}
+
+/// Computes the padded index used by conflict-avoiding kernels: one extra
+/// element is inserted every `n_banks` entries, so that power-of-two strided
+/// tree accesses map to distinct banks (Harris et al., GPU Gems 3 ch. 39).
+#[inline]
+pub fn conflict_free_index(i: usize, n_banks: usize) -> usize {
+    i + i / n_banks
+}
+
+/// Local-memory length needed to hold `n` logical elements with
+/// conflict-avoidance padding.
+#[inline]
+pub fn padded_local_len(n: usize, n_banks: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        conflict_free_index(n - 1, n_banks) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_buf_roundtrip() {
+        let lb = LocalBuf::<f32>::new(8);
+        assert_eq!(lb.len(), 8);
+        lb.set(3, 1.5);
+        assert_eq!(lb.get(3), 1.5);
+        assert_eq!(lb.to_vec()[3], 1.5);
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        let bm = BankModel::new(16);
+        let extra = bm.record_access(0..16);
+        assert_eq!(extra, 0);
+        assert_eq!(bm.conflicts(), 0);
+    }
+
+    #[test]
+    fn stride_16_on_16_banks_fully_serialises() {
+        let bm = BankModel::new(16);
+        // 16 lanes all hitting bank 0: indices 0, 16, 32, ...
+        let extra = bm.record_access((0..16).map(|l| l * 16));
+        assert_eq!(extra, 15);
+        assert_eq!(bm.conflicts(), 15);
+    }
+
+    #[test]
+    fn stride_2_produces_two_way_conflicts() {
+        let bm = BankModel::new(16);
+        let extra = bm.record_access((0..16).map(|l| l * 2));
+        assert_eq!(extra, 1); // two lanes per bank -> 1 extra pass
+    }
+
+    #[test]
+    fn padding_removes_stride_conflicts() {
+        let bm = BankModel::new(16);
+        // The same stride-16 pattern, but through the padded index map.
+        let extra = bm.record_access((0..16).map(|l| conflict_free_index(l * 16, 16)));
+        assert_eq!(extra, 0, "padded indices must be conflict-free");
+    }
+
+    #[test]
+    fn padded_len_bounds() {
+        assert_eq!(padded_local_len(0, 16), 0);
+        assert_eq!(padded_local_len(16, 16), 16); // idx 15 -> 15
+        assert_eq!(padded_local_len(17, 16), 18); // idx 16 -> 17
+        assert_eq!(padded_local_len(512, 16), 511 + 511 / 16 + 1);
+    }
+
+    #[test]
+    fn empty_access_costs_nothing() {
+        let bm = BankModel::new(16);
+        assert_eq!(bm.record_access(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn reset_clears_counter() {
+        let bm = BankModel::new(16);
+        bm.record_access((0..16).map(|l| l * 16));
+        assert!(bm.conflicts() > 0);
+        bm.reset();
+        assert_eq!(bm.conflicts(), 0);
+    }
+}

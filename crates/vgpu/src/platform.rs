@@ -1,0 +1,418 @@
+//! The platform: device list, interconnect, host clock, compiler cache.
+
+use crate::compiler::Compiler;
+use crate::device::{Device, DeviceSpec};
+use crate::error::{Error, Result};
+use crate::profiling::{Stats, StatsSnapshot};
+use crate::queue::{CommandQueue, Event, EventKind};
+use crate::timing::{DriverProfile, VirtualClock};
+use crate::topology::Topology;
+use crate::types::Scalar;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Configuration for [`Platform::new`]. The default is the paper's testbed:
+/// Tesla-C1060-class devices behind a dual-PCIe host interface.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    pub n_devices: usize,
+    pub spec: DeviceSpec,
+    pub topology: Topology,
+    pub cache_dir: PathBuf,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            n_devices: 1,
+            spec: DeviceSpec::default(),
+            topology: Topology::default(),
+            cache_dir: std::env::temp_dir().join("vgpu-kernel-cache"),
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Number of devices (the paper's system has 4).
+    pub fn devices(mut self, n: usize) -> Self {
+        self.n_devices = n;
+        self
+    }
+
+    pub fn spec(mut self, spec: DeviceSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    pub fn cache_dir(mut self, dir: PathBuf) -> Self {
+        self.cache_dir = dir;
+        self
+    }
+
+    /// Use a per-purpose cache directory under the system temp dir —
+    /// keeps concurrently running test binaries from sharing cache state.
+    pub fn cache_tag(self, tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("vgpu-kernel-cache-{tag}"));
+        self.cache_dir(dir)
+    }
+}
+
+pub(crate) struct PlatformShared {
+    pub(crate) devices: Vec<Arc<Device>>,
+    pub(crate) topology: Topology,
+    pub(crate) host_clock: VirtualClock,
+    pub(crate) stats: Stats,
+    pub(crate) compiler: Compiler,
+}
+
+/// A virtual host with its attached devices.
+#[derive(Clone)]
+pub struct Platform {
+    shared: Arc<PlatformShared>,
+}
+
+impl Platform {
+    pub fn new(config: PlatformConfig) -> Self {
+        assert!(config.n_devices >= 1, "platform needs at least one device");
+        let devices = (0..config.n_devices)
+            .map(|i| Arc::new(Device::new(crate::types::DeviceId(i), config.spec)))
+            .collect();
+        Platform {
+            shared: Arc::new(PlatformShared {
+                devices,
+                topology: config.topology,
+                host_clock: VirtualClock::new(),
+                stats: Stats::default(),
+                compiler: Compiler::new(config.cache_dir),
+            }),
+        }
+    }
+
+    pub fn n_devices(&self) -> usize {
+        self.shared.devices.len()
+    }
+
+    /// Device `i`; panics if out of range (see [`Platform::try_device`]).
+    pub fn device(&self, i: usize) -> Arc<Device> {
+        self.try_device(i).expect("device index out of range")
+    }
+
+    pub fn try_device(&self, i: usize) -> Result<Arc<Device>> {
+        self.shared
+            .devices
+            .get(i)
+            .cloned()
+            .ok_or(Error::NoSuchDevice {
+                device: i,
+                available: self.shared.devices.len(),
+            })
+    }
+
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.shared.devices
+    }
+
+    /// Create an in-order queue on device `i` under the given runtime
+    /// flavour.
+    pub fn queue(&self, i: usize, profile: DriverProfile) -> CommandQueue {
+        CommandQueue::new(self.device(i), profile, Arc::clone(&self.shared))
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    pub fn compiler(&self) -> &Compiler {
+        &self.shared.compiler
+    }
+
+    /// Current virtual host time.
+    pub fn host_now_s(&self) -> f64 {
+        self.shared.host_clock.now_s()
+    }
+
+    /// Advance the host clock by a host-side cost (e.g. SkelCL's one-time
+    /// code generation).
+    pub fn charge_host(&self, seconds: f64) {
+        let now = self.shared.host_clock.now_s();
+        self.shared.host_clock.advance_from(now, seconds);
+    }
+
+    /// Host waits for *all* devices (multi-GPU join point).
+    pub fn sync_all(&self) {
+        let max = self
+            .shared
+            .devices
+            .iter()
+            .map(|d| d.clock().now_s())
+            .fold(self.host_now_s(), f64::max);
+        self.shared.host_clock.sync_to(max);
+    }
+
+    /// Reset every virtual clock to the epoch (between bench repetitions).
+    pub fn reset_clocks(&self) {
+        self.shared.host_clock.reset();
+        for d in &self.shared.devices {
+            d.clock().reset();
+        }
+    }
+
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Copy `src` (on one device) into `dst` (on another) through the host,
+    /// as the S1070 requires (no peer-to-peer). `concurrent` is the number
+    /// of transfers sharing the host bus at this moment — redistribution
+    /// phases pass the size of their transfer batch so contention is
+    /// modeled (paper Section III-D).
+    pub fn copy_d2d<T: Scalar>(
+        &self,
+        src: &crate::Buffer<T>,
+        dst: &crate::Buffer<T>,
+        concurrent: usize,
+    ) -> Result<Event> {
+        if src.len() != dst.len() {
+            return Err(Error::SizeMismatch {
+                expected: src.len(),
+                actual: dst.len(),
+            });
+        }
+        // Real data movement.
+        for i in 0..src.len() {
+            dst.set(i, src.get(i));
+        }
+        let bytes = src.size_bytes();
+        self.shared.stats.add_d2d(bytes);
+        let dur = self.shared.topology.d2d_transfer_s(bytes, concurrent.max(1));
+        let host = self.host_now_s();
+        let src_dev = self.device(src.device().0);
+        let dst_dev = self.device(dst.device().0);
+        let begin = host
+            .max(src_dev.clock().now_s())
+            .max(dst_dev.clock().now_s());
+        let (start_s, end_s) = src_dev.clock().advance_from(begin, dur);
+        dst_dev.clock().sync_to(end_s);
+        Ok(Event {
+            kind: EventKind::CopyD2D,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Device-local copy between two buffers on the *same* device: costs
+    /// global-memory bandwidth (read + write) but no PCIe traffic. Used by
+    /// redistributions that reinterpret data already resident on a device
+    /// (e.g. Copy → Block keeps each device's own block).
+    pub fn copy_on_device<T: Scalar>(
+        &self,
+        src: &crate::Buffer<T>,
+        src_off: usize,
+        dst: &crate::Buffer<T>,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<Event> {
+        if src.device() != dst.device() {
+            return Err(Error::WrongDevice {
+                expected: src.device(),
+                actual: dst.device(),
+            });
+        }
+        if src_off + len > src.len() {
+            return Err(Error::OutOfBounds {
+                index: src_off + len,
+                len: src.len(),
+            });
+        }
+        if dst_off + len > dst.len() {
+            return Err(Error::OutOfBounds {
+                index: dst_off + len,
+                len: dst.len(),
+            });
+        }
+        for i in 0..len {
+            dst.set(dst_off + i, src.get(src_off + i));
+        }
+        let dev = self.device(src.device().0);
+        let bytes = len * std::mem::size_of::<T>();
+        let dur = 2.0 * bytes as f64 / dev.spec().mem_bandwidth_bytes_s;
+        let (start_s, end_s) = dev.clock().advance_from(self.host_now_s(), dur);
+        Ok(Event {
+            kind: EventKind::CopyD2D,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Copy a sub-range between buffers on (possibly) different devices.
+    pub fn copy_d2d_range<T: Scalar>(
+        &self,
+        src: &crate::Buffer<T>,
+        src_off: usize,
+        dst: &crate::Buffer<T>,
+        dst_off: usize,
+        len: usize,
+        concurrent: usize,
+    ) -> Result<Event> {
+        if src.device() == dst.device() {
+            // Same device: no PCIe crossing, just global-memory bandwidth.
+            return self.copy_on_device(src, src_off, dst, dst_off, len);
+        }
+        if src_off + len > src.len() {
+            return Err(Error::OutOfBounds {
+                index: src_off + len,
+                len: src.len(),
+            });
+        }
+        if dst_off + len > dst.len() {
+            return Err(Error::OutOfBounds {
+                index: dst_off + len,
+                len: dst.len(),
+            });
+        }
+        for i in 0..len {
+            dst.set(dst_off + i, src.get(src_off + i));
+        }
+        let bytes = len * std::mem::size_of::<T>();
+        self.shared.stats.add_d2d(bytes);
+        let dur = self.shared.topology.d2d_transfer_s(bytes, concurrent.max(1));
+        let host = self.host_now_s();
+        let src_dev = self.device(src.device().0);
+        let dst_dev = self.device(dst.device().0);
+        let begin = host
+            .max(src_dev.clock().now_s())
+            .max(dst_dev.clock().now_s());
+        let (start_s, end_s) = src_dev.clock().advance_from(begin, dur);
+        dst_dev.clock().sync_to(end_s);
+        Ok(Event {
+            kind: EventKind::CopyD2D,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform(n: usize) -> Platform {
+        Platform::new(
+            PlatformConfig::default()
+                .devices(n)
+                .spec(DeviceSpec::tiny())
+                .cache_tag("platform-tests"),
+        )
+    }
+
+    #[test]
+    fn devices_are_enumerable() {
+        let p = platform(4);
+        assert_eq!(p.n_devices(), 4);
+        assert_eq!(p.device(3).id().0, 3);
+        assert!(p.try_device(4).is_err());
+    }
+
+    #[test]
+    fn d2d_copy_moves_data_and_time() {
+        let p = platform(2);
+        let a = p.device(0).alloc_from(&[1.0f32, 2.0, 3.0]).unwrap();
+        let b = p.device(1).alloc::<f32>(3).unwrap();
+        let ev = p.copy_d2d(&a, &b, 1).unwrap();
+        assert_eq!(b.to_vec(), vec![1.0, 2.0, 3.0]);
+        assert!(ev.duration_s() > 0.0);
+        // Both devices observed the copy on their timelines.
+        assert!(p.device(0).clock().now_s() >= ev.end_s);
+        assert!(p.device(1).clock().now_s() >= ev.end_s);
+        let snap = p.stats_snapshot();
+        assert_eq!(snap.d2d_transfers, 1);
+        assert_eq!(snap.d2d_bytes, 12);
+    }
+
+    #[test]
+    fn d2d_range_copy() {
+        let p = platform(2);
+        let a = p.device(0).alloc_from(&[1u32, 2, 3, 4, 5, 6]).unwrap();
+        let b = p.device(1).alloc::<u32>(4).unwrap();
+        p.copy_d2d_range(&a, 2, &b, 1, 3, 1).unwrap();
+        assert_eq!(b.to_vec(), vec![0, 3, 4, 5]);
+        assert!(p.copy_d2d_range(&a, 4, &b, 0, 3, 1).is_err());
+    }
+
+    #[test]
+    fn concurrent_transfers_take_longer_per_transfer() {
+        let p = platform(4);
+        let n = 1 << 20;
+        let a = p.device(0).alloc::<u8>(n).unwrap();
+        let b = p.device(1).alloc::<u8>(n).unwrap();
+        let solo = p.copy_d2d(&a, &b, 1).unwrap().duration_s();
+        let crowded = p.copy_d2d(&a, &b, 4).unwrap().duration_s();
+        assert!(crowded > solo, "bus contention must slow transfers");
+    }
+
+    #[test]
+    fn sync_all_joins_the_slowest_device() {
+        let p = platform(2);
+        p.device(1).clock().sync_to(5.0);
+        assert_eq!(p.host_now_s(), 0.0);
+        p.sync_all();
+        assert_eq!(p.host_now_s(), 5.0);
+    }
+
+    #[test]
+    fn reset_clocks_zeroes_everything() {
+        let p = platform(2);
+        p.device(0).clock().sync_to(3.0);
+        p.charge_host(1.0);
+        p.reset_clocks();
+        assert_eq!(p.host_now_s(), 0.0);
+        assert_eq!(p.device(0).clock().now_s(), 0.0);
+    }
+
+    #[test]
+    fn copy_on_device_moves_data_without_pcie() {
+        let p = platform(1);
+        let a = p.device(0).alloc_from(&[1u32, 2, 3, 4]).unwrap();
+        let b = p.device(0).alloc::<u32>(3).unwrap();
+        let before = p.stats_snapshot();
+        let ev = p.copy_on_device(&a, 1, &b, 0, 3).unwrap();
+        assert_eq!(b.to_vec(), vec![2, 3, 4]);
+        assert!(ev.duration_s() > 0.0);
+        let delta = p.stats_snapshot() - before;
+        assert_eq!(delta.total_transfers(), 0, "no PCIe traffic");
+        // Bounds and device checks.
+        assert!(p.copy_on_device(&a, 3, &b, 0, 3).is_err());
+        let p2 = platform(2);
+        let c = p2.device(0).alloc::<u32>(4).unwrap();
+        let d = p2.device(1).alloc::<u32>(4).unwrap();
+        assert!(p2.copy_on_device(&c, 0, &d, 0, 4).is_err());
+    }
+
+    #[test]
+    fn same_device_d2d_range_degrades_to_local_copy() {
+        let p = platform(1);
+        let a = p.device(0).alloc_from(&[5u32, 6, 7, 8]).unwrap();
+        let b = p.device(0).alloc::<u32>(4).unwrap();
+        let before = p.stats_snapshot();
+        p.copy_d2d_range(&a, 0, &b, 0, 4, 1).unwrap();
+        assert_eq!(b.to_vec(), vec![5, 6, 7, 8]);
+        let delta = p.stats_snapshot() - before;
+        assert_eq!(delta.d2d_transfers, 0, "local copy must not cross PCIe");
+    }
+
+    #[test]
+    fn mismatched_d2d_is_rejected() {
+        let p = platform(2);
+        let a = p.device(0).alloc::<f32>(4).unwrap();
+        let b = p.device(1).alloc::<f32>(5).unwrap();
+        assert!(p.copy_d2d(&a, &b, 1).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Host-thread parallelism helpers.
+//!
+//! Work-groups are independent (OpenCL guarantees no inter-group ordering),
+//! so a launch is embarrassingly parallel over groups. We split the group
+//! index space into contiguous chunks, one per host thread, and run them on
+//! crossbeam scoped threads. The group→CU assignment (and therefore every
+//! virtual-time figure) is independent of the host thread count.
+
+/// Number of host worker threads to use for kernel execution.
+///
+/// Respects the `VGPU_THREADS` environment variable (useful to pin
+/// determinism investigations to one thread), otherwise the machine's
+/// available parallelism.
+pub fn recommended_threads() -> usize {
+    if let Ok(v) = std::env::var("VGPU_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Split `0..n` into at most `parts` contiguous, near-equal ranges.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return vec![];
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Run `f` over `0..n` tasks in parallel chunks, collecting one accumulator
+/// per chunk; the caller merges them. `f` receives the chunk range.
+pub fn parallel_chunks<A, F>(n: usize, threads: usize, f: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+{
+    let ranges = chunk_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<A>> = ranges.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let f = &f;
+            let r = r.clone();
+            handles.push(s.spawn(move |_| f(r)));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("kernel worker panicked"));
+        }
+    })
+    .expect("thread scope failed");
+    out.into_iter().map(|a| a.expect("missing chunk result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_exactly() {
+        for n in [0usize, 1, 7, 100, 1000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = chunk_ranges(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_balanced() {
+        let ranges = chunk_ranges(10, 3);
+        let lens: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn parallel_chunks_merge_to_full_sum() {
+        let partials = parallel_chunks(1000, 8, |r| r.map(|i| i as u64).sum::<u64>());
+        let total: u64 = partials.into_iter().sum();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        let partials = parallel_chunks(1, 8, |r| r.len());
+        assert_eq!(partials, vec![1]);
+    }
+
+    #[test]
+    fn recommended_threads_is_positive() {
+        assert!(recommended_threads() >= 1);
+    }
+}

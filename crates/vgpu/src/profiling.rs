@@ -1,0 +1,139 @@
+//! Platform-wide profiling counters.
+//!
+//! The lazy-copying experiment (E8) and the documentation claims of the
+//! paper ("before every data transfer, the vector implementation checks
+//! whether the data transfer is necessary; only then the data is actually
+//! transferred") are verified against these counters: tests assert on the
+//! *number and volume* of transfers, not just on results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters; cheap to bump from any thread.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub h2d_transfers: AtomicU64,
+    pub h2d_bytes: AtomicU64,
+    pub d2h_transfers: AtomicU64,
+    pub d2h_bytes: AtomicU64,
+    pub d2d_transfers: AtomicU64,
+    pub d2d_bytes: AtomicU64,
+    pub kernel_launches: AtomicU64,
+    pub source_builds: AtomicU64,
+    pub cache_loads: AtomicU64,
+    /// Virtual nanoseconds spent building programs (compiles + cache
+    /// loads); lets harnesses separate one-time build cost from steady-state
+    /// compute when runs are too short to amortise it.
+    pub build_virtual_ns: AtomicU64,
+}
+
+impl Stats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            h2d_transfers: self.h2d_transfers.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_transfers: self.d2h_transfers.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            d2d_transfers: self.d2d_transfers.load(Ordering::Relaxed),
+            d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            source_builds: self.source_builds.load(Ordering::Relaxed),
+            cache_loads: self.cache_loads.load(Ordering::Relaxed),
+            build_virtual_ns: self.build_virtual_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn add_h2d(&self, bytes: usize) {
+        self.h2d_transfers.fetch_add(1, Ordering::Relaxed);
+        self.h2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_d2h(&self, bytes: usize) {
+        self.d2h_transfers.fetch_add(1, Ordering::Relaxed);
+        self.d2h_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_d2d(&self, bytes: usize) {
+        self.d2d_transfers.fetch_add(1, Ordering::Relaxed);
+        self.d2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the counters; subtract two snapshots to measure
+/// a region of interest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub h2d_transfers: u64,
+    pub h2d_bytes: u64,
+    pub d2h_transfers: u64,
+    pub d2h_bytes: u64,
+    pub d2d_transfers: u64,
+    pub d2d_bytes: u64,
+    pub kernel_launches: u64,
+    pub source_builds: u64,
+    pub cache_loads: u64,
+    pub build_virtual_ns: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            h2d_transfers: self.h2d_transfers - rhs.h2d_transfers,
+            h2d_bytes: self.h2d_bytes - rhs.h2d_bytes,
+            d2h_transfers: self.d2h_transfers - rhs.d2h_transfers,
+            d2h_bytes: self.d2h_bytes - rhs.d2h_bytes,
+            d2d_transfers: self.d2d_transfers - rhs.d2d_transfers,
+            d2d_bytes: self.d2d_bytes - rhs.d2d_bytes,
+            kernel_launches: self.kernel_launches - rhs.kernel_launches,
+            source_builds: self.source_builds - rhs.source_builds,
+            cache_loads: self.cache_loads - rhs.cache_loads,
+            build_virtual_ns: self.build_virtual_ns - rhs.build_virtual_ns,
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total bytes moved across any link.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes + self.d2d_bytes
+    }
+
+    /// Total number of transfers of any kind.
+    pub fn total_transfers(&self) -> u64 {
+        self.h2d_transfers + self.d2h_transfers + self.d2d_transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::default();
+        s.add_h2d(100);
+        s.add_h2d(50);
+        s.add_d2h(10);
+        s.add_d2d(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.h2d_transfers, 2);
+        assert_eq!(snap.h2d_bytes, 150);
+        assert_eq!(snap.d2h_transfers, 1);
+        assert_eq!(snap.d2d_bytes, 7);
+        assert_eq!(snap.total_transfer_bytes(), 167);
+        assert_eq!(snap.total_transfers(), 4);
+    }
+
+    #[test]
+    fn snapshot_subtraction_isolates_a_region() {
+        let s = Stats::default();
+        s.add_h2d(100);
+        let before = s.snapshot();
+        s.add_h2d(1);
+        s.add_d2h(2);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.h2d_transfers, 1);
+        assert_eq!(delta.h2d_bytes, 1);
+        assert_eq!(delta.d2h_bytes, 2);
+    }
+}

@@ -1,0 +1,460 @@
+//! In-order command queues and events, OpenCL style.
+//!
+//! A queue belongs to one device and carries one [`DriverProfile`] — the
+//! same virtual hardware behaves as an "OpenCL device", a "CUDA device" or a
+//! "SkelCL device" depending on the profile of the queue driving it, which
+//! is exactly the comparison the paper performs on its single testbed.
+
+use crate::buffer::Buffer;
+use crate::compiler::{BuildOutcome, CompiledKernel, Program};
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::exec::{self, LaunchStats};
+use crate::kernel::{KernelBody, NDRange};
+use crate::platform::PlatformShared;
+use crate::timing::DriverProfile;
+use crate::types::Scalar;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// What a finished command was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    WriteBuffer,
+    ReadBuffer,
+    FillBuffer,
+    Kernel,
+    Build { from_cache: bool },
+    CopyD2D,
+}
+
+/// A completed command with its virtual-timeline timestamps, like an OpenCL
+/// event queried with `CL_PROFILING_COMMAND_START/END`.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    pub start_s: f64,
+    pub end_s: f64,
+    /// Present for kernel events: the executor's counters.
+    pub launch: Option<LaunchStats>,
+}
+
+impl Event {
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// An in-order command queue on one device.
+#[derive(Clone)]
+pub struct CommandQueue {
+    device: Arc<Device>,
+    profile: DriverProfile,
+    shared: Arc<PlatformShared>,
+}
+
+impl CommandQueue {
+    pub(crate) fn new(
+        device: Arc<Device>,
+        profile: DriverProfile,
+        shared: Arc<PlatformShared>,
+    ) -> Self {
+        CommandQueue {
+            device,
+            profile,
+            shared,
+        }
+    }
+
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    pub fn profile(&self) -> &DriverProfile {
+        &self.profile
+    }
+
+    fn check_device<T: Scalar>(&self, buf: &Buffer<T>) -> Result<()> {
+        if buf.device() != self.device.id() {
+            return Err(Error::WrongDevice {
+                expected: buf.device(),
+                actual: self.device.id(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Upload a host slice into a device buffer (`clEnqueueWriteBuffer`).
+    pub fn enqueue_write<T: Scalar>(&self, buf: &Buffer<T>, src: &[T]) -> Result<Event> {
+        self.enqueue_write_concurrent(buf, src, 1)
+    }
+
+    /// Like [`CommandQueue::enqueue_write`], with a hint that `concurrent`
+    /// transfers share the host bus right now (multi-device upload batches).
+    pub fn enqueue_write_concurrent<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        src: &[T],
+        concurrent: usize,
+    ) -> Result<Event> {
+        self.check_device(buf)?;
+        buf.write_from_host(src)?;
+        let bytes = std::mem::size_of_val(src);
+        self.shared.stats.add_h2d(bytes);
+        let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .advance_from(self.shared.host_clock.now_s(), dur);
+        Ok(Event {
+            kind: EventKind::WriteBuffer,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Download a device buffer into a host slice (`clEnqueueReadBuffer`,
+    /// blocking): the host clock waits for completion.
+    pub fn enqueue_read<T: Scalar>(&self, buf: &Buffer<T>, dst: &mut [T]) -> Result<Event> {
+        self.enqueue_read_concurrent(buf, dst, 1, true)
+    }
+
+    /// Like [`CommandQueue::enqueue_read`], with a host-bus concurrency hint
+    /// and optionally non-blocking semantics (the caller synchronises later
+    /// with [`CommandQueue::finish`]).
+    pub fn enqueue_read_concurrent<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        dst: &mut [T],
+        concurrent: usize,
+        blocking: bool,
+    ) -> Result<Event> {
+        self.check_device(buf)?;
+        buf.read_into_host(dst)?;
+        let bytes = std::mem::size_of_val(dst);
+        self.shared.stats.add_d2h(bytes);
+        let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .advance_from(self.shared.host_clock.now_s(), dur);
+        if blocking {
+            self.shared.host_clock.sync_to(end_s);
+        }
+        Ok(Event {
+            kind: EventKind::ReadBuffer,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Write a host slice into `[offset, offset + src.len())` of a device
+    /// buffer.
+    pub fn enqueue_write_range<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        offset: usize,
+        src: &[T],
+        concurrent: usize,
+    ) -> Result<Event> {
+        self.check_device(buf)?;
+        buf.write_range_from_host(offset, src)?;
+        let bytes = std::mem::size_of_val(src);
+        self.shared.stats.add_h2d(bytes);
+        let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .advance_from(self.shared.host_clock.now_s(), dur);
+        Ok(Event {
+            kind: EventKind::WriteBuffer,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Read a sub-range `[offset, offset + dst.len())` of a device buffer.
+    pub fn enqueue_read_range<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        offset: usize,
+        dst: &mut [T],
+        concurrent: usize,
+        blocking: bool,
+    ) -> Result<Event> {
+        self.check_device(buf)?;
+        buf.read_range_into_host(offset, dst)?;
+        let bytes = std::mem::size_of_val(dst);
+        self.shared.stats.add_d2h(bytes);
+        let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .advance_from(self.shared.host_clock.now_s(), dur);
+        if blocking {
+            self.shared.host_clock.sync_to(end_s);
+        }
+        Ok(Event {
+            kind: EventKind::ReadBuffer,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Device-side fill (`clEnqueueFillBuffer`): costs global-memory
+    /// bandwidth but no PCIe traffic.
+    pub fn enqueue_fill<T: Scalar>(&self, buf: &Buffer<T>, v: T) -> Result<Event> {
+        self.check_device(buf)?;
+        buf.fill(v);
+        let dur = buf.size_bytes() as f64 / self.device.spec().mem_bandwidth_bytes_s;
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .advance_from(self.shared.host_clock.now_s(), dur);
+        Ok(Event {
+            kind: EventKind::FillBuffer,
+            start_s,
+            end_s,
+            launch: None,
+        })
+    }
+
+    /// Build a program into an executable kernel under this queue's driver
+    /// profile. Runtime compilation (or cache loading) happens on the host,
+    /// so the cost lands on the *host* clock.
+    pub fn build_kernel(&self, program: &Program, body: KernelBody) -> Result<CompiledKernel> {
+        let (kernel, outcome) = self.build_kernel_traced(program, body)?;
+        let _ = outcome;
+        Ok(kernel)
+    }
+
+    /// Like [`CommandQueue::build_kernel`] but also reports whether the
+    /// cache served the build and what it cost (experiment E6).
+    pub fn build_kernel_traced(
+        &self,
+        program: &Program,
+        body: KernelBody,
+    ) -> Result<(CompiledKernel, BuildOutcome)> {
+        let (kernel, outcome) = self
+            .shared
+            .compiler
+            .build(program, body, &self.profile)?;
+        if outcome.from_cache {
+            self.shared.stats.cache_loads.fetch_add(1, Ordering::Relaxed);
+        } else if self.profile.runtime_compile {
+            self.shared
+                .stats
+                .source_builds
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared
+            .stats
+            .build_virtual_ns
+            .fetch_add((outcome.virtual_s * 1e9) as u64, Ordering::Relaxed);
+        let now = self.shared.host_clock.now_s();
+        self.shared.host_clock.advance_from(now, outcome.virtual_s);
+        Ok((kernel, outcome))
+    }
+
+    /// Launch a kernel over an ND-range; real execution happens on host
+    /// threads, the modeled duration advances this device's clock.
+    pub fn launch(&self, kernel: &CompiledKernel, nd: NDRange) -> Result<Event> {
+        let stats = exec::execute(
+            self.device.spec(),
+            &kernel.body,
+            nd,
+            self.profile.compute_efficiency,
+        )?;
+        self.shared
+            .stats
+            .kernel_launches
+            .fetch_add(1, Ordering::Relaxed);
+        let dur = stats.duration_s + self.profile.launch_cost_s(kernel.n_args);
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .advance_from(self.shared.host_clock.now_s(), dur);
+        Ok(Event {
+            kind: EventKind::Kernel,
+            start_s,
+            end_s,
+            launch: Some(stats),
+        })
+    }
+
+    /// Wait until every command on this queue is done (`clFinish`): the
+    /// host clock catches up with the device timeline.
+    pub fn finish(&self) {
+        self.shared.host_clock.sync_to(self.device.clock().now_s());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::kernel::WorkGroup;
+    use crate::platform::{Platform, PlatformConfig};
+
+    fn platform(n: usize) -> Platform {
+        Platform::new(
+            PlatformConfig::default()
+                .devices(n)
+                .spec(DeviceSpec::tiny())
+                .cache_tag("queue-tests"),
+        )
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<f32>(4).unwrap();
+        q.enqueue_write(&buf, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut out = [0.0f32; 4];
+        q.enqueue_read(&buf, &mut out).unwrap();
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn wrong_device_is_rejected() {
+        let p = platform(2);
+        let q0 = p.queue(0, DriverProfile::opencl());
+        let buf1 = p.device(1).alloc::<f32>(4).unwrap();
+        assert!(matches!(
+            q0.enqueue_write(&buf1, &[0.0; 4]),
+            Err(Error::WrongDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn transfers_advance_the_device_clock() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![7u8; 1 << 20];
+        let before = p.device(0).clock().now_s();
+        let ev = q.enqueue_write(&buf, &data).unwrap();
+        assert!(ev.duration_s() > 0.0);
+        assert!(p.device(0).clock().now_s() > before);
+        // Blocking read syncs the host clock too.
+        let mut out = vec![0u8; 1 << 20];
+        q.enqueue_read(&buf, &mut out).unwrap();
+        assert_eq!(p.host_now_s(), p.device(0).clock().now_s());
+    }
+
+    #[test]
+    fn launch_runs_kernel_and_charges_overhead() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u32>(100).unwrap();
+        let program = Program::from_source("inc", "__kernel void inc(__global uint* x){x[get_global_id(0)]++;}");
+        let body: KernelBody = {
+            let buf = buf.clone();
+            Arc::new(move |wg: &WorkGroup| {
+                wg.for_each_item(|it| {
+                    if !it.in_bounds() {
+                        return;
+                    }
+                    let i = it.global_id(0);
+                    let v = it.read(&buf, i);
+                    it.write(&buf, i, v + 1);
+                    it.work(1);
+                });
+            })
+        };
+        let kernel = q.build_kernel(&program, body).unwrap();
+        let ev = q.launch(&kernel, NDRange::linear(100, 32)).unwrap();
+        assert!(buf.to_vec().iter().all(|&v| v == 1));
+        let stats = ev.launch.unwrap();
+        assert_eq!(stats.n_active_items, 100);
+        // Duration includes the fixed launch overhead.
+        assert!(ev.duration_s() >= DriverProfile::opencl().launch_overhead_s);
+    }
+
+    #[test]
+    fn cuda_launches_cost_less_overhead_than_opencl() {
+        let p = platform(1);
+        let program = Program::from_source("k", "void k() {}").with_arg_count(2);
+        let body: KernelBody = Arc::new(|wg: &WorkGroup| {
+            wg.for_each_item(|it| it.work(1));
+        });
+        let ocl = p.queue(0, DriverProfile::opencl());
+        let cuda = p.queue(0, DriverProfile::cuda());
+        let k_ocl = ocl.build_kernel(&program, body.clone()).unwrap();
+        let k_cuda = cuda.build_kernel(&program, body).unwrap();
+        let nd = NDRange::linear(32, 32);
+        let e_ocl = ocl.launch(&k_ocl, nd).unwrap();
+        let e_cuda = cuda.launch(&k_cuda, nd).unwrap();
+        assert!(e_cuda.duration_s() < e_ocl.duration_s());
+    }
+
+    #[test]
+    fn build_charges_the_host_clock_and_counts_stats() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        p.compiler().clear_cache().unwrap();
+        let program = Program::from_source("k", "__kernel void k() { /* unique-1 */ }");
+        let body: KernelBody = Arc::new(|_wg: &WorkGroup| {});
+        let t0 = p.host_now_s();
+        let (_, o1) = q.build_kernel_traced(&program, body.clone()).unwrap();
+        assert!(!o1.from_cache);
+        assert!(p.host_now_s() > t0);
+        let (_, o2) = q.build_kernel_traced(&program, body).unwrap();
+        assert!(o2.from_cache);
+        let snap = p.stats_snapshot();
+        assert_eq!(snap.source_builds, 1);
+        assert_eq!(snap.cache_loads, 1);
+        p.compiler().clear_cache().unwrap();
+    }
+
+    #[test]
+    fn ranged_transfers_roundtrip_and_count() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u32>(10).unwrap();
+        let before = p.stats_snapshot();
+        q.enqueue_write_range(&buf, 3, &[7, 8, 9], 1).unwrap();
+        let mut out = [0u32; 3];
+        q.enqueue_read_range(&buf, 3, &mut out, 1, true).unwrap();
+        assert_eq!(out, [7, 8, 9]);
+        assert_eq!(buf.get(2), 0);
+        let delta = p.stats_snapshot() - before;
+        assert_eq!(delta.h2d_bytes, 12);
+        assert_eq!(delta.d2h_bytes, 12);
+        // Out-of-range is rejected.
+        assert!(q.enqueue_write_range(&buf, 9, &[1, 2], 1).is_err());
+        assert!(q.enqueue_read_range(&buf, 9, &mut out, 1, true).is_err());
+    }
+
+    #[test]
+    fn non_blocking_read_defers_host_sync() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let mut out = vec![0u8; 1 << 20];
+        q.enqueue_read_concurrent(&buf, &mut out, 1, false).unwrap();
+        assert!(
+            p.host_now_s() < p.device(0).clock().now_s(),
+            "non-blocking read must leave the host clock behind the device"
+        );
+        q.finish();
+        assert_eq!(p.host_now_s(), p.device(0).clock().now_s());
+    }
+
+    #[test]
+    fn fill_touches_no_pcie() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<f32>(256).unwrap();
+        let before = p.stats_snapshot();
+        q.enqueue_fill(&buf, 3.0).unwrap();
+        let delta = p.stats_snapshot() - before;
+        assert_eq!(delta.total_transfers(), 0);
+        assert!(buf.to_vec().iter().all(|&v| v == 3.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the dot product of two vectors — the paper's Listing 1,
+//! line for line.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use skelcl::{Context, Reduce, Vector, Zip};
+
+const ARRAY_SIZE: usize = 1 << 20;
+
+fn fill_array(data: &mut [f32], scale: f32) {
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = ((i % 100) as f32) * scale;
+    }
+}
+
+fn main() {
+    // initialize SkelCL
+    let ctx = Context::init(1);
+
+    // create skeletons
+    let sum = Reduce::new(
+        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    );
+    let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+
+    // allocate and initialize host arrays
+    let mut a_host = vec![0.0f32; ARRAY_SIZE];
+    let mut b_host = vec![0.0f32; ARRAY_SIZE];
+    fill_array(&mut a_host, 0.01);
+    fill_array(&mut b_host, 0.02);
+
+    // create input vectors
+    let a = Vector::from_vec(&ctx, a_host);
+    let b = Vector::from_vec(&ctx, b_host);
+
+    // execute skeletons: C = sum( mult( A, B ) )
+    let c = sum
+        .apply(&mult.apply(&a, &b).expect("zip failed"))
+        .expect("reduce failed");
+
+    // fetch result
+    println!("dot product     = {:.3}", c.get_value());
+    println!("virtual time    = {:.3} ms", ctx.host_now_s() * 1e3);
+    println!(
+        "transfers       = {} ({} bytes)",
+        ctx.platform().stats_snapshot().total_transfers(),
+        ctx.platform().stats_snapshot().total_transfer_bytes()
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the SkelCL reproduction workspace.
+//!
+//! Re-exports the public surface of every member crate so that examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for the real implementations:
+//!
+//! * [`vgpu`] — the virtual OpenCL-like multi-GPU platform (substrate).
+//! * [`skelcl`] — the skeleton library itself (the paper's contribution).
+//! * [`skelcl_baselines`] — hand-written OpenCL-style / CUDA-style baselines.
+//! * [`skelcl_mandel`] / [`skelcl_osem`] — the paper's two applications.
+//! * [`skelcl_loc`] — program-size (LoC) accounting.
+
+pub use skelcl;
+pub use skelcl_baselines as baselines;
+pub use skelcl_loc as loc;
+pub use skelcl_mandel as mandel;
+pub use skelcl_osem as osem;
+pub use vgpu;

@@ -1,0 +1,163 @@
+//! Failure injection: the library must surface platform failures as
+//! errors (never corrupt state or panic on recoverable conditions), and
+//! device-memory exhaustion must roll back cleanly.
+
+use skelcl::{Context, ContextConfig, Distribution, Map, Reduce, Vector, Zip};
+use vgpu::{DeviceSpec, Platform, PlatformConfig};
+
+/// A device so small that realistic vectors exhaust its memory.
+fn cramped_spec() -> DeviceSpec {
+    DeviceSpec {
+        mem_bytes: 256 << 10, // 256 KiB
+        ..DeviceSpec::tiny()
+    }
+}
+
+fn cramped_ctx() -> Context {
+    Context::new(
+        ContextConfig::default()
+            .spec(cramped_spec())
+            .work_group(64)
+            .cache_tag("failure-injection"),
+    )
+}
+
+#[test]
+fn upload_larger_than_device_memory_errors_cleanly() {
+    let ctx = cramped_ctx();
+    // 128K floats = 512 KiB > 256 KiB device memory.
+    let v = Vector::from_vec(&ctx, vec![0.0f32; 128 << 10]);
+    let err = v.ensure_on_devices().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "unexpected error: {msg}");
+    // The vector is still usable from the host.
+    assert_eq!(v.to_vec().unwrap().len(), 128 << 10);
+}
+
+#[test]
+fn skeleton_oom_propagates_as_error_not_panic() {
+    let ctx = cramped_ctx();
+    // Input fits (128 KiB) but input + output does not.
+    let v = Vector::from_vec(&ctx, vec![1.0f32; 48 << 10]);
+    let m = Map::new(skelcl::skel_fn!(fn triple(x: f32) -> f32 { x * 3.0 }));
+    // First apply allocates input (192 KiB) + output (192 KiB) > 256 KiB.
+    let result = m.apply(&v);
+    assert!(result.is_err(), "expected OOM error");
+}
+
+#[test]
+fn failed_allocations_do_not_leak_device_memory() {
+    let ctx = cramped_ctx();
+    let dev = ctx.device(0);
+    let baseline = dev.used_bytes();
+    for _ in 0..5 {
+        let v = Vector::from_vec(&ctx, vec![0u8; 512 << 10]);
+        assert!(v.ensure_on_devices().is_err());
+        drop(v);
+    }
+    assert_eq!(
+        dev.used_bytes(),
+        baseline,
+        "failed uploads must not leak device memory"
+    );
+}
+
+#[test]
+fn memory_is_reclaimed_when_vectors_drop() {
+    let ctx = cramped_ctx();
+    let dev = ctx.device(0);
+    let before = dev.used_bytes();
+    {
+        let v = Vector::from_vec(&ctx, vec![1.0f32; 8 << 10]);
+        v.ensure_on_devices().unwrap();
+        assert!(dev.used_bytes() > before);
+    }
+    assert_eq!(dev.used_bytes(), before, "drop must free device buffers");
+    // And the freed memory is reusable.
+    let v = Vector::from_vec(&ctx, vec![1.0f32; 8 << 10]);
+    v.ensure_on_devices().unwrap();
+}
+
+#[test]
+fn reduce_after_recovered_oom_still_works() {
+    let ctx = cramped_ctx();
+    let too_big = Vector::from_vec(&ctx, vec![1.0f32; 512 << 10]);
+    assert!(too_big.ensure_on_devices().is_err());
+    drop(too_big);
+
+    let ok = Vector::from_vec(&ctx, (0..1000).map(|i| i as f32).collect());
+    let sum = Reduce::new(
+        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        0.0,
+    );
+    assert_eq!(sum.apply(&ok).unwrap().get_value(), 499500.0);
+}
+
+#[test]
+fn zip_length_mismatch_leaves_vectors_intact() {
+    let ctx = cramped_ctx();
+    let a = Vector::from_vec(&ctx, vec![1.0f32; 10]);
+    let b = Vector::from_vec(&ctx, vec![2.0f32; 11]);
+    let z = Zip::new(skelcl::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y }));
+    assert!(z.apply(&a, &b).is_err());
+    // Both vectors still fully usable.
+    assert_eq!(a.to_vec().unwrap(), vec![1.0f32; 10]);
+    assert_eq!(b.to_vec().unwrap(), vec![2.0f32; 11]);
+}
+
+#[test]
+fn invalid_distribution_target_is_rejected_up_front() {
+    let ctx = cramped_ctx();
+    let v = Vector::from_vec(&ctx, vec![1u32; 16]);
+    assert!(v.set_distribution(Distribution::Single(7)).is_err());
+    assert_eq!(v.distribution(), Distribution::Single(0), "state unchanged");
+}
+
+#[test]
+fn empty_program_source_is_a_build_error() {
+    let platform = Platform::new(
+        PlatformConfig::default()
+            .spec(DeviceSpec::tiny())
+            .cache_tag("failure-empty-source"),
+    );
+    let queue = platform.queue(0, vgpu::DriverProfile::opencl());
+    let program = vgpu::Program::from_source("empty", "  \n  ");
+    let body: vgpu::KernelBody = std::sync::Arc::new(|_wg: &vgpu::WorkGroup| {});
+    assert!(queue.build_kernel(&program, body).is_err());
+}
+
+#[test]
+fn launch_validation_rejects_oversized_work_groups() {
+    let platform = Platform::new(
+        PlatformConfig::default()
+            .spec(DeviceSpec::tiny())
+            .cache_tag("failure-launch"),
+    );
+    let queue = platform.queue(0, vgpu::DriverProfile::opencl());
+    let program = vgpu::Program::from_source("noop", "__kernel void noop() {}");
+    let body: vgpu::KernelBody = std::sync::Arc::new(|_wg: &vgpu::WorkGroup| {});
+    let kernel = queue.build_kernel(&program, body).unwrap();
+    let too_big = vgpu::NDRange::linear(
+        1024,
+        platform.device(0).spec().max_work_group + 1,
+    );
+    assert!(queue.launch(&kernel, too_big).is_err());
+    // Valid launch still succeeds afterwards.
+    assert!(queue.launch(&kernel, vgpu::NDRange::linear(128, 64)).is_ok());
+}
+
+#[test]
+fn cross_device_buffer_use_is_rejected() {
+    let platform = Platform::new(
+        PlatformConfig::default()
+            .devices(2)
+            .spec(DeviceSpec::tiny())
+            .cache_tag("failure-cross-device"),
+    );
+    let q0 = platform.queue(0, vgpu::DriverProfile::opencl());
+    let buf1 = platform.device(1).alloc::<f32>(16).unwrap();
+    let mut out = vec![0.0f32; 16];
+    assert!(q0.enqueue_read(&buf1, &mut out).is_err());
+    assert!(q0.enqueue_write(&buf1, &out).is_err());
+    assert!(q0.enqueue_fill(&buf1, 0.0).is_err());
+}
