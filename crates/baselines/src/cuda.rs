@@ -201,7 +201,8 @@ impl CudaArgs {
     }
 
     pub fn ptr<T: Scalar>(mut self, p: &CudaDevPtr<T>) -> Self {
-        self.slots.push(CudaArgValue::Ptr(Box::new(p.buffer.clone())));
+        self.slots
+            .push(CudaArgValue::Ptr(Box::new(p.buffer.clone())));
         self
     }
 
@@ -257,9 +258,8 @@ impl CudaModule {
     /// the program-size accounting), `body` its executable twin.
     pub fn kernel(&self, name: &str, source: &str, body: CudaKernelBody) -> Result<CudaKernel> {
         let program = Program::from_source(name, source);
-        let placeholder: KernelBody = Arc::new(|_wg: &WorkGroup| {
-            unreachable!("module kernel body is bound at launch")
-        });
+        let placeholder: KernelBody =
+            Arc::new(|_wg: &WorkGroup| unreachable!("module kernel body is bound at launch"));
         let compiled = self.runtime_queue.build_kernel(&program, placeholder)?;
         Ok(CudaKernel { compiled, body })
     }

@@ -181,9 +181,8 @@ pub fn cl_create_program_with_source(_ctx: &ClContext, name: &str, source: &str)
 /// `clBuildProgram` — runtime compilation (cost model: hundreds of ms, or a
 /// cache load if this source was built before on this machine).
 pub fn cl_build_program(queue: &ClCommandQueue, program: &ClProgram) -> Result<()> {
-    let placeholder: KernelBody = Arc::new(|_wg: &WorkGroup| {
-        unreachable!("kernel body is bound by clCreateKernel")
-    });
+    let placeholder: KernelBody =
+        Arc::new(|_wg: &WorkGroup| unreachable!("kernel body is bound by clCreateKernel"));
     let compiled = queue.queue.build_kernel(&program.program, placeholder)?;
     *program.built.lock() = Some(compiled);
     Ok(())
@@ -426,8 +425,7 @@ mod tests {
         let queue = cl_create_command_queue(&ctx, 0).unwrap();
         let program = cl_create_program_with_source(&ctx, "k2", "__kernel void k2(uint n) {}");
         cl_build_program(&queue, &program).unwrap();
-        let kernel =
-            cl_create_kernel(&program, Arc::new(|_: &WorkGroup, _: &ClArgs| {})).unwrap();
+        let kernel = cl_create_kernel(&program, Arc::new(|_: &WorkGroup, _: &ClArgs| {})).unwrap();
         let mut args = kernel.args.lock();
         args.resize_with(1, || None);
         drop(args);

@@ -1,0 +1,38 @@
+//! Multi-GPU scaling of the Stencil2D image pipeline (Gaussian blur →
+//! Sobel gradient) over a row-block-distributed matrix with halo exchange.
+//! Sweeps 1 → 4 virtual devices; reports virtual (modeled) seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::stencil_scaling_virtual_s;
+use std::time::Duration;
+
+fn bench_stencil_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_stencil_virtual");
+    group.sample_size(10);
+    let (rows, cols) = (1024usize, 1024usize);
+    for devices in [1usize, 2, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("gauss_sobel_rowblock", devices),
+            &devices,
+            |b, &devices| {
+                b.iter_custom(|iters| {
+                    let mut total = 0.0;
+                    for _ in 0..iters {
+                        total += stencil_scaling_virtual_s(rows, cols, devices);
+                    }
+                    Duration::from_secs_f64(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the
+    // plotting backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_stencil_scaling
+}
+criterion_main!(benches);

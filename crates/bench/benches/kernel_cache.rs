@@ -41,7 +41,7 @@ fn bench_cache(c: &mut Criterion) {
     platform.compiler().clear_cache().unwrap();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Virtual-time samples have zero variance, which breaks the
     // plotting backend; plots add nothing here anyway.

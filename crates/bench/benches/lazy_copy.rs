@@ -10,9 +10,17 @@ use std::time::Duration;
 fn bench_lazy(c: &mut Criterion) {
     let platform = figure_platform(1);
     let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
-    let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let mult = Zip::new(skelcl::skel_fn!(
+        fn mult(x: f32, y: f32) -> f32 {
+            x * y
+        }
+    ));
     let sum = Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
 
@@ -63,7 +71,7 @@ fn bench_lazy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Virtual-time samples have zero variance, which breaks the
     // plotting backend; plots add nothing here anyway.

@@ -27,7 +27,7 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Virtual-time samples have zero variance, which breaks the
     // plotting backend; plots add nothing here anyway.

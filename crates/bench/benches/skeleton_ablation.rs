@@ -4,8 +4,8 @@
 //! their naive counterparts. Virtual seconds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skelcl_bench::{reduce_virtual_s, scan_virtual_s};
 use skelcl::{ReduceStrategy, ScanStrategy};
+use skelcl_bench::{reduce_virtual_s, scan_virtual_s};
 use std::time::Duration;
 
 fn bench_ablation(c: &mut Criterion) {
@@ -54,7 +54,7 @@ fn bench_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Virtual-time samples have zero variance, which breaks the
     // plotting backend; plots add nothing here anyway.

@@ -10,14 +10,30 @@ fn bench_skeletons(c: &mut Criterion) {
     let platform = figure_platform(1);
     let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
 
-    let map = Map::new(skelcl::skel_fn!(fn square(x: f32) -> f32 { x * x }));
-    let zip = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let map = Map::new(skelcl::skel_fn!(
+        fn square(x: f32) -> f32 {
+            x * x
+        }
+    ));
+    let zip = Zip::new(skelcl::skel_fn!(
+        fn mult(x: f32, y: f32) -> f32 {
+            x * y
+        }
+    ));
     let reduce = Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
     let scan = Scan::new(
-        skelcl::skel_fn!(fn sum2(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum2(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
 
@@ -85,7 +101,7 @@ fn bench_skeletons(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Virtual-time samples have zero variance, which breaks the
     // plotting backend; plots add nothing here anyway.

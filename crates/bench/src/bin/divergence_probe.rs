@@ -2,18 +2,23 @@
 use skelcl_mandel::{escape_iterations, MandelParams};
 
 fn main() {
-    let p = MandelParams { max_iter: 4096, ..MandelParams::bench_scale() };
+    let p = MandelParams {
+        max_iter: 4096,
+        ..MandelParams::bench_scale()
+    };
     let (w, h) = (p.width, p.height);
-    let iters: Vec<u64> = (0..w*h).map(|i| {
-        let (x, y) = (i % w, i / w);
-        escape_iterations(p.pixel_to_complex(x, y), p.max_iter) as u64
-    }).collect();
+    let iters: Vec<u64> = (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            escape_iterations(p.pixel_to_complex(x, y), p.max_iter) as u64
+        })
+        .collect();
     let total: u64 = iters.iter().sum();
 
     // 1D groups of 256: warp = 32 consecutive x in a row
     let mut warp_1d = 0u64;
-    for start in (0..w*h).step_by(32) {
-        let m = iters[start..(start+32).min(w*h)].iter().max().unwrap();
+    for start in (0..w * h).step_by(32) {
+        let m = iters[start..(start + 32).min(w * h)].iter().max().unwrap();
         warp_1d += m * 32;
     }
     // 2D 16x16 groups: warp = rows pairs within tile: lanes = ly*16+lx, warp k covers ly in {2k, 2k+1}
@@ -22,10 +27,12 @@ fn main() {
         for tx in (0..w).step_by(16) {
             for wy in (0..16).step_by(2) {
                 let mut m = 0u64;
-                for ly in wy..wy+2 {
+                for ly in wy..wy + 2 {
                     for lx in 0..16 {
-                        let (x, y) = (tx+lx, ty+ly);
-                        if x < w && y < h { m = m.max(iters[y*w+x]); }
+                        let (x, y) = (tx + lx, ty + ly);
+                        if x < w && y < h {
+                            m = m.max(iters[y * w + x]);
+                        }
                     }
                 }
                 warp_2d += m * 32;
@@ -33,6 +40,12 @@ fn main() {
         }
     }
     println!("sum iters        = {total}");
-    println!("warp cost 32x1   = {warp_1d}  (overhead {:.2}x)", warp_1d as f64 / total as f64);
-    println!("warp cost 16x2   = {warp_2d}  (overhead {:.2}x)", warp_2d as f64 / total as f64);
+    println!(
+        "warp cost 32x1   = {warp_1d}  (overhead {:.2}x)",
+        warp_1d as f64 / total as f64
+    );
+    println!(
+        "warp cost 16x2   = {warp_2d}  (overhead {:.2}x)",
+        warp_2d as f64 / total as f64
+    );
 }

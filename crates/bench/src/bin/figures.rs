@@ -151,11 +151,21 @@ fn dot() {
     // Correctness cross-check of the two programs on the same platform.
     let platform = figure_platform(1);
     let ctx = skelcl::Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
-    let a: Vec<f32> = (0..1 << 16).map(|i| ((i * 13) % 31) as f32 * 0.25).collect();
+    let a: Vec<f32> = (0..1 << 16)
+        .map(|i| ((i * 13) % 31) as f32 * 0.25)
+        .collect();
     let b: Vec<f32> = (0..1 << 16).map(|i| ((i * 7) % 17) as f32 * 0.5).collect();
-    let mult = skelcl::Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let mult = skelcl::Zip::new(skelcl::skel_fn!(
+        fn mult(x: f32, y: f32) -> f32 {
+            x * y
+        }
+    ));
     let sum = skelcl::Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
     let va = skelcl::Vector::from_slice(&ctx, &a);

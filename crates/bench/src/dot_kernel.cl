@@ -1,0 +1,23 @@
+// Dot-product partial-sum kernel for the raw-OpenCL comparison program
+// (the paper's "NVIDIA sample" counterpart): per-group tree reduction in
+// local memory; the host sums the per-group partials.
+__kernel void dot_partial(__global const float* restrict a,
+                          __global const float* restrict b,
+                          __global float* restrict partial,
+                          const uint n,
+                          __local float* scratch) {
+    uint gid = get_global_id(0);
+    uint lid = get_local_id(0);
+    uint lsize = get_local_size(0);
+    scratch[lid] = (gid < n) ? a[gid] * b[gid] : 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint s = lsize / 2; s > 0; s >>= 1) {
+        if (lid < s) {
+            scratch[lid] += scratch[lid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lid == 0) {
+        partial[get_group_id(0)] = scratch[0];
+    }
+}

@@ -31,12 +31,11 @@ pub fn dot_product(platform: &Platform, a: &[f32], b: &[f32]) -> Result<f32> {
     let partial_mem = cl_create_buffer::<f32>(&context, 0, n_groups)?;
 
     // build the program and create the kernel
-    let program =
-        cl_create_program_with_source(&context, "dot_partial", crate::DOT_OPENCL_KERNEL);
+    let program = cl_create_program_with_source(&context, "dot_partial", crate::DOT_OPENCL_KERNEL);
     cl_build_program(&queue, &program)?;
     let kernel = cl_create_kernel(
         &program,
-// >>> kernel
+        // >>> kernel
         Arc::new(move |wg: &WorkGroup, args: &ClArgs| {
             let a = args.buf::<f32>(0);
             let b = args.buf::<f32>(1);
@@ -74,7 +73,7 @@ pub fn dot_product(platform: &Platform, a: &[f32], b: &[f32]) -> Result<f32> {
                 }
             });
         }),
-// <<< kernel
+        // <<< kernel
     )?;
 
     // bind arguments and launch

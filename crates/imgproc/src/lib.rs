@@ -1,0 +1,101 @@
+//! # skelcl-imgproc — image-processing workloads over `Matrix`/`Stencil2D`
+//!
+//! The canny-style pipeline of SkelCL's benchmark suite (Gaussian blur →
+//! Sobel gradient), implemented twice:
+//!
+//! * [`seq`] — a plain sequential host reference,
+//! * [`skelcl_impl`] — matrices + 2D stencils + an element-wise Zip, all
+//!   device-resident with lazy transfers and automatic halo exchange.
+//!
+//! Both paths evaluate every pixel through the *same* per-pixel functions
+//! ([`gaussian3_at`], [`sobel_x_at`], [`sobel_y_at`], [`magnitude`]), so
+//! their floating-point evaluation order is identical and results are
+//! **bit-identical** — on one device, on many devices, and sequentially.
+
+pub mod seq;
+pub mod skelcl_impl;
+
+/// 3×3 binomial Gaussian blur of the pixel at the getter's origin.
+/// `get(dr, dc)` resolves the neighbour under the caller's boundary rule.
+/// The summation order is fixed (row-major), which both implementations
+/// share — do not "simplify" the expression.
+#[inline]
+pub fn gaussian3_at(get: impl Fn(isize, isize) -> f32) -> f32 {
+    (get(-1, -1)
+        + 2.0 * get(-1, 0)
+        + get(-1, 1)
+        + 2.0 * get(0, -1)
+        + 4.0 * get(0, 0)
+        + 2.0 * get(0, 1)
+        + get(1, -1)
+        + 2.0 * get(1, 0)
+        + get(1, 1))
+        * (1.0 / 16.0)
+}
+
+/// Horizontal Sobel derivative at the getter's origin.
+#[inline]
+pub fn sobel_x_at(get: impl Fn(isize, isize) -> f32) -> f32 {
+    (get(-1, 1) + 2.0 * get(0, 1) + get(1, 1)) - (get(-1, -1) + 2.0 * get(0, -1) + get(1, -1))
+}
+
+/// Vertical Sobel derivative at the getter's origin.
+#[inline]
+pub fn sobel_y_at(get: impl Fn(isize, isize) -> f32) -> f32 {
+    (get(1, -1) + 2.0 * get(1, 0) + get(1, 1)) - (get(-1, -1) + 2.0 * get(-1, 0) + get(-1, 1))
+}
+
+/// Gradient magnitude from the two Sobel derivatives.
+#[inline]
+pub fn magnitude(gx: f32, gy: f32) -> f32 {
+    (gx * gx + gy * gy).sqrt()
+}
+
+/// A deterministic synthetic grayscale test image: smooth gradients with a
+/// few hard edges, so the pipeline has realistic structure to find.
+pub fn test_image(rows: usize, cols: usize) -> Vec<f32> {
+    let mut img = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let smooth = ((r as f32 * 0.37).sin() + (c as f32 * 0.23).cos()) * 40.0;
+            let edge = if (r / 7 + c / 11) % 2 == 0 { 60.0 } else { 0.0 };
+            let texture = ((r * 31 + c * 17) % 13) as f32;
+            img.push(smooth + edge + texture);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_functions_are_deterministic() {
+        let img = test_image(8, 8);
+        let get = |dr: isize, dc: isize| {
+            let r = (3 + dr) as usize;
+            let c = (3 + dc) as usize;
+            img[r * 8 + c]
+        };
+        let a = gaussian3_at(get);
+        let b = gaussian3_at(get);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(sobel_x_at(get).to_bits(), sobel_x_at(get).to_bits());
+    }
+
+    #[test]
+    fn sobel_of_flat_image_is_zero() {
+        let get = |_dr: isize, _dc: isize| 5.0f32;
+        assert_eq!(sobel_x_at(get), 0.0);
+        assert_eq!(sobel_y_at(get), 0.0);
+        assert_eq!(magnitude(0.0, 0.0), 0.0);
+        assert_eq!(gaussian3_at(get), 5.0);
+    }
+
+    #[test]
+    fn test_image_is_reproducible() {
+        assert_eq!(test_image(16, 16), test_image(16, 16));
+        assert_eq!(test_image(16, 16).len(), 256);
+    }
+}

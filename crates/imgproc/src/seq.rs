@@ -1,0 +1,88 @@
+//! Sequential reference for the Gaussian → Sobel pipeline.
+//!
+//! Shares the per-pixel functions with the SkelCL implementation so the two
+//! agree bit-for-bit; only the iteration and boundary plumbing live here.
+
+use crate::{gaussian3_at, magnitude, sobel_x_at, sobel_y_at};
+use skelcl::Boundary2D;
+
+/// Apply one radius-1 stencil `f` over the whole image under `boundary`.
+fn stencil<F: Fn(&dyn Fn(isize, isize) -> f32) -> f32>(
+    img: &[f32],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary2D,
+    f: F,
+) -> Vec<f32> {
+    let at = |r: isize, c: isize| -> f32 {
+        let (r, c) = match boundary {
+            Boundary2D::Neumann => (r.clamp(0, rows as isize - 1), c.clamp(0, cols as isize - 1)),
+            Boundary2D::Wrap => (r.rem_euclid(rows as isize), c.rem_euclid(cols as isize)),
+            Boundary2D::Zero => {
+                if r < 0 || r >= rows as isize || c < 0 || c >= cols as isize {
+                    return 0.0;
+                }
+                (r, c)
+            }
+        };
+        img[r as usize * cols + c as usize]
+    };
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows as isize {
+        for c in 0..cols as isize {
+            out.push(f(&|dr, dc| at(r + dr, c + dc)));
+        }
+    }
+    out
+}
+
+/// Gaussian blur (3×3 binomial).
+pub fn gaussian(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<f32> {
+    stencil(img, rows, cols, boundary, |get| gaussian3_at(get))
+}
+
+/// Sobel gradient magnitude.
+pub fn sobel(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<f32> {
+    let gx = stencil(img, rows, cols, boundary, |get| sobel_x_at(get));
+    let gy = stencil(img, rows, cols, boundary, |get| sobel_y_at(get));
+    gx.iter().zip(&gy).map(|(&x, &y)| magnitude(x, y)).collect()
+}
+
+/// The full pipeline: blur, then gradient magnitude of the blurred image.
+pub fn blur_sobel(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<f32> {
+    let blurred = gaussian(img, rows, cols, boundary);
+    sobel(&blurred, rows, cols, boundary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = vec![3.0f32; 25];
+        let out = blur_sobel(&img, 5, 5, Boundary2D::Neumann);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn vertical_edge_is_detected() {
+        // Left half 0, right half 100: the gradient peaks at the seam.
+        let (rows, cols) = (6, 8);
+        let img: Vec<f32> = (0..rows * cols)
+            .map(|i| if i % cols < cols / 2 { 0.0 } else { 100.0 })
+            .collect();
+        let out = blur_sobel(&img, rows, cols, Boundary2D::Neumann);
+        let seam: f32 = (0..rows).map(|r| out[r * cols + cols / 2 - 1]).sum();
+        let flat: f32 = (0..rows).map(|r| out[r * cols]).sum();
+        assert!(seam > flat, "edge response {seam} must beat flat {flat}");
+    }
+
+    #[test]
+    fn boundary_modes_differ_at_the_border() {
+        let img = crate::test_image(7, 7);
+        let n = blur_sobel(&img, 7, 7, Boundary2D::Neumann);
+        let z = blur_sobel(&img, 7, 7, Boundary2D::Zero);
+        assert_ne!(n, z, "zero boundary invents edges at the border");
+    }
+}

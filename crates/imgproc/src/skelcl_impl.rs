@@ -1,0 +1,176 @@
+//! The SkelCL implementation of the Gaussian → Sobel pipeline: two stencil
+//! skeletons feeding an element-wise Zip, everything device-resident.
+//!
+//! Mirrors the structure of SkelCL's `cannyStencil` benchmark: each stage
+//! is one skeleton, intermediates never visit the host, and under a
+//! `RowBlock` distribution the stencils pull their cross-device
+//! neighbourhoods through the matrix halo machinery.
+
+use crate::{gaussian3_at, magnitude, sobel_x_at, sobel_y_at};
+use skelcl::{Boundary2D, Matrix, Result, Stencil2D, Stencil2DView, UserFn, Zip};
+
+/// The Gaussian blur skeleton.
+pub fn gaussian_skeleton(
+    boundary: Boundary2D,
+) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
+    // >>> kernel
+    let user = UserFn::new(
+        "gauss3",
+        "float gauss3(__global float* in, int r, int c, uint nr, uint nc) {\n\
+         #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+             return (AT(-1,-1) + 2.0f*AT(-1,0) + AT(-1,1)\n\
+                   + 2.0f*AT(0,-1) + 4.0f*AT(0,0) + 2.0f*AT(0,1)\n\
+                   + AT(1,-1) + 2.0f*AT(1,0) + AT(1,1)) * (1.0f/16.0f);\n\
+         #undef AT\n\
+         }",
+        |v: &Stencil2DView<'_, f32>| gaussian3_at(|dr, dc| v.get(dr, dc)),
+    );
+    // <<< kernel
+    Stencil2D::new(user, 1, boundary)
+}
+
+/// The horizontal Sobel derivative skeleton.
+pub fn sobel_x_skeleton(
+    boundary: Boundary2D,
+) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
+    // >>> kernel
+    let user = UserFn::new(
+        "sobel_x",
+        "float sobel_x(__global float* in, int r, int c, uint nr, uint nc) {\n\
+         #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+             return (AT(-1,1) + 2.0f*AT(0,1) + AT(1,1))\n\
+                  - (AT(-1,-1) + 2.0f*AT(0,-1) + AT(1,-1));\n\
+         #undef AT\n\
+         }",
+        |v: &Stencil2DView<'_, f32>| sobel_x_at(|dr, dc| v.get(dr, dc)),
+    );
+    // <<< kernel
+    Stencil2D::new(user, 1, boundary)
+}
+
+/// The vertical Sobel derivative skeleton.
+pub fn sobel_y_skeleton(
+    boundary: Boundary2D,
+) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
+    // >>> kernel
+    let user = UserFn::new(
+        "sobel_y",
+        "float sobel_y(__global float* in, int r, int c, uint nr, uint nc) {\n\
+         #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+             return (AT(1,-1) + 2.0f*AT(1,0) + AT(1,1))\n\
+                  - (AT(-1,-1) + 2.0f*AT(-1,0) + AT(-1,1));\n\
+         #undef AT\n\
+         }",
+        |v: &Stencil2DView<'_, f32>| sobel_y_at(|dr, dc| v.get(dr, dc)),
+    );
+    // <<< kernel
+    Stencil2D::new(user, 1, boundary)
+}
+
+/// The gradient-magnitude Zip skeleton.
+pub fn magnitude_skeleton() -> Zip<f32, f32, f32, impl Fn(f32, f32) -> f32 + Clone> {
+    // >>> kernel
+    let user = UserFn::new(
+        "grad_mag",
+        "float grad_mag(float gx, float gy) { return sqrt(gx*gx + gy*gy); }",
+        magnitude,
+    );
+    // <<< kernel
+    Zip::new(user)
+}
+
+/// Run the full pipeline on a device-distributed image. Intermediates stay
+/// on the devices; only the initial upload and the caller's final download
+/// cross the host boundary.
+pub fn blur_sobel(img: &Matrix<f32>, boundary: Boundary2D) -> Result<Matrix<f32>> {
+    let blurred = gaussian_skeleton(boundary).apply(img)?;
+    let gx = sobel_x_skeleton(boundary).apply(&blurred)?;
+    let gy = sobel_y_skeleton(boundary).apply(&blurred)?;
+    magnitude_skeleton().apply_matrix(&gx, &gy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skelcl::{Context, ContextConfig, MatrixDistribution};
+
+    fn ctx(n: usize) -> Context {
+        Context::new(
+            ContextConfig::default()
+                .devices(n)
+                .spec(vgpu::DeviceSpec::tiny())
+                .work_group(64)
+                .cache_tag("imgproc-tests"),
+        )
+    }
+
+    #[test]
+    fn matches_the_sequential_reference_bit_for_bit() {
+        let (rows, cols) = (24, 17);
+        let img = crate::test_image(rows, cols);
+        for boundary in [Boundary2D::Neumann, Boundary2D::Wrap, Boundary2D::Zero] {
+            let want = crate::seq::blur_sobel(&img, rows, cols, boundary);
+            let c = ctx(1);
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            let got = blur_sobel(&m, boundary).unwrap().to_vec().unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{boundary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_device_runs_are_bit_identical_to_one_device() {
+        let (rows, cols) = (33, 14);
+        let img = crate::test_image(rows, cols);
+        let single = {
+            let c = ctx(1);
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            blur_sobel(&m, Boundary2D::Neumann)
+                .unwrap()
+                .to_vec()
+                .unwrap()
+        };
+        for devices in [2usize, 4] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+                .unwrap();
+            let got = blur_sobel(&m, Boundary2D::Neumann)
+                .unwrap()
+                .to_vec()
+                .unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{devices} devices"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_stays_on_the_devices() {
+        let (rows, cols) = (32, 16);
+        let c = ctx(4);
+        let img = Matrix::from_vec(&c, rows, cols, crate::test_image(rows, cols));
+        img.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        img.ensure_on_devices().unwrap();
+        let before = c.platform().stats_snapshot();
+        let out = blur_sobel(&img, Boundary2D::Neumann).unwrap();
+        let mid = c.platform().stats_snapshot() - before;
+        assert_eq!(mid.h2d_transfers, 0, "no re-upload of anything");
+        assert_eq!(mid.d2h_transfers, 0, "no intermediate download");
+        assert!(
+            mid.d2d_transfers > 0,
+            "cross-device halo exchange must be visible in the accounting"
+        );
+        // The one and only download happens when the caller reads.
+        let before = c.platform().stats_snapshot();
+        out.to_vec().unwrap();
+        let last = c.platform().stats_snapshot() - before;
+        assert_eq!(last.d2h_transfers, 4, "one download per device part");
+    }
+}

@@ -135,9 +135,6 @@ mod tests {
         run(&platform, &p).unwrap();
         let t_cuda = platform.host_now_s();
 
-        assert!(
-            t_cuda < t_ocl,
-            "cuda={t_cuda} should beat opencl={t_ocl}"
-        );
+        assert!(t_cuda < t_ocl, "cuda={t_cuda} should beat opencl={t_ocl}");
     }
 }

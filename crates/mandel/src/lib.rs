@@ -75,8 +75,8 @@ impl MandelParams {
     /// The complex number of pixel `(x, y)`.
     #[inline]
     pub fn pixel_to_complex(&self, x: usize, y: usize) -> Complex {
-        let re = self.re_min
-            + (self.re_max - self.re_min) * (x as f32 / (self.width - 1).max(1) as f32);
+        let re =
+            self.re_min + (self.re_max - self.re_min) * (x as f32 / (self.width - 1).max(1) as f32);
         let im = self.im_min
             + (self.im_max - self.im_min) * (y as f32 / (self.height - 1).max(1) as f32);
         Complex { re, im }

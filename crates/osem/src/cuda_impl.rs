@@ -67,7 +67,7 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
     let compute_c = Arc::new(module.kernel(
         "compute_c",
         COMPUTE_C_KERNEL,
-// >>> kernel
+        // >>> kernel
         Arc::new(move |wg: &WorkGroup, args: &CudaArgs| {
             let events = args.get_ptr::<Event>(0);
             let num_events = args.get_scalar::<u32>(1) as usize;
@@ -108,12 +108,12 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
                 }
             });
         }),
-// <<< kernel
+        // <<< kernel
     )?);
     let update = Arc::new(module.kernel(
         "update",
         UPDATE_KERNEL,
-// >>> kernel
+        // >>> kernel
         Arc::new(|wg: &WorkGroup, args: &CudaArgs| {
             let f = args.get_ptr::<f32>(0);
             let c = args.get_ptr::<f32>(1);
@@ -134,7 +134,7 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
                 }
             });
         }),
-// <<< kernel
+        // <<< kernel
     )?);
 
     // -- per-device allocations ---------------------------------------------

@@ -87,7 +87,8 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
     }
 
     // -- build programs ----------------------------------------------------
-    let compute_program = cl_create_program_with_source(&context, "osem_compute_c", COMPUTE_C_KERNEL);
+    let compute_program =
+        cl_create_program_with_source(&context, "osem_compute_c", COMPUTE_C_KERNEL);
     cl_build_program(&queues[0], &compute_program)?;
     let compute_log = cl_get_program_build_log(&compute_program);
     if !compute_log.contains("successful") {
@@ -101,7 +102,7 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
     }
 
     // -- create kernels (one per device: argument slots are per object) ----
-// >>> kernel
+    // >>> kernel
     let compute_body: ClKernelBody = Arc::new(move |wg: &WorkGroup, args: &ClArgs| {
         let events = args.buf::<Event>(0);
         let num_events = args.scalar::<u32>(1) as usize;
@@ -142,8 +143,8 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
             }
         });
     });
-// <<< kernel
-// >>> kernel
+    // <<< kernel
+    // >>> kernel
     let update_body: ClKernelBody = Arc::new(|wg: &WorkGroup, args: &ClArgs| {
         let f = args.buf::<f32>(0);
         let c = args.buf::<f32>(1);
@@ -164,11 +165,14 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
             }
         });
     });
-// <<< kernel
+    // <<< kernel
     let mut compute_kernels = Vec::new();
     let mut update_kernels = Vec::new();
     for _ in 0..n_devices {
-        compute_kernels.push(cl_create_kernel(&compute_program, Arc::clone(&compute_body))?);
+        compute_kernels.push(cl_create_kernel(
+            &compute_program,
+            Arc::clone(&compute_body),
+        )?);
         update_kernels.push(cl_create_kernel(&update_program, Arc::clone(&update_body))?);
     }
 
@@ -223,7 +227,12 @@ pub fn reconstruct(platform: &Platform, vol: &Volume, subsets: &[Vec<Event>]) ->
             cl_set_kernel_arg_mem(&update_kernels[d], 1, &c_bufs[d]);
             cl_set_kernel_arg_scalar(&update_kernels[d], 2, off as u32);
             cl_set_kernel_arg_scalar(&update_kernels[d], 3, len as u32);
-            cl_enqueue_nd_range_kernel(&queues[d], &update_kernels[d], len.next_multiple_of(256), 256)?;
+            cl_enqueue_nd_range_kernel(
+                &queues[d],
+                &update_kernels[d],
+                len.next_multiple_of(256),
+                256,
+            )?;
         }
         for q in &queues {
             cl_finish(q);

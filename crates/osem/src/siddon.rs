@@ -180,8 +180,14 @@ mod tests {
     #[test]
     fn ray_missing_the_volume_visits_nothing() {
         let vol = Volume::new(8, 8, 8, 1.0);
-        assert_eq!(compute_path(&vol, [-10.0, 20.0, 0.0], [10.0, 20.0, 0.0]).len(), 0);
-        assert_eq!(compute_path(&vol, [5.0, 5.0, 100.0], [5.0, 5.0, 50.0]).len(), 0);
+        assert_eq!(
+            compute_path(&vol, [-10.0, 20.0, 0.0], [10.0, 20.0, 0.0]).len(),
+            0
+        );
+        assert_eq!(
+            compute_path(&vol, [5.0, 5.0, 100.0], [5.0, 5.0, 50.0]).len(),
+            0
+        );
     }
 
     #[test]

@@ -83,48 +83,51 @@ pub fn reconstruct(ctx: &Context, vol: &Volume, subsets: &[Vec<Event>]) -> Resul
     // create skeletons
     let compute_c = MapVoid::new(
         // >>> kernel
-        UserFn::new("compute_c", COMPUTE_C_KERNEL, move |index: u32,
-                                                         env: &KernelEnv<'_>| {
-            let events = env.vec::<Event>(0);
-            let _num_events_global = env.scalar::<u32>(1);
-            let paths = env.vec::<u64>(2);
-            let f = env.vec::<f32>(3);
-            let c = env.vec::<f32>(4);
-            let ipd = env.scalar::<u32>(5) as usize;
+        UserFn::new(
+            "compute_c",
+            COMPUTE_C_KERNEL,
+            move |index: u32, env: &KernelEnv<'_>| {
+                let events = env.vec::<Event>(0);
+                let _num_events_global = env.scalar::<u32>(1);
+                let paths = env.vec::<u64>(2);
+                let f = env.vec::<f32>(3);
+                let c = env.vec::<f32>(4);
+                let ipd = env.scalar::<u32>(5) as usize;
 
-            let local_index = index as usize % ipd;
-            let num_events = events.len();
-            let chunk = num_events.div_ceil(ipd);
-            let begin = (local_index * chunk).min(num_events);
-            let end = (begin + chunk).min(num_events);
-            let scratch_base = local_index * max_path;
+                let local_index = index as usize % ipd;
+                let num_events = events.len();
+                let chunk = num_events.div_ceil(ipd);
+                let begin = (local_index * chunk).min(num_events);
+                let end = (begin + chunk).min(num_events);
+                let scratch_base = local_index * max_path;
 
-            for e in begin..end {
-                let ev = events.get(e);
-                // compute path of LOR + forward projection
-                let mut path_len = 0usize;
-                let mut fp = 0.0f32;
-                siddon::for_each_voxel(&volume, ev.p1(), ev.p2(), |coord, len| {
-                    if path_len < max_path {
-                        paths.set(scratch_base + path_len, pack_path_elem(coord, len));
-                        env.work(OPS_PER_VISIT);
-                        // scattered read of f[coord]: full segment moves
-                        fp += f.get(coord) * len;
-                        env.traffic_read(UNCOALESCED_READ_EXTRA);
-                        path_len += 1;
-                    }
-                });
-                // add path to error image
-                if fp > 0.0 {
-                    for m in 0..path_len {
-                        let (coord, len) = unpack_path_elem(paths.get(scratch_base + m));
-                        env.work(OPS_PER_VISIT);
-                        c.atomic_add(coord, len / fp);
-                        env.traffic_write(UNCOALESCED_ATOMIC_EXTRA);
+                for e in begin..end {
+                    let ev = events.get(e);
+                    // compute path of LOR + forward projection
+                    let mut path_len = 0usize;
+                    let mut fp = 0.0f32;
+                    siddon::for_each_voxel(&volume, ev.p1(), ev.p2(), |coord, len| {
+                        if path_len < max_path {
+                            paths.set(scratch_base + path_len, pack_path_elem(coord, len));
+                            env.work(OPS_PER_VISIT);
+                            // scattered read of f[coord]: full segment moves
+                            fp += f.get(coord) * len;
+                            env.traffic_read(UNCOALESCED_READ_EXTRA);
+                            path_len += 1;
+                        }
+                    });
+                    // add path to error image
+                    if fp > 0.0 {
+                        for m in 0..path_len {
+                            let (coord, len) = unpack_path_elem(paths.get(scratch_base + m));
+                            env.work(OPS_PER_VISIT);
+                            c.atomic_add(coord, len / fp);
+                            env.traffic_write(UNCOALESCED_ATOMIC_EXTRA);
+                        }
                     }
                 }
-            }
-        }),
+            },
+        ),
         // <<< kernel
         6,
     );
@@ -135,7 +138,11 @@ pub fn reconstruct(ctx: &Context, vol: &Volume, subsets: &[Vec<Event>]) -> Resul
         |f: f32, c: f32| if c > 0.0 { f * c } else { f },
         // <<< kernel
     ));
-    let add = skelcl::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+    let add = skelcl::skel_fn!(
+        fn add(x: f32, y: f32) -> f32 {
+            x + y
+        }
+    );
 
     // reconstruction image f, path scratch, index vector
     let mut f = Vector::from_vec(ctx, vec![1.0f32; image_size]);
@@ -254,9 +261,6 @@ mod tests {
         ctx4.sync();
         let t4 = ctx4.host_now_s();
 
-        assert!(
-            t4 < t1,
-            "4 virtual GPUs must beat 1: t1={t1} t4={t4}"
-        );
+        assert!(t4 < t1, "4 virtual GPUs must beat 1: t1={t1} t4={t4}");
     }
 }

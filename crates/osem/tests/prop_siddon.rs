@@ -6,9 +6,8 @@ use skelcl_osem::geometry::Volume;
 use skelcl_osem::siddon::{compute_path, for_each_voxel};
 
 fn vol_strategy() -> impl Strategy<Value = Volume> {
-    (2usize..24, 2usize..24, 2usize..24, 1u32..6).prop_map(|(nx, ny, nz, v)| {
-        Volume::new(nx, ny, nz, v as f32)
-    })
+    (2usize..24, 2usize..24, 2usize..24, 1u32..6)
+        .prop_map(|(nx, ny, nz, v)| Volume::new(nx, ny, nz, v as f32))
 }
 
 fn point_strategy() -> impl Strategy<Value = [f32; 3]> {

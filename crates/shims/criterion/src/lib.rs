@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each registered benchmark a configurable number of iterations and
+//! prints mean wall time per iteration. No statistical analysis, warm-up
+//! scheduling or plotting — the workspace's benches report *virtual*
+//! (modeled) seconds through `iter_custom` anyway, so the harness only
+//! needs to drive the closures and render the numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Input-size annotation (printed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// The per-benchmark driver passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    /// (total measured duration, iterations) reported by the last run.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up (also pays one-time caches)
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.measured = Some((start.elapsed(), self.iters));
+    }
+
+    /// Let `f` measure `iters` iterations itself and report the total.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        let total = f(self.iters);
+        self.measured = Some((total, self.iters));
+    }
+
+    /// Like `iter`, timing only what `f` does with the provided setup value.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            total += start.elapsed();
+        }
+        self.measured = Some((total, self.iters));
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    iters: u64,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters,
+        measured: None,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    match b.measured {
+        Some((total, n)) if n > 0 => {
+            let per = total / n as u32;
+            let extra = match throughput {
+                Some(Throughput::Elements(e)) => {
+                    let per_s = e as f64 / per.as_secs_f64().max(1e-12);
+                    format!("  thrpt: {per_s:.3e} elem/s")
+                }
+                Some(Throughput::Bytes(by)) | Some(Throughput::BytesDecimal(by)) => {
+                    let per_s = by as f64 / per.as_secs_f64().max(1e-12);
+                    format!("  thrpt: {per_s:.3e} B/s")
+                }
+                None => String::new(),
+            };
+            println!("bench {label:<50} time: {}{extra}", fmt_duration(per));
+        }
+        _ => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        run_one(Some(&self.name), &id, self.iters(), self.throughput, |b| {
+            f(b)
+        });
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(Some(&self.name), &id, self.iters(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn iters(&self) -> u64 {
+        // Keep shim benches quick: a handful of iterations is enough to
+        // print a representative mean (virtual-time benches are exact).
+        self.sample_size.min(10)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        run_one(None, &id, 10, None, |b| f(b));
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// `criterion_group!` — both the `name/config/targets` and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// `criterion_main!` — runs each group and exits.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut c = Criterion::default().without_plots();
+        let mut group = c.benchmark_group("shim-test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("custom", 7), &7u64, |b, &_x| {
+            b.iter_custom(Duration::from_nanos)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

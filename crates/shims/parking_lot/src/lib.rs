@@ -1,0 +1,179 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! This workspace builds without registry access, so the small API surface
+//! actually used — `Mutex`, `MutexGuard::map`, `MappedMutexGuard` — is
+//! provided here on top of `std::sync::Mutex`. Semantics match parking_lot
+//! where it matters to callers: `lock()` is infallible (poisoning is
+//! swallowed, as parking_lot has no poisoning).
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: guard }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// RAII guard over a locked [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Project the guard to a component of the protected data, keeping the
+    /// lock held (parking_lot's `MutexGuard::map`).
+    pub fn map<U: ?Sized, F>(guard: Self, f: F) -> MappedMutexGuard<'a, U>
+    where
+        F: FnOnce(&mut T) -> &mut U,
+    {
+        let mut inner = guard.inner;
+        let ptr: *mut U = f(&mut inner);
+        MappedMutexGuard {
+            _guard: Box::new(inner),
+            ptr,
+        }
+    }
+}
+
+/// Keeps the original `std` guard alive (and thus the lock held) while the
+/// mapped guard exists; the concrete guard type is erased behind a box.
+trait HeldLock {}
+impl<'a, T: ?Sized> HeldLock for std::sync::MutexGuard<'a, T> {}
+
+/// A guard projected to a component of the locked data
+/// (parking_lot's `MappedMutexGuard`).
+pub struct MappedMutexGuard<'a, U: ?Sized> {
+    _guard: Box<dyn HeldLock + 'a>,
+    ptr: *mut U,
+}
+
+impl<'a, U: ?Sized> Deref for MappedMutexGuard<'a, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        // SAFETY: `ptr` points into data protected by the lock held by
+        // `_guard` for the guard's entire lifetime.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<'a, U: ?Sized> DerefMut for MappedMutexGuard<'a, U> {
+    fn deref_mut(&mut self) -> &mut U {
+        // SAFETY: as in `deref`; `&mut self` guarantees exclusivity.
+        unsafe { &mut *self.ptr }
+    }
+}
+
+/// A reader–writer lock with infallible locking.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn mapped_guard_projects_and_holds_the_lock() {
+        let m = Mutex::new((vec![1, 2, 3], "meta"));
+        {
+            let g = m.lock();
+            let mut mapped = MutexGuard::map(g, |t| t.0.as_mut_slice());
+            mapped[0] = 9;
+            assert_eq!(&*mapped, &[9, 2, 3]);
+        }
+        assert_eq!(m.lock().0, vec![9, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

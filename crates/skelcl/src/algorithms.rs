@@ -33,9 +33,11 @@ where
         move |x: T| u32::from(keep2(x)),
     ));
     let scan = Scan::new(
-        UserFn::new("u32_add", "uint u32_add(uint x, uint y) { return x + y; }", |x: u32, y: u32| {
-            x + y
-        }),
+        UserFn::new(
+            "u32_add",
+            "uint u32_add(uint x, uint y) { return x + y; }",
+            |x: u32, y: u32| x + y,
+        ),
         0u32,
     );
     let flags = flag.apply(&v)?;
@@ -56,9 +58,11 @@ where
 /// the exclusive Scan (the split primitive of Blelloch/Harris).
 pub fn radix_sort_u32(ctx: &Context, input: &[u32]) -> Result<Vec<u32>> {
     let scan = Scan::new(
-        UserFn::new("u32_add", "uint u32_add(uint x, uint y) { return x + y; }", |x: u32, y: u32| {
-            x + y
-        }),
+        UserFn::new(
+            "u32_add",
+            "uint u32_add(uint x, uint y) { return x + y; }",
+            |x: u32, y: u32| x + y,
+        ),
         0u32,
     );
     let mut data = input.to_vec();
@@ -120,7 +124,11 @@ mod tests {
         let c = ctx(2);
         let input = pseudo_random(10_000);
         let got = compact(&c, &input, |x: u32| x.is_multiple_of(3)).unwrap();
-        let want: Vec<u32> = input.iter().copied().filter(|x| x.is_multiple_of(3)).collect();
+        let want: Vec<u32> = input
+            .iter()
+            .copied()
+            .filter(|x| x.is_multiple_of(3))
+            .collect();
         assert_eq!(got, want);
     }
 
@@ -150,10 +158,7 @@ mod tests {
         assert!(radix_sort_u32(&c, &[]).unwrap().is_empty());
         assert_eq!(radix_sort_u32(&c, &[42]).unwrap(), vec![42]);
         assert_eq!(radix_sort_u32(&c, &[0, 0, 0]).unwrap(), vec![0, 0, 0]);
-        assert_eq!(
-            radix_sort_u32(&c, &[3, 1, 2, 1]).unwrap(),
-            vec![1, 1, 2, 3]
-        );
+        assert_eq!(radix_sort_u32(&c, &[3, 1, 2, 1]).unwrap(), vec![1, 1, 2, 3]);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! image) expressible.
 
 use crate::error::{Error, Result};
+use crate::matrix::Matrix;
 use crate::vector::Vector;
 use std::any::Any;
 use std::sync::Arc;
@@ -56,15 +57,12 @@ impl<T: Scalar> AnyVectorArg for Vector<T> {
 
     fn resolve(&self, device: usize) -> Result<(Box<dyn Any + Send + Sync>, usize)> {
         let parts = self.parts()?;
-        let part = parts
-            .iter()
-            .find(|p| p.device == device)
-            .ok_or_else(|| {
-                Error::BadArgument(format!(
-                    "vector argument has no data on device {device} under {:?}",
-                    self.distribution()
-                ))
-            })?;
+        let part = parts.iter().find(|p| p.device == device).ok_or_else(|| {
+            Error::BadArgument(format!(
+                "vector argument has no data on device {device} under {:?}",
+                self.distribution()
+            ))
+        })?;
         Ok((Box::new(part.buffer.clone()), part.len))
     }
 
@@ -77,10 +75,65 @@ impl<T: Scalar> AnyVectorArg for Vector<T> {
     }
 }
 
+/// Type-erased matrix slot: resolves to this device's row span at launch.
+#[doc(hidden)]
+pub trait AnyMatrixArg: Send + Sync {
+    fn ensure_on_devices(&self) -> Result<()>;
+    /// `(buffer as Any, cols, span_rows, first_span_global_row, n_rows)`
+    /// for the executing device.
+    fn resolve(&self, device: usize) -> Result<(Box<dyn Any + Send + Sync>, MatrixArgMeta)>;
+    fn type_name(&self) -> &'static str;
+}
+
+/// Geometry of one device's view of a matrix argument.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixArgMeta {
+    pub cols: usize,
+    pub span_rows: usize,
+    /// Global row held by span row 0.
+    pub row_offset: usize,
+    /// Rows stored above the owned block (wrapped at matrix edges).
+    pub halo_above: usize,
+    pub n_rows: usize,
+}
+
+impl<T: Scalar> AnyMatrixArg for Matrix<T> {
+    fn ensure_on_devices(&self) -> Result<()> {
+        Matrix::ensure_on_devices(self)
+    }
+
+    fn resolve(&self, device: usize) -> Result<(Box<dyn Any + Send + Sync>, MatrixArgMeta)> {
+        let parts = self.parts_with_fresh_halos()?;
+        let part = parts
+            .iter()
+            .find(|p| p.device == device && p.rows > 0)
+            .ok_or_else(|| {
+                Error::BadArgument(format!(
+                    "matrix argument has no data on device {device} under {:?}",
+                    self.distribution()
+                ))
+            })?;
+        let meta = MatrixArgMeta {
+            cols: self.cols(),
+            span_rows: part.span_rows(),
+            row_offset: part.row_offset,
+            halo_above: part.halo_above,
+            n_rows: self.rows(),
+        };
+        Ok((Box::new(part.buffer.clone()), meta))
+    }
+
+    fn type_name(&self) -> &'static str {
+        T::TYPE_NAME
+    }
+}
+
 #[doc(hidden)]
 pub enum Slot {
     Scalar(Arc<dyn AnyScalarArg>),
     Vector(Arc<dyn AnyVectorArg>),
+    Matrix(Arc<dyn AnyMatrixArg>),
 }
 
 impl Clone for Slot {
@@ -88,6 +141,7 @@ impl Clone for Slot {
         match self {
             Slot::Scalar(s) => Slot::Scalar(Arc::clone(s)),
             Slot::Vector(v) => Slot::Vector(Arc::clone(v)),
+            Slot::Matrix(m) => Slot::Matrix(Arc::clone(m)),
         }
     }
 }
@@ -113,6 +167,18 @@ impl<T: Scalar> IntoArg for &Vector<T> {
 impl<T: Scalar> IntoArg for Vector<T> {
     fn into_slot(self) -> Slot {
         Slot::Vector(Arc::new(self))
+    }
+}
+
+impl<T: Scalar> IntoArg for &Matrix<T> {
+    fn into_slot(self) -> Slot {
+        Slot::Matrix(Arc::new(self.clone()))
+    }
+}
+
+impl<T: Scalar> IntoArg for Matrix<T> {
+    fn into_slot(self) -> Slot {
+        Slot::Matrix(Arc::new(self))
     }
 }
 
@@ -146,8 +212,10 @@ impl Arguments {
     /// implicit transfers of Section III-A apply to arguments too).
     pub(crate) fn ensure_on_devices(&self) -> Result<()> {
         for s in &self.slots {
-            if let Slot::Vector(v) = s {
-                v.ensure_on_devices()?;
+            match s {
+                Slot::Vector(v) => v.ensure_on_devices()?,
+                Slot::Matrix(m) => m.ensure_on_devices()?,
+                Slot::Scalar(_) => {}
             }
         }
         Ok(())
@@ -165,6 +233,14 @@ impl Arguments {
                         buf: buf.into(),
                         len,
                         type_name: v.type_name(),
+                    }
+                }
+                Slot::Matrix(m) => {
+                    let (buf, meta) = m.resolve(device)?;
+                    ResolvedSlot::Matrix {
+                        buf: buf.into(),
+                        meta,
+                        type_name: m.type_name(),
                     }
                 }
             });
@@ -186,6 +262,11 @@ pub(crate) enum ResolvedSlot {
         len: usize,
         type_name: &'static str,
     },
+    Matrix {
+        buf: Arc<dyn Any + Send + Sync>,
+        meta: MatrixArgMeta,
+        type_name: &'static str,
+    },
 }
 
 /// The per-device view of an [`Arguments`] object, held by kernel bodies.
@@ -205,18 +286,18 @@ impl<'a> KernelEnv<'a> {
     /// the same failure mode as mismatched `clSetKernelArg` calls.
     pub fn scalar<T: Scalar>(&self, idx: usize) -> T {
         match self.args.slots.get(idx) {
-            Some(ResolvedSlot::Scalar(s)) => *s
-                .as_any()
-                .downcast_ref::<T>()
-                .unwrap_or_else(|| {
-                    panic!(
-                        "argument {idx} is a {} scalar, requested {}",
-                        s.type_name(),
-                        T::TYPE_NAME
-                    )
-                }),
+            Some(ResolvedSlot::Scalar(s)) => *s.as_any().downcast_ref::<T>().unwrap_or_else(|| {
+                panic!(
+                    "argument {idx} is a {} scalar, requested {}",
+                    s.type_name(),
+                    T::TYPE_NAME
+                )
+            }),
             Some(ResolvedSlot::Buffer { type_name, .. }) => {
                 panic!("argument {idx} is a {type_name} vector, requested scalar")
+            }
+            Some(ResolvedSlot::Matrix { type_name, .. }) => {
+                panic!("argument {idx} is a {type_name} matrix, requested scalar")
             }
             None => panic!("argument index {idx} out of range"),
         }
@@ -225,7 +306,11 @@ impl<'a> KernelEnv<'a> {
     /// The vector argument at `idx`, as a counted device-local view.
     pub fn vec<T: Scalar>(&self, idx: usize) -> ArgVec<'_, T> {
         match self.args.slots.get(idx) {
-            Some(ResolvedSlot::Buffer { buf, len, type_name }) => {
+            Some(ResolvedSlot::Buffer {
+                buf,
+                len,
+                type_name,
+            }) => {
                 let buffer = buf.downcast_ref::<Buffer<T>>().unwrap_or_else(|| {
                     panic!(
                         "argument {idx} is a {type_name} vector, requested {}",
@@ -239,7 +324,49 @@ impl<'a> KernelEnv<'a> {
                 }
             }
             Some(ResolvedSlot::Scalar(s)) => {
-                panic!("argument {idx} is a {} scalar, requested vector", s.type_name())
+                panic!(
+                    "argument {idx} is a {} scalar, requested vector",
+                    s.type_name()
+                )
+            }
+            Some(ResolvedSlot::Matrix { type_name, .. }) => {
+                panic!("argument {idx} is a {type_name} matrix, requested vector")
+            }
+            None => panic!("argument index {idx} out of range"),
+        }
+    }
+
+    /// The matrix argument at `idx`, as a counted device-local 2D view
+    /// addressed by *global* `(row, col)`. Under `RowBlock` only this
+    /// device's owned-plus-halo rows are addressable; out-of-span access
+    /// panics, the 2D analogue of a Block vector argument's local part.
+    pub fn mat<T: Scalar>(&self, idx: usize) -> ArgMat<'_, T> {
+        match self.args.slots.get(idx) {
+            Some(ResolvedSlot::Matrix {
+                buf,
+                meta,
+                type_name,
+            }) => {
+                let buffer = buf.downcast_ref::<Buffer<T>>().unwrap_or_else(|| {
+                    panic!(
+                        "argument {idx} is a {type_name} matrix, requested {}",
+                        T::TYPE_NAME
+                    )
+                });
+                ArgMat {
+                    buf: buffer,
+                    meta: *meta,
+                    item: self.item,
+                }
+            }
+            Some(ResolvedSlot::Scalar(s)) => {
+                panic!(
+                    "argument {idx} is a {} scalar, requested matrix",
+                    s.type_name()
+                )
+            }
+            Some(ResolvedSlot::Buffer { type_name, .. }) => {
+                panic!("argument {idx} is a {type_name} vector, requested matrix")
             }
             None => panic!("argument index {idx} out of range"),
         }
@@ -316,6 +443,64 @@ impl<'a> ArgVec<'a, u32> {
     }
 }
 
+/// Device-local 2D view of a matrix argument with traffic-counted access.
+pub struct ArgMat<'a, T: Scalar> {
+    buf: &'a Buffer<T>,
+    meta: MatrixArgMeta,
+    item: &'a Item<'a>,
+}
+
+impl<'a, T: Scalar> ArgMat<'a, T> {
+    /// Matrix width.
+    pub fn cols(&self) -> usize {
+        self.meta.cols
+    }
+
+    /// Matrix height (global).
+    pub fn rows(&self) -> usize {
+        self.meta.n_rows
+    }
+
+    /// Rows addressable on this device (owned + halos).
+    pub fn span_rows(&self) -> usize {
+        self.meta.span_rows
+    }
+
+    fn span_index(&self, row: usize, col: usize) -> usize {
+        assert!(
+            col < self.meta.cols,
+            "matrix argument column {col} out of range"
+        );
+        assert!(
+            row < self.meta.n_rows,
+            "matrix argument row {row} out of range"
+        );
+        // Span rows hold consecutive global rows (mod n_rows) starting
+        // `halo_above` above `row_offset`.
+        let n = self.meta.n_rows;
+        let first = (self.meta.row_offset + n - self.meta.halo_above.min(n)) % n;
+        let s = (row + n - first) % n;
+        assert!(
+            s < self.meta.span_rows,
+            "matrix argument row {row} not on this device (span {} rows from {first})",
+            self.meta.span_rows
+        );
+        s * self.meta.cols + col
+    }
+
+    /// Counted load at global `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.item.read(self.buf, self.span_index(row, col))
+    }
+
+    /// Counted store at global `(row, col)`.
+    #[inline]
+    pub fn set(&self, row: usize, col: usize, v: T) {
+        self.item.write(self.buf, self.span_index(row, col), v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,10 +540,7 @@ mod tests {
         let r0 = args.resolve(0).unwrap();
         let r1 = args.resolve(1).unwrap();
         match (&r0.slots[0], &r1.slots[0]) {
-            (
-                ResolvedSlot::Buffer { len: l0, .. },
-                ResolvedSlot::Buffer { len: l1, .. },
-            ) => {
+            (ResolvedSlot::Buffer { len: l0, .. }, ResolvedSlot::Buffer { len: l1, .. }) => {
                 assert_eq!(*l0, 5);
                 assert_eq!(*l1, 5);
             }
@@ -376,6 +558,54 @@ mod tests {
         args.ensure_on_devices().unwrap();
         assert!(args.resolve(0).is_ok());
         assert!(args.resolve(1).is_err());
+    }
+
+    #[test]
+    fn matrix_argument_resolves_to_local_span() {
+        let c = ctx(2);
+        let m = Matrix::from_fn(&c, 6, 4, |r, c| (r * 10 + c) as f32);
+        m.set_distribution(crate::MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let mut args = Arguments::new();
+        args.push(&m);
+        args.ensure_on_devices().unwrap();
+        for d in 0..2 {
+            let r = args.resolve(d).unwrap();
+            match &r.slots[0] {
+                ResolvedSlot::Matrix { meta, .. } => {
+                    assert_eq!(meta.cols, 4);
+                    assert_eq!(meta.n_rows, 6);
+                    assert_eq!(meta.span_rows, 5, "3 owned + halo above/below");
+                }
+                _ => panic!("expected matrix slot"),
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_argument_is_readable_from_a_kernel() {
+        // A Copy-distributed lookup table addressed by global (row, col)
+        // from a Map kernel — the 2D analogue of the vector gather test.
+        let c = ctx(2);
+        let table = Matrix::from_fn(&c, 4, 4, |r, col| (r * 4 + col) as f32);
+        table
+            .set_distribution(crate::MatrixDistribution::Copy)
+            .unwrap();
+        let gather = crate::UserFn::new(
+            "gather2d",
+            "float gather2d(uint i, __global float* t, uint cols) { return t[(i/4)*cols + i%4]; }",
+            |i: u32, env: &KernelEnv<'_>| {
+                let t = env.mat::<f32>(0);
+                t.get(i as usize / 4, i as usize % 4)
+            },
+        );
+        let m = crate::MapArgs::new(gather, 1);
+        let idx = crate::Vector::from_vec(&c, (0..16u32).rev().collect());
+        let mut args = Arguments::new();
+        args.push(&table);
+        let out = m.apply(&idx, &args).unwrap();
+        let want: Vec<f32> = (0..16).rev().map(|i| i as f32).collect();
+        assert_eq!(out.to_vec().unwrap(), want);
     }
 
     #[test]

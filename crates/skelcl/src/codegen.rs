@@ -141,7 +141,13 @@ fn program_name(skeleton: &str, fn_name: &str, types: &[&str]) -> String {
 ///
 /// The emitted source mirrors SkelCL's real template: the user function is
 /// pasted verbatim above a wrapper kernel that applies it per work-item.
-pub fn map_program(fn_name: &str, fn_source: &str, in_t: &str, out_t: &str, extra_args: usize) -> Program {
+pub fn map_program(
+    fn_name: &str,
+    fn_source: &str,
+    in_t: &str,
+    out_t: &str,
+    extra_args: usize,
+) -> Program {
     let extras: String = (0..extra_args)
         .map(|i| format!(", __global const char* restrict arg{i}"))
         .collect();
@@ -278,6 +284,115 @@ pub fn scan_program(fn_name: &str, fn_source: &str, t: &str) -> Program {
     Program::from_source(program_name("scan", fn_name, &[t]), source).with_arg_count(6)
 }
 
+/// Generate the 2D Map skeleton program for `U f(T)` over a row-major
+/// matrix: one work-item per element of a 2D NDRange.
+pub fn map2d_program(fn_name: &str, fn_source: &str, in_t: &str, out_t: &str) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: Map skeleton (2D NDRange)\n\
+         {fn_source}\n\
+         __kernel void skelcl_map2d(__global const {in_t}* restrict in,\n\
+                                    __global {out_t}* restrict out,\n\
+                                    const uint n_rows,\n\
+                                    const uint n_cols) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1);\n\
+             if (row < n_rows && col < n_cols) {{\n\
+                 out[row * n_cols + col] = {fn_name}(in[row * n_cols + col]);\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(program_name("map2d", fn_name, &[in_t, out_t]), source).with_arg_count(4)
+}
+
+/// Generate the 2D Zip skeleton program for `U f(T1, T2)` over two
+/// identically shaped row-major matrices.
+pub fn zip2d_program(
+    fn_name: &str,
+    fn_source: &str,
+    in1_t: &str,
+    in2_t: &str,
+    out_t: &str,
+) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: Zip skeleton (2D NDRange)\n\
+         {fn_source}\n\
+         __kernel void skelcl_zip2d(__global const {in1_t}* restrict lhs,\n\
+                                    __global const {in2_t}* restrict rhs,\n\
+                                    __global {out_t}* restrict out,\n\
+                                    const uint n_rows,\n\
+                                    const uint n_cols) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1);\n\
+             if (row < n_rows && col < n_cols) {{\n\
+                 uint i = row * n_cols + col;\n\
+                 out[i] = {fn_name}(lhs[i], rhs[i]);\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(
+        program_name("zip2d", fn_name, &[in1_t, in2_t, out_t]),
+        source,
+    )
+    .with_arg_count(5)
+}
+
+/// Generate the Stencil2D skeleton program: a 2D stencil of the given
+/// radius whose out-of-range accesses follow `boundary` (`neumann` clamps,
+/// `wrap` is toroidal, `zero` reads 0). The boundary mode changes the
+/// emitted index arithmetic, so it is part of the program name and thus the
+/// cache key.
+pub fn stencil2d_program(
+    fn_name: &str,
+    fn_source: &str,
+    in_t: &str,
+    out_t: &str,
+    radius: usize,
+    boundary: &str,
+) -> Program {
+    let resolve = match boundary {
+        "neumann" => "int rr = clamp(row + dr, 0, (int)n_rows - 1);\n\
+                      int cc = clamp(col + dc, 0, (int)n_cols - 1);"
+            .to_string(),
+        "wrap" => "int rr = (row + dr + n_rows) % n_rows;\n\
+                   int cc = (col + dc + n_cols) % n_cols;"
+            .to_string(),
+        _ => format!(
+            "int rr = row + dr; int cc = col + dc;\n\
+             if (rr < 0 || rr >= (int)n_rows || cc < 0 || cc >= (int)n_cols)\n\
+                 return ({in_t})0;"
+        ),
+    };
+    let source = format!(
+        "// generated by SkelCL codegen: Stencil2D skeleton, radius {radius}, {boundary} boundary\n\
+         inline {in_t} stencil_at(__global const {in_t}* in, int row, int col,\n\
+                                  uint n_rows, uint n_cols, int dr, int dc) {{\n\
+             {resolve}\n\
+             return in[rr * n_cols + cc];\n\
+         }}\n\
+         {fn_source}\n\
+         __kernel void skelcl_stencil2d(__global const {in_t}* restrict in,\n\
+                                        __global {out_t}* restrict out,\n\
+                                        const uint n_rows,\n\
+                                        const uint n_cols,\n\
+                                        const uint row_offset) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1) + row_offset;\n\
+             if (row < n_rows && col < n_cols) {{\n\
+                 out[row * n_cols + col] = {fn_name}(in, row, col, n_rows, n_cols);\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(
+        program_name(
+            &format!("stencil2d_r{radius}_{boundary}"),
+            fn_name,
+            &[in_t, out_t],
+        ),
+        source,
+    )
+    .with_arg_count(5)
+}
+
 /// Generate the MapOverlap skeleton program (stencil with halo; SkelCL's
 /// follow-up extension, announced as future work in Section III-D).
 pub fn map_overlap_program(fn_name: &str, fn_source: &str, t: &str, radius: usize) -> Program {
@@ -306,7 +421,11 @@ mod tests {
 
     #[test]
     fn skel_fn_macro_produces_both_twins() {
-        let mult = crate::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y });
+        let mult = crate::skel_fn!(
+            fn mult(x: f32, y: f32) -> f32 {
+                x * y
+            }
+        );
         assert_eq!(mult.name(), "mult");
         assert!(mult.source().contains("fn mult"));
         assert!(mult.source().contains("x * y"));
@@ -324,7 +443,13 @@ mod tests {
 
     #[test]
     fn map_program_embeds_user_source_and_callsite() {
-        let p = map_program("square", "float square(float x){return x*x;}", "float", "float", 0);
+        let p = map_program(
+            "square",
+            "float square(float x){return x*x;}",
+            "float",
+            "float",
+            0,
+        );
         assert!(p.source.contains("float square(float x)"));
         assert!(p.source.contains("square(in[gid])"));
         assert!(p.source.contains("__kernel void skelcl_map"));
@@ -341,7 +466,14 @@ mod tests {
 
     #[test]
     fn zip_reduce_scan_programs_are_distinct() {
-        let z = zip_program("mult", "float mult(float x,float y){return x*y;}", "float", "float", "float", 0);
+        let z = zip_program(
+            "mult",
+            "float mult(float x,float y){return x*y;}",
+            "float",
+            "float",
+            "float",
+            0,
+        );
         let r = reduce_program("sum", "float sum(float x,float y){return x+y;}", "float");
         let s = scan_program("sum", "float sum(float x,float y){return x+y;}", "float");
         assert_ne!(z.hash(), r.hash());

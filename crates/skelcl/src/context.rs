@@ -183,10 +183,7 @@ impl Context {
         let kernel = self.inner.queues[0]
             .build_kernel(program, placeholder)
             .map_err(Error::Platform)?;
-        self.inner
-            .programs
-            .lock()
-            .insert(hash, kernel.clone());
+        self.inner.programs.lock().insert(hash, kernel.clone());
         Ok(kernel)
     }
 

@@ -9,6 +9,11 @@ pub enum Error {
     Platform(vgpu::Error),
     /// Zip inputs (or a Zip-like combine) have different lengths.
     LengthMismatch { left: usize, right: usize },
+    /// Matrix operands have different shapes (`(rows, cols)`).
+    ShapeMismatch {
+        left: (usize, usize),
+        right: (usize, usize),
+    },
     /// An operation needed a device-side copy that does not exist.
     NotOnDevice(String),
     /// An `Arguments` slot was accessed with the wrong type or index.
@@ -26,6 +31,13 @@ impl fmt::Display for Error {
             Error::Platform(e) => write!(f, "platform error: {e}"),
             Error::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")
+            }
+            Error::ShapeMismatch { left, right } => {
+                write!(
+                    f,
+                    "shape mismatch: {}x{} vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
             }
             Error::NotOnDevice(msg) => write!(f, "not on device: {msg}"),
             Error::BadArgument(msg) => write!(f, "bad argument: {msg}"),

@@ -14,7 +14,11 @@
 //!   automatic inter-device exchange on redistribution, including
 //!   redistribution with a combine operator (Section III-D),
 //! * plus the [`MapOverlap`] stencil and the with-arguments Map/Zip
-//!   variants the paper's applications rely on.
+//!   variants the paper's applications rely on,
+//! * and the 2D subsystem SkelCL grew next: the [`Matrix`] container with
+//!   [`MatrixDistribution::RowBlock`] halo distribution and the
+//!   [`Stencil2D`] skeleton behind the image-processing benchmark suite
+//!   (Gaussian blur, Sobel, Canny — see the `skelcl-imgproc` crate).
 //!
 //! ## Dot product (the paper's Listing 1)
 //!
@@ -38,24 +42,71 @@
 //! // fetch result
 //! assert_eq!(c.get_value(), 2048.0);
 //! ```
+//!
+//! ## Matrix + Stencil2D (2D containers, multi-GPU halo exchange)
+//!
+//! A [`Matrix`] distributes *rows* across devices; under
+//! [`MatrixDistribution::RowBlock`] each device also stores `halo` overlap
+//! rows that [`Stencil2D`] keeps coherent by automatic device-to-device
+//! exchange. Element-wise skeletons compose with matrices through
+//! [`Map::apply_matrix`]/[`Zip::apply_matrix`] without host round trips.
+//!
+//! ```
+//! use skelcl::{
+//!     Boundary2D, Context, ContextConfig, Matrix, MatrixDistribution, Stencil2D,
+//!     Stencil2DView, UserFn,
+//! };
+//!
+//! let ctx = Context::new(ContextConfig::default().devices(2).cache_tag("doc-stencil"));
+//!
+//! // A 2D stencil is customized like any skeleton: source string + twin.
+//! let blur = Stencil2D::new(
+//!     UserFn::new(
+//!         "blur5",
+//!         "float blur5(__global float* in, int r, int c, uint nr, uint nc) {\n\
+//!              return 0.25f * (stencil_at(in,r,c,nr,nc,-1,0) + stencil_at(in,r,c,nr,nc,1,0)\n\
+//!                            + stencil_at(in,r,c,nr,nc,0,-1) + stencil_at(in,r,c,nr,nc,0,1));\n\
+//!          }",
+//!         |v: &Stencil2DView<'_, f32>| {
+//!             0.25 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1))
+//!         },
+//!     ),
+//!     1,                  // radius
+//!     Boundary2D::Neumann, // out-of-matrix reads clamp to the edge
+//! );
+//!
+//! // Rows split across both devices with 1 halo row of overlap each way.
+//! let img = Matrix::from_fn(&ctx, 64, 64, |r, c| (r + c) as f32);
+//! img.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
+//!
+//! // Chaining stencils stays on the devices; stale halo rows are refreshed
+//! // by automatic inter-device exchange before the second pass.
+//! let once = blur.apply(&img).unwrap();
+//! let twice = blur.apply(&once).unwrap();
+//! assert_eq!(twice.dims(), (64, 64));
+//! # let _ = twice.to_vec().unwrap();
+//! ```
 
 pub mod algorithms;
 pub mod arguments;
 pub mod codegen;
 pub mod context;
 pub mod error;
+pub mod matrix;
 pub mod meter;
 pub mod scalar;
 pub mod skeletons;
 pub mod vector;
 
-pub use arguments::{ArgVec, Arguments, KernelEnv};
+pub use arguments::{ArgMat, ArgVec, Arguments, KernelEnv};
 pub use codegen::UserFn;
 pub use context::{Context, ContextConfig, DEFAULT_WORK_GROUP};
 pub use error::{Error, Result};
+pub use matrix::{Matrix, MatrixDistribution};
 pub use meter::work;
 pub use scalar::Scalar;
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
+pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
 pub use vector::{Distribution, Vector};
 
@@ -67,8 +118,7 @@ pub use vgpu::Scalar as Element;
 pub mod prelude {
     pub use crate::skel_fn;
     pub use crate::{
-        Arguments, Boundary, Context, ContextConfig, Distribution, Element, Error, KernelEnv,
-        Map, MapArgs, MapOverlap, MapVoid, Reduce, Result, Scalar, Scan, UserFn, Vector, Zip,
-        ZipArgs,
+        Arguments, Boundary, Context, ContextConfig, Distribution, Element, Error, KernelEnv, Map,
+        MapArgs, MapOverlap, MapVoid, Reduce, Result, Scalar, Scan, UserFn, Vector, Zip, ZipArgs,
     };
 }

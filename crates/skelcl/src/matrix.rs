@@ -1,0 +1,883 @@
+//! The abstract matrix: a 2D host/device container with lazy transfers and
+//! row-block multi-device distribution with halo rows.
+//!
+//! This is the 2D generalisation of [`crate::Vector`] that SkelCL shipped
+//! after the paper (the `Matrix<T>` container behind the Gaussian / Sobel /
+//! Canny benchmark suite). Data is row-major. The multi-GPU story follows
+//! Section III-D of the paper, extended with the *overlap* idea of SkelCL's
+//! stencil work: under [`MatrixDistribution::RowBlock`] each device owns a
+//! contiguous block of rows **plus `halo` read-only rows above and below
+//! it**, and the library keeps those halo rows coherent by automatic
+//! device-to-device exchange — the transfers show up in the platform's
+//! [`vgpu::StatsSnapshot`] accounting like every other copy.
+//!
+//! Halo rows wrap around the matrix edges (row `-1` is the last row), which
+//! makes every part's halo well-defined regardless of position and lets the
+//! `Wrap` boundary mode of [`crate::Stencil2D`] work across devices;
+//! `Neumann`/`Zero` boundaries simply never read the wrapped rows.
+
+use crate::context::Context;
+use crate::error::{Error, Result};
+use parking_lot::{MappedMutexGuard, Mutex, MutexGuard};
+use std::sync::Arc;
+use vgpu::{Buffer, Scalar};
+
+/// How a matrix's rows are laid out across the context's devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixDistribution {
+    /// The whole matrix lives on one device.
+    Single(usize),
+    /// Every device holds a full copy.
+    Copy,
+    /// Rows are evenly divided into one contiguous block per device; each
+    /// part additionally stores `halo` rows of overlap above and below its
+    /// block (wrapping at the matrix edges).
+    RowBlock { halo: usize },
+}
+
+impl MatrixDistribution {
+    /// Row-block with no overlap rows.
+    pub fn row_block() -> Self {
+        MatrixDistribution::RowBlock { halo: 0 }
+    }
+}
+
+/// One device-resident piece of a matrix: `halo_above + rows + halo_below`
+/// consecutive (mod `n_rows`) full rows, of which `rows` starting at global
+/// row `row_offset` are *owned* (written back on download / redistribution).
+#[derive(Clone)]
+pub(crate) struct MatrixPart<T: Scalar> {
+    pub device: usize,
+    pub row_offset: usize,
+    pub rows: usize,
+    pub halo_above: usize,
+    pub halo_below: usize,
+    pub buffer: Buffer<T>,
+}
+
+impl<T: Scalar> MatrixPart<T> {
+    /// Total rows stored in the buffer (owned + halos).
+    pub fn span_rows(&self) -> usize {
+        self.halo_above + self.rows + self.halo_below
+    }
+
+    /// The global row stored at span row `s` of this part's buffer.
+    pub fn global_row(&self, s: usize, n_rows: usize) -> usize {
+        debug_assert!(s < self.span_rows());
+        (self.row_offset + n_rows + s - self.halo_above) % n_rows
+    }
+}
+
+struct State<T: Scalar> {
+    host: Vec<T>,
+    rows: usize,
+    cols: usize,
+    /// Host copy reflects the newest data.
+    host_fresh: bool,
+    /// Device copies (owned regions, under `dist`) reflect the newest data.
+    device_fresh: bool,
+    /// Halo rows agree with their owners' current data. Invalidated when a
+    /// skeleton writes fresh device parts; re-established by upload,
+    /// redistribution or an explicit [`Matrix::halo_exchange`].
+    halos_fresh: bool,
+    dist: MatrixDistribution,
+    parts: Vec<MatrixPart<T>>,
+}
+
+/// The SkelCL matrix. Cloning yields a second handle to the same matrix
+/// (C++ SkelCL passes containers by reference).
+pub struct Matrix<T: Scalar> {
+    ctx: Context,
+    state: Arc<Mutex<State<T>>>,
+}
+
+impl<T: Scalar> Clone for Matrix<T> {
+    fn clone(&self) -> Self {
+        Matrix {
+            ctx: self.ctx.clone(),
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Matrix")
+            .field("rows", &st.rows)
+            .field("cols", &st.cols)
+            .field("dist", &st.dist)
+            .field("host_fresh", &st.host_fresh)
+            .field("device_fresh", &st.device_fresh)
+            .field("halos_fresh", &st.halos_fresh)
+            .finish()
+    }
+}
+
+fn default_distribution(ctx: &Context) -> MatrixDistribution {
+    if ctx.n_devices() == 1 {
+        MatrixDistribution::Single(0)
+    } else {
+        MatrixDistribution::RowBlock { halo: 0 }
+    }
+}
+
+/// Layout of `dist` for `rows` rows on `n_devices` devices:
+/// `(device, row_offset, rows, halo_above, halo_below)`.
+fn layout(
+    dist: MatrixDistribution,
+    rows: usize,
+    n_devices: usize,
+) -> Vec<(usize, usize, usize, usize, usize)> {
+    match dist {
+        MatrixDistribution::Single(d) => vec![(d, 0, rows, 0, 0)],
+        MatrixDistribution::Copy => (0..n_devices).map(|d| (d, 0, rows, 0, 0)).collect(),
+        MatrixDistribution::RowBlock { halo } => {
+            // Wrapped halos are only well-defined up to one full extra copy
+            // of the matrix in each direction.
+            let halo = halo.min(rows);
+            crate::vector::block_ranges(rows, n_devices)
+                .into_iter()
+                .enumerate()
+                .map(|(d, (off, len))| {
+                    let h = if len == 0 { 0 } else { halo };
+                    (d, off, len, h, h)
+                })
+                .collect()
+        }
+    }
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Create a matrix from row-major host data; no device transfer happens
+    /// until a skeleton needs the data (lazy copying, Section III-A).
+    pub fn from_vec(ctx: &Context, rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data must be rows*cols elements"
+        );
+        let dist = default_distribution(ctx);
+        Matrix {
+            ctx: ctx.clone(),
+            state: Arc::new(Mutex::new(State {
+                host: data,
+                rows,
+                cols,
+                host_fresh: true,
+                device_fresh: false,
+                halos_fresh: false,
+                dist,
+                parts: Vec::new(),
+            })),
+        }
+    }
+
+    pub fn from_slice(ctx: &Context, rows: usize, cols: usize, data: &[T]) -> Self {
+        Matrix::from_vec(ctx, rows, cols, data.to_vec())
+    }
+
+    /// A matrix of `rows × cols` default-initialised elements.
+    pub fn zeroed(ctx: &Context, rows: usize, cols: usize) -> Self {
+        Matrix::from_vec(ctx, rows, cols, vec![T::default(); rows * cols])
+    }
+
+    /// Build from a per-element generator `f(row, col)`.
+    pub fn from_fn(ctx: &Context, rows: usize, cols: usize, f: impl Fn(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix::from_vec(ctx, rows, cols, data)
+    }
+
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    pub fn rows(&self) -> usize {
+        self.state.lock().rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.state.lock().cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.rows, st.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        let st = self.state.lock();
+        st.rows * st.cols
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn distribution(&self) -> MatrixDistribution {
+        self.state.lock().dist
+    }
+
+    /// Is the host copy current? (test/introspection aid)
+    pub fn host_fresh(&self) -> bool {
+        self.state.lock().host_fresh
+    }
+
+    /// Are the device copies current? (test/introspection aid)
+    pub fn device_fresh(&self) -> bool {
+        self.state.lock().device_fresh
+    }
+
+    /// Are the halo rows coherent with their owners? (test/introspection aid)
+    pub fn halos_fresh(&self) -> bool {
+        self.state.lock().halos_fresh
+    }
+
+    /// Read access to the row-major host data, downloading first only if the
+    /// device copies are newer (lazy copying).
+    pub fn host_view(&self) -> Result<MappedMutexGuard<'_, [T]>> {
+        let mut st = self.state.lock();
+        ensure_on_host(&self.ctx, &mut st)?;
+        Ok(MutexGuard::map(st, |s| s.host.as_mut_slice()))
+    }
+
+    /// Mutable access to the host data; marks the device copies stale.
+    pub fn host_view_mut(&self) -> Result<MappedMutexGuard<'_, [T]>> {
+        let mut st = self.state.lock();
+        ensure_on_host(&self.ctx, &mut st)?;
+        st.host_fresh = true;
+        st.device_fresh = false;
+        st.halos_fresh = false;
+        st.parts.clear();
+        Ok(MutexGuard::map(st, |s| s.host.as_mut_slice()))
+    }
+
+    /// Copy the current contents out to a row-major `Vec` (downloads the
+    /// owned regions if needed; halo rows are never written back).
+    pub fn to_vec(&self) -> Result<Vec<T>> {
+        let mut st = self.state.lock();
+        ensure_on_host(&self.ctx, &mut st)?;
+        Ok(st.host.clone())
+    }
+
+    /// Declare that a kernel modified this matrix on the devices by side
+    /// effect (the paper's `dataOnDevicesModified()`). Halo rows become
+    /// stale until the next exchange.
+    pub fn mark_devices_modified(&self) {
+        let mut st = self.state.lock();
+        assert!(
+            !st.parts.is_empty(),
+            "mark_devices_modified on a matrix that was never uploaded"
+        );
+        st.device_fresh = true;
+        st.host_fresh = false;
+        st.halos_fresh = false;
+    }
+
+    /// Upload to the devices (per the current distribution) if the device
+    /// copies are stale. Skeletons call this implicitly.
+    pub fn ensure_on_devices(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        ensure_on_devices(&self.ctx, &mut st)
+    }
+
+    /// Refresh every part's halo rows from the rows' owning parts via
+    /// device-to-device copies. A no-op when halos are already coherent,
+    /// when the distribution has no halos, or when the freshest data is on
+    /// the host (the next upload fills halos anyway).
+    pub fn halo_exchange(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        halo_exchange(&self.ctx, &mut st)
+    }
+
+    /// Change the distribution (paper's `setDistribution`, rows instead of
+    /// elements). If the devices hold the newest data, the required
+    /// inter-device exchange — including filling the new layout's halo rows
+    /// — happens automatically; otherwise only metadata changes and the
+    /// next upload uses the new layout.
+    pub fn set_distribution(&self, dist: MatrixDistribution) -> Result<()> {
+        if let MatrixDistribution::Single(d) = dist {
+            if d >= self.ctx.n_devices() {
+                return Err(Error::BadDistribution(format!(
+                    "device {d} out of range ({} devices)",
+                    self.ctx.n_devices()
+                )));
+            }
+        }
+        let mut st = self.state.lock();
+        if st.dist == dist {
+            return Ok(());
+        }
+        if !st.device_fresh {
+            st.dist = dist;
+            st.parts.clear();
+            return Ok(());
+        }
+        redistribute(&self.ctx, &mut st, dist)
+    }
+
+    /// The device-resident parts (uploading first if needed). Halo coherence
+    /// is **not** implied; callers that read halo rows go through
+    /// [`Matrix::halo_exchange`] first (Stencil2D does this automatically).
+    pub(crate) fn parts(&self) -> Result<Vec<MatrixPart<T>>> {
+        let mut st = self.state.lock();
+        ensure_on_devices(&self.ctx, &mut st)?;
+        Ok(st.parts.clone())
+    }
+
+    /// Like [`Matrix::parts`], but also guarantees halo coherence.
+    pub(crate) fn parts_with_fresh_halos(&self) -> Result<Vec<MatrixPart<T>>> {
+        let mut st = self.state.lock();
+        ensure_on_devices(&self.ctx, &mut st)?;
+        halo_exchange(&self.ctx, &mut st)?;
+        Ok(st.parts.clone())
+    }
+
+    /// Wrap freshly computed device parts as a new matrix (skeleton
+    /// outputs): device data is fresh, host copy is stale. `halos_fresh`
+    /// records whether the producer also wrote the halo rows (element-wise
+    /// skeletons do; stencils cannot).
+    pub(crate) fn from_device_parts(
+        ctx: &Context,
+        rows: usize,
+        cols: usize,
+        dist: MatrixDistribution,
+        parts: Vec<MatrixPart<T>>,
+        halos_fresh: bool,
+    ) -> Self {
+        Matrix {
+            ctx: ctx.clone(),
+            state: Arc::new(Mutex::new(State {
+                host: vec![T::default(); rows * cols],
+                rows,
+                cols,
+                host_fresh: false,
+                device_fresh: true,
+                halos_fresh,
+                dist,
+                parts,
+            })),
+        }
+    }
+}
+
+/// The contiguous global-row runs covering span rows `[0, span_rows)` of a
+/// part, as `(span_row_start, global_row_start, n_rows)` — wrapped halos
+/// split the span into at most three runs.
+fn span_runs<T: Scalar>(p: &MatrixPart<T>, n_rows: usize) -> Vec<(usize, usize, usize)> {
+    let mut runs = Vec::new();
+    let mut s = 0usize;
+    while s < p.span_rows() {
+        let g = p.global_row(s, n_rows);
+        // Run until the global row would wrap past the last matrix row.
+        let len = (p.span_rows() - s).min(n_rows - g);
+        runs.push((s, g, len));
+        s += len;
+    }
+    runs
+}
+
+/// Upload `st.host` per `st.dist` if the device copies are stale. Halo rows
+/// are filled straight from the host, so they come out coherent.
+fn ensure_on_devices<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> {
+    if st.device_fresh {
+        return Ok(());
+    }
+    assert!(
+        st.host_fresh,
+        "matrix has neither fresh host nor fresh device data"
+    );
+    let cols = st.cols;
+    let lay = layout(st.dist, st.rows, ctx.n_devices());
+    let concurrent = lay.iter().filter(|(_, _, r, _, _)| *r > 0).count().max(1);
+    let mut parts = Vec::with_capacity(lay.len());
+    for (device, row_offset, rows, halo_above, halo_below) in lay {
+        let part = MatrixPart {
+            device,
+            row_offset,
+            rows,
+            halo_above,
+            halo_below,
+            buffer: ctx
+                .device(device)
+                .alloc::<T>((halo_above + rows + halo_below) * cols)?,
+        };
+        if part.rows > 0 && cols > 0 {
+            for (s, g, len) in span_runs(&part, st.rows) {
+                ctx.queue(device).enqueue_write_range(
+                    &part.buffer,
+                    s * cols,
+                    &st.host[g * cols..(g + len) * cols],
+                    concurrent,
+                )?;
+            }
+        }
+        parts.push(part);
+    }
+    st.parts = parts;
+    st.device_fresh = true;
+    st.halos_fresh = true;
+    Ok(())
+}
+
+/// Download the owned regions into `st.host` if the host copy is stale.
+fn ensure_on_host<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> {
+    if st.host_fresh {
+        return Ok(());
+    }
+    assert!(
+        st.device_fresh,
+        "matrix has neither fresh host nor fresh device data"
+    );
+    let cols = st.cols;
+    match st.dist {
+        MatrixDistribution::Single(_) | MatrixDistribution::Copy => {
+            let part = st
+                .parts
+                .first()
+                .ok_or_else(|| Error::NotOnDevice("no device parts to download".into()))?;
+            let mut tmp = vec![T::default(); part.rows * cols];
+            if !tmp.is_empty() {
+                ctx.queue(part.device)
+                    .enqueue_read_range(&part.buffer, 0, &mut tmp, 1, true)?;
+            }
+            st.host = tmp;
+        }
+        MatrixDistribution::RowBlock { .. } => {
+            let concurrent = st.parts.iter().filter(|p| p.rows > 0).count().max(1);
+            let parts = st.parts.clone();
+            for p in &parts {
+                if p.rows == 0 || cols == 0 {
+                    continue;
+                }
+                ctx.queue(p.device).enqueue_read_range(
+                    &p.buffer,
+                    p.halo_above * cols,
+                    &mut st.host[p.row_offset * cols..(p.row_offset + p.rows) * cols],
+                    concurrent,
+                    false,
+                )?;
+            }
+            ctx.sync();
+        }
+    }
+    st.host_fresh = true;
+    Ok(())
+}
+
+/// The part owning global row `g` (for `Copy`, the copy on `prefer`).
+fn owner_of_row<T: Scalar>(parts: &[MatrixPart<T>], g: usize, prefer: usize) -> &MatrixPart<T> {
+    parts
+        .iter()
+        .filter(|p| g >= p.row_offset && g < p.row_offset + p.rows)
+        .min_by_key(|p| if p.device == prefer { 0 } else { 1 })
+        .expect("global row not owned by any part")
+}
+
+/// Copy a run of global rows from their owners into destination part
+/// `dst`: `run` is `(span_row_start, global_row_start, n_rows)`, as
+/// produced by [`span_runs`] / [`halo_runs`]. Returns the number of
+/// cross-device transfers issued.
+fn fill_rows_from_owners<T: Scalar>(
+    ctx: &Context,
+    parts: &[MatrixPart<T>],
+    dst: &MatrixPart<T>,
+    run: (usize, usize, usize),
+    cols: usize,
+    concurrent: usize,
+) -> Result<usize> {
+    let (mut s, mut g, mut len) = run;
+    let mut cross = 0usize;
+    while len > 0 {
+        let src = owner_of_row(parts, g, dst.device);
+        let src_span_row = src.halo_above + (g - src.row_offset);
+        let run = len.min(src.row_offset + src.rows - g);
+        // An identity copy (same allocation, same span position) is a
+        // no-op; a same-buffer copy at a *different* span position is real
+        // — that is how single-device wrap halos are filled from the owned
+        // rows.
+        if !(src.buffer.same_allocation(&dst.buffer) && src_span_row == s) {
+            if src.device != dst.device {
+                cross += 1;
+            }
+            ctx.platform().copy_d2d_range(
+                &src.buffer,
+                src_span_row * cols,
+                &dst.buffer,
+                s * cols,
+                run * cols,
+                concurrent,
+            )?;
+        }
+        s += run;
+        g += run;
+        len -= run;
+    }
+    Ok(cross)
+}
+
+/// Refresh halo rows from their owners (device-to-device).
+fn halo_exchange<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> {
+    if st.halos_fresh || !st.device_fresh || st.cols == 0 {
+        return Ok(());
+    }
+    let cols = st.cols;
+    let n_rows = st.rows;
+    // Every halo row crosses a device boundary (its owner is a neighbour),
+    // so the batch size is roughly two transfers per part.
+    let concurrent = (2 * st.parts.len()).min(2 * ctx.n_devices()).max(1);
+    let parts = st.parts.clone();
+    for p in &parts {
+        if p.rows == 0 {
+            continue;
+        }
+        if p.halo_above > 0 {
+            for run in halo_runs(p, n_rows, true) {
+                fill_rows_from_owners(ctx, &parts, p, run, cols, concurrent)?;
+            }
+        }
+        if p.halo_below > 0 {
+            for run in halo_runs(p, n_rows, false) {
+                fill_rows_from_owners(ctx, &parts, p, run, cols, concurrent)?;
+            }
+        }
+    }
+    ctx.sync();
+    st.halos_fresh = true;
+    Ok(())
+}
+
+/// The contiguous global-row runs of a part's upper (`above == true`) or
+/// lower halo, as `(span_row_start, global_row_start, n_rows)`.
+fn halo_runs<T: Scalar>(
+    p: &MatrixPart<T>,
+    n_rows: usize,
+    above: bool,
+) -> Vec<(usize, usize, usize)> {
+    let (span_start, span_len) = if above {
+        (0, p.halo_above)
+    } else {
+        (p.halo_above + p.rows, p.halo_below)
+    };
+    let mut runs = Vec::new();
+    let mut s = span_start;
+    while s < span_start + span_len {
+        let g = p.global_row(s, n_rows);
+        let len = (span_start + span_len - s).min(n_rows - g);
+        runs.push((s, g, len));
+        s += len;
+    }
+    runs
+}
+
+/// Move device-fresh data from `st.dist`/`st.parts` into `new_dist`,
+/// filling the new layout's owned regions *and* halo rows from the old
+/// owners.
+fn redistribute<T: Scalar>(
+    ctx: &Context,
+    st: &mut State<T>,
+    new_dist: MatrixDistribution,
+) -> Result<()> {
+    let cols = st.cols;
+    let n_rows = st.rows;
+    let n = ctx.n_devices();
+    let new_lay = layout(new_dist, n_rows, n);
+
+    let mut new_parts = Vec::with_capacity(new_lay.len());
+    for (device, row_offset, rows, halo_above, halo_below) in new_lay {
+        new_parts.push(MatrixPart {
+            device,
+            row_offset,
+            rows,
+            halo_above,
+            halo_below,
+            buffer: ctx
+                .device(device)
+                .alloc::<T>((halo_above + rows + halo_below) * cols)?,
+        });
+    }
+
+    if cols > 0 {
+        // Estimate bus contention: count cross-device row runs first.
+        let concurrent = n.max(1);
+        for np in &new_parts {
+            if np.rows == 0 {
+                continue;
+            }
+            for run in span_runs(np, n_rows) {
+                fill_rows_from_owners(ctx, &st.parts, np, run, cols, concurrent)?;
+            }
+        }
+        ctx.sync();
+    }
+
+    st.parts = new_parts;
+    st.dist = new_dist;
+    st.halos_fresh = true;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ContextConfig;
+
+    fn ctx(n: usize) -> Context {
+        Context::new(
+            ContextConfig::default()
+                .devices(n)
+                .spec(vgpu::DeviceSpec::tiny())
+                .work_group(64)
+                .cache_tag("skelcl-matrix-tests"),
+        )
+    }
+
+    fn data(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn creation_is_lazy_no_transfer() {
+        let c = ctx(2);
+        let before = c.platform().stats_snapshot();
+        let m = Matrix::from_vec(&c, 10, 8, data(10, 8));
+        assert_eq!(m.dims(), (10, 8));
+        assert!(!m.device_fresh());
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.total_transfers(), 0, "creation must not transfer");
+    }
+
+    #[test]
+    fn roundtrip_through_row_block() {
+        let c = ctx(3);
+        let m = Matrix::from_vec(&c, 11, 7, data(11, 7));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 2 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        assert!(!m.host_fresh());
+        assert_eq!(m.to_vec().unwrap(), data(11, 7));
+        assert!(m.host_fresh());
+    }
+
+    #[test]
+    fn upload_fills_halos_with_wrapped_rows() {
+        let c = ctx(2);
+        let rows = 6;
+        let cols = 3;
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let parts = m.parts().unwrap();
+        assert_eq!(parts.len(), 2);
+        let p0 = &parts[0]; // owns rows 0..3, halo above wraps to row 5
+        assert_eq!(p0.span_rows(), 5);
+        assert_eq!(p0.global_row(0, rows), 5);
+        let host = data(rows, cols);
+        assert_eq!(p0.buffer.to_vec()[0..cols], host[5 * cols..6 * cols]);
+        // Lower halo of part 0 is the first owned row of part 1 (row 3).
+        assert_eq!(
+            p0.buffer.to_vec()[4 * cols..5 * cols],
+            host[3 * cols..4 * cols]
+        );
+    }
+
+    #[test]
+    fn halo_exchange_updates_neighbour_halos() {
+        let c = ctx(2);
+        let rows = 8;
+        let cols = 4;
+        let m = Matrix::from_vec(&c, rows, cols, vec![0.0f32; rows * cols]);
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        // Device 1 rewrites its first owned row (global row 4) in place.
+        {
+            let parts = m.parts().unwrap();
+            let p1 = &parts[1];
+            for col in 0..cols {
+                p1.buffer.set(p1.halo_above * cols + col, 9.0);
+            }
+        }
+        m.mark_devices_modified();
+        assert!(!m.halos_fresh());
+        let before = c.platform().stats_snapshot();
+        m.halo_exchange().unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert!(delta.d2d_transfers > 0, "halo exchange crosses devices");
+        assert!(m.halos_fresh());
+        // Device 0's lower halo row must now hold the updated row 4.
+        let parts = m.parts().unwrap();
+        let p0 = &parts[0];
+        let lower_halo_start = (p0.halo_above + p0.rows) * cols;
+        for col in 0..cols {
+            assert_eq!(p0.buffer.get(lower_halo_start + col), 9.0);
+        }
+    }
+
+    #[test]
+    fn halo_exchange_is_lazy_when_fresh() {
+        let c = ctx(3);
+        let m = Matrix::from_vec(&c, 9, 5, data(9, 5));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 2 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        let before = c.platform().stats_snapshot();
+        m.halo_exchange().unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(
+            delta.total_transfers(),
+            0,
+            "upload already filled the halos"
+        );
+    }
+
+    #[test]
+    fn copy_distribution_replicates() {
+        let c = ctx(3);
+        let m = Matrix::from_vec(&c, 4, 4, data(4, 4));
+        m.set_distribution(MatrixDistribution::Copy).unwrap();
+        let parts = m.parts().unwrap();
+        assert_eq!(parts.len(), 3);
+        for p in &parts {
+            assert_eq!(p.buffer.to_vec(), data(4, 4));
+        }
+    }
+
+    #[test]
+    fn row_block_to_single_gathers() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 10, 3, data(10, 3));
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        m.set_distribution(MatrixDistribution::Single(1)).unwrap();
+        let parts = m.parts().unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].device, 1);
+        assert_eq!(parts[0].buffer.to_vec(), data(10, 3));
+        assert_eq!(m.to_vec().unwrap(), data(10, 3));
+    }
+
+    #[test]
+    fn single_to_row_block_scatters_and_fills_halos() {
+        let c = ctx(4);
+        let rows = 12;
+        let m = Matrix::from_vec(&c, rows, 2, data(rows, 2));
+        m.set_distribution(MatrixDistribution::Single(0)).unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        assert!(m.halos_fresh());
+        let parts = m.parts().unwrap();
+        assert_eq!(parts.len(), 4);
+        let host = data(rows, 2);
+        for p in &parts {
+            let buf = p.buffer.to_vec();
+            for s in 0..p.span_rows() {
+                let g = p.global_row(s, rows);
+                assert_eq!(
+                    buf[s * 2..(s + 1) * 2],
+                    host[g * 2..(g + 1) * 2],
+                    "device {} span row {s} (global {g})",
+                    p.device
+                );
+            }
+        }
+        assert_eq!(m.to_vec().unwrap(), host);
+    }
+
+    #[test]
+    fn growing_the_halo_redistributes_device_side() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 8, 4, data(8, 4));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 0 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        let before = c.platform().stats_snapshot();
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 2 })
+            .unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.h2d_transfers, 0, "no host round trip");
+        assert!(delta.d2d_transfers > 0, "halo fill crosses devices");
+        assert_eq!(m.to_vec().unwrap(), data(8, 4));
+    }
+
+    #[test]
+    fn metadata_only_redistribution_when_host_fresh() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 6, 6, data(6, 6));
+        let before = c.platform().stats_snapshot();
+        m.set_distribution(MatrixDistribution::Copy).unwrap();
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 3 })
+            .unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.total_transfers(), 0);
+    }
+
+    #[test]
+    fn host_view_mut_invalidates_device_copies() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 4, 4, data(4, 4));
+        m.ensure_on_devices().unwrap();
+        assert!(m.device_fresh());
+        m.host_view_mut().unwrap()[5] = 99.0;
+        assert!(!m.device_fresh());
+        assert_eq!(m.to_vec().unwrap()[5], 99.0);
+    }
+
+    #[test]
+    fn invalid_single_device_is_rejected() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 2, 2, data(2, 2));
+        assert!(m.set_distribution(MatrixDistribution::Single(7)).is_err());
+    }
+
+    #[test]
+    fn oversized_halo_is_clamped_to_the_matrix_height() {
+        let c = ctx(2);
+        let rows = 4;
+        let m = Matrix::from_vec(&c, rows, 2, data(rows, 2));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 100 })
+            .unwrap();
+        let parts = m.parts().unwrap();
+        for p in &parts {
+            assert!(p.halo_above <= rows);
+            assert!(p.halo_below <= rows);
+        }
+        assert_eq!(m.to_vec().unwrap(), data(rows, 2));
+    }
+
+    #[test]
+    fn clone_is_a_shared_handle() {
+        let c = ctx(1);
+        let m = Matrix::from_vec(&c, 2, 2, data(2, 2));
+        let w = m.clone();
+        m.host_view_mut().unwrap()[0] = 7.0;
+        assert_eq!(w.to_vec().unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn more_devices_than_rows_leaves_empty_parts() {
+        let c = ctx(4);
+        let m = Matrix::from_vec(&c, 2, 3, data(2, 3));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let parts = m.parts().unwrap();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.rows).sum::<usize>(), 2);
+        assert!(parts
+            .iter()
+            .filter(|p| p.rows == 0)
+            .all(|p| p.span_rows() == 0));
+        assert_eq!(m.to_vec().unwrap(), data(2, 3));
+    }
+}

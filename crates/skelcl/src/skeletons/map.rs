@@ -12,8 +12,11 @@
 use crate::arguments::{Arguments, KernelEnv};
 use crate::codegen::{self, UserFn};
 use crate::error::Result;
+use crate::matrix::Matrix;
 use crate::meter;
-use crate::skeletons::{alloc_matching_parts, linear_range, output_vector};
+use crate::skeletons::{
+    alloc_matching_matrix_parts, alloc_matching_parts, linear_range, output_vector, range_2d,
+};
 use crate::vector::Vector;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -23,6 +26,8 @@ use vgpu::{KernelBody, Program, Scalar as Element};
 pub struct Map<T: Element, U: Element, F> {
     user: UserFn<F>,
     program: Program,
+    /// The 2D-NDRange twin used by [`Map::apply_matrix`].
+    program2d: Program,
     _pd: PhantomData<fn(T) -> U>,
 }
 
@@ -35,16 +40,14 @@ where
     /// Create the skeleton from its customizing function
     /// (`Map<float> m("float f(float x){...}")` in the paper).
     pub fn new(user: UserFn<F>) -> Self {
-        let program = codegen::map_program(
-            user.name(),
-            user.source(),
-            T::TYPE_NAME,
-            U::TYPE_NAME,
-            0,
-        );
+        let program =
+            codegen::map_program(user.name(), user.source(), T::TYPE_NAME, U::TYPE_NAME, 0);
+        let program2d =
+            codegen::map2d_program(user.name(), user.source(), T::TYPE_NAME, U::TYPE_NAME);
         Map {
             user,
             program,
+            program2d,
             _pd: PhantomData,
         }
     }
@@ -85,13 +88,61 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(ip.device).launch(&kernel, linear_range(&ctx, ip.len))?;
+            ctx.queue(ip.device)
+                .launch(&kernel, linear_range(&ctx, ip.len))?;
         }
         Ok(output_vector(
             &ctx,
             input.len(),
             input.distribution(),
             out_parts,
+        ))
+    }
+
+    /// Apply the skeleton element-wise over a [`Matrix`], launching one 2D
+    /// NDRange per device part. Halo rows are computed locally too (they
+    /// are just copies of rows owned elsewhere), so the output's halo
+    /// coherence matches the input's and no exchange is ever needed for
+    /// element-wise chains.
+    pub fn apply_matrix(&self, input: &Matrix<T>) -> Result<Matrix<U>> {
+        let ctx = input.ctx().clone();
+        let compiled = ctx.get_or_build(&self.program2d)?;
+        let (rows, cols) = input.dims();
+        let in_parts = input.parts()?;
+        let halos_fresh = input.halos_fresh();
+        let out_parts = alloc_matching_matrix_parts::<T, U>(&ctx, &in_parts, cols)?;
+
+        let static_ops = self.user.static_ops();
+        for (ip, op) in in_parts.iter().zip(&out_parts) {
+            if ip.rows == 0 || cols == 0 {
+                continue;
+            }
+            let f = self.user.func().clone();
+            let src = ip.buffer.clone();
+            let dst = op.buffer.clone();
+            let body: KernelBody = Arc::new(move |wg| {
+                wg.for_each_item(|it| {
+                    if !it.in_bounds() {
+                        return;
+                    }
+                    let i = it.global_id(1) * cols + it.global_id(0);
+                    let x = it.read(&src, i);
+                    let (y, dyn_ops) = meter::metered(|| f(x));
+                    it.write(&dst, i, y);
+                    it.work(static_ops + dyn_ops);
+                });
+            });
+            let kernel = compiled.with_body(body);
+            ctx.queue(ip.device)
+                .launch(&kernel, range_2d(&ctx, cols, ip.span_rows()))?;
+        }
+        Ok(Matrix::from_device_parts(
+            &ctx,
+            rows,
+            cols,
+            input.distribution(),
+            out_parts,
+            halos_fresh,
         ))
     }
 }
@@ -165,7 +216,8 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(ip.device).launch(&kernel, linear_range(&ctx, ip.len))?;
+            ctx.queue(ip.device)
+                .launch(&kernel, linear_range(&ctx, ip.len))?;
         }
         Ok(output_vector(
             &ctx,
@@ -241,7 +293,8 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(ip.device).launch(&kernel, linear_range(&ctx, ip.len))?;
+            ctx.queue(ip.device)
+                .launch(&kernel, linear_range(&ctx, ip.len))?;
         }
         Ok(())
     }
@@ -256,7 +309,11 @@ mod tests {
     #[test]
     fn map_squares_on_one_device() {
         let c = ctx(1);
-        let square = crate::skel_fn!(fn square(x: f32) -> f32 { x * x });
+        let square = crate::skel_fn!(
+            fn square(x: f32) -> f32 {
+                x * x
+            }
+        );
         let m = Map::new(square);
         let v = Vector::from_vec(&c, (0..100).map(|i| i as f32).collect());
         let out = m.apply(&v).unwrap();
@@ -269,7 +326,11 @@ mod tests {
     #[test]
     fn map_output_stays_on_device_until_read() {
         let c = ctx(1);
-        let inc = crate::skel_fn!(fn inc(x: f32) -> f32 { x + 1.0 });
+        let inc = crate::skel_fn!(
+            fn inc(x: f32) -> f32 {
+                x + 1.0
+            }
+        );
         let m = Map::new(inc);
         let v = Vector::from_vec(&c, vec![1.0f32; 64]);
         let out = m.apply(&v).unwrap();
@@ -281,13 +342,20 @@ mod tests {
     #[test]
     fn map_preserves_block_distribution_across_devices() {
         let c = ctx(3);
-        let neg = crate::skel_fn!(fn neg(x: i32) -> i32 { -x });
+        let neg = crate::skel_fn!(
+            fn neg(x: i32) -> i32 {
+                -x
+            }
+        );
         let m = Map::new(neg);
         let v = Vector::from_vec(&c, (0..100i32).collect());
         v.set_distribution(Distribution::Block).unwrap();
         let out = m.apply(&v).unwrap();
         assert_eq!(out.distribution(), Distribution::Block);
-        assert_eq!(out.to_vec().unwrap(), (0..100i32).map(|x| -x).collect::<Vec<_>>());
+        assert_eq!(
+            out.to_vec().unwrap(),
+            (0..100i32).map(|x| -x).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -349,8 +417,13 @@ mod tests {
         acc.mark_devices_modified();
         // Each device's copy saw 8 of the 16 indices -> 2 hits per slot;
         // merging with add gives 4 per slot.
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
-        acc.set_distribution_with(Distribution::Block, &add).unwrap();
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
+        acc.set_distribution_with(Distribution::Block, &add)
+            .unwrap();
         assert_eq!(acc.to_vec().unwrap(), vec![4.0f32; 4]);
     }
 
@@ -367,7 +440,11 @@ mod tests {
                 x
             },
         );
-        let light = crate::skel_fn!(fn light(x: f32) -> f32 { x });
+        let light = crate::skel_fn!(
+            fn light(x: f32) -> f32 {
+                x
+            }
+        );
         let v = Vector::from_vec(&c, vec![1.0f32; 1 << 12]);
         let heavy = Map::new(heavy);
         let light = Map::new(light);
@@ -392,9 +469,59 @@ mod tests {
     }
 
     #[test]
+    fn map_on_matrix_matches_host_map() {
+        let c = ctx(3);
+        let double = crate::skel_fn!(
+            fn double(x: f32) -> f32 {
+                x * 2.0
+            }
+        );
+        let m = Map::new(double);
+        let data: Vec<f32> = (0..11 * 7).map(|i| i as f32).collect();
+        let mat = crate::Matrix::from_vec(&c, 11, 7, data.clone());
+        mat.set_distribution(crate::MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let out = m.apply_matrix(&mat).unwrap();
+        assert_eq!(out.dims(), (11, 7));
+        assert_eq!(out.distribution(), mat.distribution());
+        let want: Vec<f32> = data.iter().map(|x| x * 2.0).collect();
+        assert_eq!(out.to_vec().unwrap(), want);
+    }
+
+    #[test]
+    fn map_on_matrix_preserves_halo_freshness_without_transfers() {
+        let c = ctx(2);
+        let inc = crate::skel_fn!(
+            fn inc(x: f32) -> f32 {
+                x + 1.0
+            }
+        );
+        let m = Map::new(inc);
+        let mat = crate::Matrix::from_vec(&c, 8, 4, vec![0.0f32; 32]);
+        mat.set_distribution(crate::MatrixDistribution::RowBlock { halo: 2 })
+            .unwrap();
+        mat.ensure_on_devices().unwrap();
+        let before = c.platform().stats_snapshot();
+        let out = m.apply_matrix(&mat).unwrap();
+        let out2 = m.apply_matrix(&out).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(
+            delta.total_transfers(),
+            0,
+            "element-wise matrix chains must not move data at all"
+        );
+        assert!(out2.halos_fresh(), "halo rows were computed in place");
+        assert_eq!(out2.to_vec().unwrap(), vec![2.0f32; 32]);
+    }
+
+    #[test]
     fn map_on_empty_vector_is_ok() {
         let c = ctx(2);
-        let inc = crate::skel_fn!(fn inc(x: f32) -> f32 { x + 1.0 });
+        let inc = crate::skel_fn!(
+            fn inc(x: f32) -> f32 {
+                x + 1.0
+            }
+        );
         let v = Vector::from_vec(&c, Vec::<f32>::new());
         let out = Map::new(inc).apply(&v).unwrap();
         assert_eq!(out.len(), 0);

@@ -126,7 +126,8 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(ip.device).launch(&kernel, linear_range(&ctx, ip.len))?;
+            ctx.queue(ip.device)
+                .launch(&kernel, linear_range(&ctx, ip.len))?;
         }
         Ok(output_vector(
             &ctx,
@@ -183,14 +184,8 @@ where
                 let g = g as usize;
                 let src = part_holding(parts, g);
                 let run = (src.offset + src.len - g).min(r - k).min(n_global - g);
-                ctx.platform().copy_d2d_range(
-                    &src.buffer,
-                    g - src.offset,
-                    ext,
-                    ext_idx,
-                    run,
-                    1,
-                )?;
+                ctx.platform()
+                    .copy_d2d_range(&src.buffer, g - src.offset, ext, ext_idx, run, 1)?;
                 k += run;
             }
         }

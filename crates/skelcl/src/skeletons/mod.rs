@@ -15,6 +15,7 @@ mod map_overlap;
 mod map_reduce;
 mod reduce;
 mod scan;
+mod stencil2d;
 mod zip;
 
 pub use map::{Map, MapArgs, MapVoid};
@@ -22,6 +23,7 @@ pub use map_overlap::{Boundary, MapOverlap, StencilView};
 pub use map_reduce::{MapIndex, MapReduce};
 pub use reduce::{Reduce, ReduceStrategy};
 pub use scan::{Scan, ScanStrategy};
+pub use stencil2d::{Boundary2D, Stencil2D, Stencil2DView};
 pub use zip::{Zip, ZipArgs};
 
 use crate::context::Context;
@@ -48,6 +50,28 @@ pub(crate) fn alloc_matching_parts<T: Element, U: Element>(
     Ok(out)
 }
 
+/// Allocate output matrix parts matching an input part layout (same
+/// devices, same owned/halo row geometry). Used by the element-wise matrix
+/// skeleton paths.
+pub(crate) fn alloc_matching_matrix_parts<T: Element, U: Element>(
+    ctx: &Context,
+    parts: &[crate::matrix::MatrixPart<T>],
+    cols: usize,
+) -> Result<Vec<crate::matrix::MatrixPart<U>>> {
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        out.push(crate::matrix::MatrixPart {
+            device: p.device,
+            row_offset: p.row_offset,
+            rows: p.rows,
+            halo_above: p.halo_above,
+            halo_below: p.halo_below,
+            buffer: ctx.device(p.device).alloc::<U>(p.span_rows() * cols)?,
+        });
+    }
+    Ok(out)
+}
+
 /// Wrap computed parts as the output vector of an element-wise skeleton.
 pub(crate) fn output_vector<U: Element>(
     ctx: &Context,
@@ -62,6 +86,16 @@ pub(crate) fn output_vector<U: Element>(
 pub(crate) fn linear_range(ctx: &Context, len: usize) -> vgpu::NDRange {
     let wg = ctx.work_group().min(len.max(1));
     vgpu::NDRange::linear(len.max(1), wg)
+}
+
+/// 2-D launch range over a `cols × rows` grid: square-ish work-groups (like
+/// SkelCL's 32×4 / 16×16 stencil groups) whose size stays within the
+/// context's configured budget.
+pub(crate) fn range_2d(ctx: &Context, cols: usize, rows: usize) -> vgpu::NDRange {
+    let budget = ctx.work_group().max(1);
+    let lx = cols.clamp(1, 16.min(budget));
+    let ly = rows.clamp(1, (budget / lx).max(1)).min(16);
+    vgpu::NDRange::two_d((cols.max(1), rows.max(1)), (lx, ly))
 }
 
 #[cfg(test)]

@@ -92,12 +92,20 @@ where
         let mut device_results = Vec::with_capacity(active.len());
         for part in &active {
             let value_buf = match self.strategy {
-                ReduceStrategy::LocalTree => {
-                    self.reduce_on_device_tree(&ctx, part.device, &compiled, part.buffer.clone(), part.len)?
-                }
-                ReduceStrategy::GlobalNaive => {
-                    self.reduce_on_device_naive(&ctx, part.device, &compiled, part.buffer.clone(), part.len)?
-                }
+                ReduceStrategy::LocalTree => self.reduce_on_device_tree(
+                    &ctx,
+                    part.device,
+                    &compiled,
+                    part.buffer.clone(),
+                    part.len,
+                )?,
+                ReduceStrategy::GlobalNaive => self.reduce_on_device_naive(
+                    &ctx,
+                    part.device,
+                    &compiled,
+                    part.buffer.clone(),
+                    part.len,
+                )?,
             };
             device_results.push((part.device, value_buf));
         }
@@ -157,7 +165,11 @@ where
             wg.for_each_item(|it| {
                 let lid = it.local_id(0);
                 let gid = it.global_id(0);
-                let v = if gid < n { it.read(&input, gid) } else { identity };
+                let v = if gid < n {
+                    it.read(&input, gid)
+                } else {
+                    identity
+                };
                 scratch.set(lid, v);
             });
             wg.barrier();
@@ -243,8 +255,7 @@ pub(crate) fn record_tree_banks(wg: &WorkGroup, s: usize, interleaved: bool) {
     while lane < active {
         let hi = (lane + warp).min(active);
         if interleaved {
-            wg.bank_model()
-                .record_access((lane..hi).map(|l| 2 * s * l));
+            wg.bank_model().record_access((lane..hi).map(|l| 2 * s * l));
             wg.bank_model()
                 .record_access((lane..hi).map(|l| 2 * s * l + s));
         } else {
@@ -263,7 +274,11 @@ mod tests {
 
     fn sum_skel() -> Reduce<f32, fn(f32, f32) -> f32> {
         Reduce::new(
-            crate::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+            crate::skel_fn!(
+                fn sum(x: f32, y: f32) -> f32 {
+                    x + y
+                }
+            ),
             0.0,
         )
     }
@@ -308,7 +323,15 @@ mod tests {
     fn reduce_with_max_operator() {
         let c = ctx(2);
         let max_fn = Reduce::new(
-            crate::skel_fn!(fn maxf(x: f32, y: f32) -> f32 { if x > y { x } else { y } }),
+            crate::skel_fn!(
+                fn maxf(x: f32, y: f32) -> f32 {
+                    if x > y {
+                        x
+                    } else {
+                        y
+                    }
+                }
+            ),
             f32::NEG_INFINITY,
         );
         let mut data: Vec<f32> = (0..500).map(|i| (i as f32 * 37.0) % 101.0).collect();
@@ -361,7 +384,11 @@ mod tests {
     fn dot_product_composition() {
         // The paper's Listing 1: C = sum(mult(A, B)).
         let c = ctx(2);
-        let mult = crate::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y });
+        let mult = crate::skel_fn!(
+            fn mult(x: f32, y: f32) -> f32 {
+                x * y
+            }
+        );
         let a = Vector::from_vec(&c, (0..64).map(|i| i as f32).collect());
         let b = Vector::from_vec(&c, (0..64).map(|i| (i % 4) as f32).collect());
         let ab = crate::skeletons::Zip::new(mult).apply(&a, &b).unwrap();

@@ -388,7 +388,11 @@ mod tests {
 
     fn sum_scan() -> Scan<f32, fn(f32, f32) -> f32> {
         Scan::new(
-            crate::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+            crate::skel_fn!(
+                fn sum(x: f32, y: f32) -> f32 {
+                    x + y
+                }
+            ),
             0.0,
         )
     }
@@ -430,7 +434,8 @@ mod tests {
         let c = ctx(3);
         let data: Vec<f32> = (0..1000).map(|i| ((i * 7) % 11) as f32).collect();
         let v = Vector::from_vec(&c, data.clone());
-        v.set_distribution(crate::vector::Distribution::Block).unwrap();
+        v.set_distribution(crate::vector::Distribution::Block)
+            .unwrap();
         let (out, total) = sum_scan().apply_with_total(&v).unwrap();
         assert_eq!(out.to_vec().unwrap(), expected_exclusive(&data));
         assert_eq!(total, data.iter().sum::<f32>());
@@ -443,12 +448,21 @@ mod tests {
         // associative but not invertible.
         let c = ctx(2);
         let maxplus = Scan::new(
-            crate::skel_fn!(fn mp(x: i64, y: i64) -> i64 { if x > y { x } else { y } }),
+            crate::skel_fn!(
+                fn mp(x: i64, y: i64) -> i64 {
+                    if x > y {
+                        x
+                    } else {
+                        y
+                    }
+                }
+            ),
             i64::MIN,
         );
         let data: Vec<i64> = vec![5, 1, 9, 3, 9, 2, 11, 0, 4];
         let v = Vector::from_vec(&c, data.clone());
-        v.set_distribution(crate::vector::Distribution::Block).unwrap();
+        v.set_distribution(crate::vector::Distribution::Block)
+            .unwrap();
         let out = maxplus.apply(&v).unwrap().to_vec().unwrap();
         let mut acc = i64::MIN;
         let mut want = Vec::new();
@@ -502,7 +516,11 @@ mod tests {
         let v = Vector::from_vec(&c, vec![1.0f32; 512]);
         let scanned = sum_scan().apply(&v).unwrap();
         let before = c.platform().stats_snapshot();
-        let inc = crate::skel_fn!(fn inc(x: f32) -> f32 { x + 1.0 });
+        let inc = crate::skel_fn!(
+            fn inc(x: f32) -> f32 {
+                x + 1.0
+            }
+        );
         let _ = crate::skeletons::Map::new(inc).apply(&scanned).unwrap();
         let delta = c.platform().stats_snapshot() - before;
         assert_eq!(delta.h2d_transfers, 0);

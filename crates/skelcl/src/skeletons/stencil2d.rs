@@ -1,0 +1,515 @@
+//! The Stencil2D skeleton: a 2D stencil over [`Matrix`] with automatic
+//! inter-device halo exchange.
+//!
+//! This is the 2D generalisation of [`crate::MapOverlap`] — the skeleton
+//! behind SkelCL's image-processing benchmarks (Gaussian blur, Sobel,
+//! Canny). Each output element is computed from its input element and the
+//! `radius`-neighbourhood around it. Under a
+//! [`MatrixDistribution::RowBlock`] distribution the neighbourhood crosses
+//! device boundaries; the halo rows the distribution maintains (refreshed
+//! by an automatic [`Matrix::halo_exchange`] when stale) provide them
+//! without gathering the whole matrix anywhere.
+//!
+//! Out-of-matrix accesses follow the [`Boundary2D`] mode: `Neumann`
+//! replicates the edge element (zero-gradient), `Wrap` treats the matrix as
+//! a torus, `Zero` reads the element type's default.
+
+use crate::codegen::{self, UserFn};
+use crate::error::Result;
+use crate::matrix::{Matrix, MatrixDistribution};
+use crate::meter;
+use crate::skeletons::range_2d;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use vgpu::{Buffer, Item, KernelBody, Program, Scalar as Element};
+
+/// What out-of-matrix neighbourhood positions read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Boundary2D {
+    /// Replicate the nearest edge element (zero-gradient boundary).
+    Neumann,
+    /// Wrap around: the matrix is a torus.
+    Wrap,
+    /// Read the element type's default value.
+    Zero,
+}
+
+impl Boundary2D {
+    /// The spelling used in generated program names (part of the kernel
+    /// cache key — each boundary mode emits different index arithmetic).
+    pub fn codegen_name(self) -> &'static str {
+        match self {
+            Boundary2D::Neumann => "neumann",
+            Boundary2D::Wrap => "wrap",
+            Boundary2D::Zero => "zero",
+        }
+    }
+}
+
+/// The customizing function's view of one stencil application: counted
+/// access to the `[-radius, +radius]²` neighbourhood of its element.
+pub struct Stencil2DView<'a, T: Element> {
+    buf: &'a Buffer<T>,
+    /// Matrix width (also the part buffer's row stride).
+    cols: usize,
+    /// Matrix height.
+    n_rows: usize,
+    /// The centre's row within the part's span buffer.
+    span_row: usize,
+    /// Total rows in the part's span buffer.
+    span_rows: usize,
+    /// The centre's global row.
+    g_row: usize,
+    /// The centre's column.
+    col: usize,
+    radius: usize,
+    boundary: Boundary2D,
+    item: &'a Item<'a>,
+}
+
+impl<'a, T: Element> Stencil2DView<'a, T> {
+    /// The neighbour at `(row + dr, col + dc)`; `(0, 0)` is the element
+    /// itself. Panics if `|dr|` or `|dc|` exceeds the stencil radius,
+    /// mirroring SkelCL's out-of-range checks.
+    #[inline]
+    pub fn get(&self, dr: isize, dc: isize) -> T {
+        assert!(
+            dr.unsigned_abs() <= self.radius && dc.unsigned_abs() <= self.radius,
+            "stencil access ({dr}, {dc}) exceeds radius {}",
+            self.radius
+        );
+        let n_rows = self.n_rows as isize;
+        let n_cols = self.cols as isize;
+        // Resolve the row against the boundary, then express it as a span
+        // offset: span rows are consecutive global rows (mod n_rows), so an
+        // effective delta of d lands at span_row + d.
+        let row_delta = match self.boundary {
+            Boundary2D::Wrap => dr,
+            Boundary2D::Neumann => {
+                let clamped = (self.g_row as isize + dr).clamp(0, n_rows - 1);
+                clamped - self.g_row as isize
+            }
+            Boundary2D::Zero => {
+                let target = self.g_row as isize + dr;
+                if target < 0 || target >= n_rows {
+                    return T::default();
+                }
+                dr
+            }
+        };
+        let col = match self.boundary {
+            Boundary2D::Wrap => (self.col as isize + dc).rem_euclid(n_cols),
+            Boundary2D::Neumann => (self.col as isize + dc).clamp(0, n_cols - 1),
+            Boundary2D::Zero => {
+                let target = self.col as isize + dc;
+                if target < 0 || target >= n_cols {
+                    return T::default();
+                }
+                target
+            }
+        };
+        let mut span_row = self.span_row as isize + row_delta;
+        if span_row < 0 || span_row >= self.span_rows as isize {
+            // Only reachable when this part holds the whole matrix and has
+            // no halo rows (Single/Copy under Wrap): wrap within it.
+            span_row = span_row.rem_euclid(n_rows);
+        }
+        self.item
+            .read(self.buf, span_row as usize * self.cols + col as usize)
+    }
+
+    /// The centre's global position `(row, col)`.
+    pub fn position(&self) -> (usize, usize) {
+        (self.g_row, self.col)
+    }
+
+    /// The matrix dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.n_rows, self.cols)
+    }
+
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+}
+
+/// The Stencil2D skeleton.
+pub struct Stencil2D<T: Element, U: Element, F> {
+    user: UserFn<F>,
+    radius: usize,
+    boundary: Boundary2D,
+    program: Program,
+    _pd: PhantomData<fn(T) -> U>,
+}
+
+impl<T, U, F> Stencil2D<T, U, F>
+where
+    T: Element,
+    U: Element,
+    F: Fn(&Stencil2DView<'_, T>) -> U + Send + Sync + Clone + 'static,
+{
+    pub fn new(user: UserFn<F>, radius: usize, boundary: Boundary2D) -> Self {
+        let program = codegen::stencil2d_program(
+            user.name(),
+            user.source(),
+            T::TYPE_NAME,
+            U::TYPE_NAME,
+            radius,
+            boundary.codegen_name(),
+        );
+        Stencil2D {
+            user,
+            radius,
+            boundary,
+            program,
+            _pd: PhantomData,
+        }
+    }
+
+    /// The generated OpenCL-C program (exposed for the cache experiments).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    pub fn boundary(&self) -> Boundary2D {
+        self.boundary
+    }
+
+    /// Apply the skeleton. Under `RowBlock` the input's halo is widened to
+    /// the stencil radius if needed and stale halo rows are refreshed by
+    /// automatic device-to-device exchange; everything stays on the devices
+    /// (lazy copying).
+    pub fn apply(&self, input: &Matrix<T>) -> Result<Matrix<U>> {
+        let ctx = input.ctx().clone();
+        let compiled = ctx.get_or_build(&self.program)?;
+
+        // A RowBlock halo narrower than the stencil radius cannot supply
+        // the neighbourhood; widen it (device-side when data is fresh).
+        if let MatrixDistribution::RowBlock { halo } = input.distribution() {
+            if halo < self.radius {
+                input.set_distribution(MatrixDistribution::RowBlock { halo: self.radius })?;
+            }
+        }
+
+        let (n_rows, cols) = input.dims();
+        let in_parts = input.parts_with_fresh_halos()?;
+
+        // Output parts mirror the input geometry. Stencils can only write
+        // their owned rows (halo outputs would need radius-beyond-halo
+        // inputs), so output halos are stale unless there are none.
+        let mut out_parts = Vec::with_capacity(in_parts.len());
+        for p in &in_parts {
+            out_parts.push(crate::matrix::MatrixPart {
+                device: p.device,
+                row_offset: p.row_offset,
+                rows: p.rows,
+                halo_above: p.halo_above,
+                halo_below: p.halo_below,
+                buffer: ctx.device(p.device).alloc::<U>(p.span_rows() * cols)?,
+            });
+        }
+        let out_halos_fresh = in_parts
+            .iter()
+            .all(|p| p.halo_above == 0 && p.halo_below == 0);
+
+        let static_ops = self.user.static_ops();
+        for (ip, op) in in_parts.iter().zip(&out_parts) {
+            if ip.rows == 0 || cols == 0 {
+                continue;
+            }
+            let f = self.user.func().clone();
+            let src = ip.buffer.clone();
+            let dst = op.buffer.clone();
+            let radius = self.radius;
+            let boundary = self.boundary;
+            let halo_above = ip.halo_above;
+            let row_offset = ip.row_offset;
+            let span_rows = ip.span_rows();
+            let body: KernelBody = Arc::new(move |wg| {
+                wg.for_each_item(|it| {
+                    if !it.in_bounds() {
+                        return;
+                    }
+                    let col = it.global_id(0);
+                    let local_row = it.global_id(1);
+                    let view = Stencil2DView {
+                        buf: &src,
+                        cols,
+                        n_rows,
+                        span_row: halo_above + local_row,
+                        span_rows,
+                        g_row: row_offset + local_row,
+                        col,
+                        radius,
+                        boundary,
+                        item: it,
+                    };
+                    let (y, dyn_ops) = meter::metered(|| f(&view));
+                    it.write(&dst, (halo_above + local_row) * cols + col, y);
+                    it.work(static_ops + dyn_ops);
+                });
+            });
+            let kernel = compiled.with_body(body);
+            ctx.queue(ip.device)
+                .launch(&kernel, range_2d(&ctx, cols, ip.rows))?;
+        }
+
+        Ok(Matrix::from_device_parts(
+            &ctx,
+            n_rows,
+            cols,
+            input.distribution(),
+            out_parts,
+            out_halos_fresh,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeletons::test_support::ctx;
+
+    /// 5-point Laplacian-style sum, radius 1.
+    fn cross_sum() -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
+        let user = UserFn::new(
+            "cross_sum",
+            "float cross_sum(__global float* in, int r, int c, uint nr, uint nc) {\n\
+             return stencil_at(in,r,c,nr,nc,-1,0) + stencil_at(in,r,c,nr,nc,1,0)\n\
+                  + stencil_at(in,r,c,nr,nc,0,-1) + stencil_at(in,r,c,nr,nc,0,1)\n\
+                  + stencil_at(in,r,c,nr,nc,0,0);\n}",
+            |v: &Stencil2DView<'_, f32>| {
+                v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1) + v.get(0, 0)
+            },
+        );
+        Stencil2D::new(user, 1, Boundary2D::Neumann)
+    }
+
+    fn reference_cross_sum(
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        boundary: Boundary2D,
+    ) -> Vec<f32> {
+        let at = |r: isize, c: isize| -> f32 {
+            let (r, c) = match boundary {
+                Boundary2D::Neumann => {
+                    (r.clamp(0, rows as isize - 1), c.clamp(0, cols as isize - 1))
+                }
+                Boundary2D::Wrap => (r.rem_euclid(rows as isize), c.rem_euclid(cols as isize)),
+                Boundary2D::Zero => {
+                    if r < 0 || r >= rows as isize || c < 0 || c >= cols as isize {
+                        return 0.0;
+                    }
+                    (r, c)
+                }
+            };
+            data[r as usize * cols + c as usize]
+        };
+        let mut out = Vec::with_capacity(rows * cols);
+        for r in 0..rows as isize {
+            for c in 0..cols as isize {
+                out.push(at(r - 1, c) + at(r + 1, c) + at(r, c - 1) + at(r, c + 1) + at(r, c));
+            }
+        }
+        out
+    }
+
+    fn test_image(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| ((i * 37) % 101) as f32 - 50.0)
+            .collect()
+    }
+
+    #[test]
+    fn stencil_on_one_device_matches_reference() {
+        let c = ctx(1);
+        let (rows, cols) = (13, 9);
+        let data = test_image(rows, cols);
+        let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        let out = cross_sum().apply(&m).unwrap().to_vec().unwrap();
+        assert_eq!(
+            out,
+            reference_cross_sum(&data, rows, cols, Boundary2D::Neumann)
+        );
+    }
+
+    #[test]
+    fn multi_device_output_is_bit_identical_to_single() {
+        let (rows, cols) = (23, 11);
+        let data = test_image(rows, cols);
+        let single = {
+            let c = ctx(1);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            cross_sum().apply(&m).unwrap().to_vec().unwrap()
+        };
+        for devices in [2usize, 3, 4] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+                .unwrap();
+            let got = cross_sum().apply(&m).unwrap().to_vec().unwrap();
+            assert_eq!(got, single, "{devices}-device run must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn all_boundary_modes_match_the_reference() {
+        let (rows, cols) = (10, 7);
+        let data = test_image(rows, cols);
+        for boundary in [Boundary2D::Neumann, Boundary2D::Wrap, Boundary2D::Zero] {
+            let c = ctx(3);
+            let user = UserFn::new(
+                "csum",
+                "float csum(__global float* in, int r, int c, uint nr, uint nc) { /* as cross_sum */ }",
+                |v: &Stencil2DView<'_, f32>| {
+                    v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1) + v.get(0, 0)
+                },
+            );
+            let st = Stencil2D::new(user, 1, boundary);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+                .unwrap();
+            let got = st.apply(&m).unwrap().to_vec().unwrap();
+            assert_eq!(
+                got,
+                reference_cross_sum(&data, rows, cols, boundary),
+                "{boundary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_halo_is_widened_automatically() {
+        let c = ctx(2);
+        let (rows, cols) = (16, 5);
+        let data = test_image(rows, cols);
+        let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 0 })
+            .unwrap();
+        let user = UserFn::new(
+            "wide",
+            "float wide(__global float* in, int r, int c, uint nr, uint nc) { /* r3 sum */ }",
+            |v: &Stencil2DView<'_, f32>| v.get(-3, 0) + v.get(3, 0),
+        );
+        let st = Stencil2D::new(user, 3, Boundary2D::Zero);
+        let got = st.apply(&m).unwrap().to_vec().unwrap();
+        assert_eq!(
+            m.distribution(),
+            MatrixDistribution::RowBlock { halo: 3 },
+            "halo must be widened to the radius"
+        );
+        let want: Vec<f32> = (0..rows as isize)
+            .flat_map(|r| {
+                let data = &data;
+                (0..cols as isize).map(move |c| {
+                    let up = if r >= 3 {
+                        data[(r - 3) as usize * cols + c as usize]
+                    } else {
+                        0.0
+                    };
+                    let down = if r + 3 < rows as isize {
+                        data[(r + 3) as usize * cols + c as usize]
+                    } else {
+                        0.0
+                    };
+                    up + down
+                })
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn halo_exchange_shows_up_in_transfer_accounting() {
+        let c = ctx(4);
+        let (rows, cols) = (32, 8);
+        let m = Matrix::from_vec(&c, rows, cols, test_image(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let st = cross_sum();
+        let first = st.apply(&m).unwrap();
+        // The second application consumes a device-fresh matrix whose halos
+        // were never written: the skeleton must trigger the exchange.
+        assert!(!first.halos_fresh());
+        let before = c.platform().stats_snapshot();
+        let second = st.apply(&first).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert!(
+            delta.d2d_transfers > 0,
+            "chained stencil must exchange halos device-to-device"
+        );
+        assert_eq!(delta.h2d_transfers, 0, "no host round trip");
+        assert_eq!(delta.d2h_transfers, 0, "no host round trip");
+        // And the result is still right.
+        let host = m.to_vec().unwrap();
+        let once = reference_cross_sum(&host, rows, cols, Boundary2D::Neumann);
+        let twice = reference_cross_sum(&once, rows, cols, Boundary2D::Neumann);
+        assert_eq!(second.to_vec().unwrap(), twice);
+    }
+
+    #[test]
+    fn radius_larger_than_a_part_spans_several_parts() {
+        // 4 devices × 2 rows per part, radius 3 reaches two parts away.
+        let c = ctx(4);
+        let (rows, cols) = (8, 3);
+        let data = test_image(rows, cols);
+        let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 3 })
+            .unwrap();
+        let user = UserFn::new(
+            "far",
+            "float far(__global float* in, int r, int c, uint nr, uint nc) { /* +-3 rows */ }",
+            |v: &Stencil2DView<'_, f32>| v.get(-3, 0) + v.get(3, 0),
+        );
+        let st = Stencil2D::new(user, 3, Boundary2D::Wrap);
+        let got = st.apply(&m).unwrap().to_vec().unwrap();
+        let want: Vec<f32> = (0..rows as isize)
+            .flat_map(|r| {
+                let data = &data;
+                (0..cols as isize).map(move |c| {
+                    let up = data[(r - 3).rem_euclid(rows as isize) as usize * cols + c as usize];
+                    let down = data[(r + 3).rem_euclid(rows as isize) as usize * cols + c as usize];
+                    up + down
+                })
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds radius")]
+    fn out_of_radius_access_panics() {
+        let c = ctx(1);
+        let user = UserFn::new(
+            "bad",
+            "float bad(__global float* in, int r, int c, uint nr, uint nc) { /* in[r-2] */ }",
+            |v: &Stencil2DView<'_, f32>| v.get(-2, 0),
+        );
+        let st = Stencil2D::new(user, 1, Boundary2D::Neumann);
+        let m = Matrix::from_vec(&c, 4, 4, vec![1.0f32; 16]);
+        let _ = st.apply(&m);
+    }
+
+    #[test]
+    fn boundary_modes_produce_distinct_programs() {
+        let mk = |b: Boundary2D| {
+            let user = UserFn::new(
+                "f",
+                "float f(__global float* in, int r, int c, uint nr, uint nc) { return 0.0f; }",
+                |v: &Stencil2DView<'_, f32>| v.get(0, 0),
+            );
+            Stencil2D::new(user, 1, b).program().hash()
+        };
+        let n = mk(Boundary2D::Neumann);
+        let w = mk(Boundary2D::Wrap);
+        let z = mk(Boundary2D::Zero);
+        assert_ne!(n, w);
+        assert_ne!(w, z);
+        assert_ne!(n, z);
+    }
+}

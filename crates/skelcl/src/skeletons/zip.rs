@@ -11,8 +11,11 @@
 use crate::arguments::{Arguments, KernelEnv};
 use crate::codegen::{self, UserFn};
 use crate::error::{Error, Result};
+use crate::matrix::Matrix;
 use crate::meter;
-use crate::skeletons::{alloc_matching_parts, linear_range, output_vector};
+use crate::skeletons::{
+    alloc_matching_matrix_parts, alloc_matching_parts, linear_range, output_vector, range_2d,
+};
 use crate::vector::Vector;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -22,6 +25,8 @@ use vgpu::{KernelBody, Program, Scalar as Element};
 pub struct Zip<T1: Element, T2: Element, U: Element, F> {
     user: UserFn<F>,
     program: Program,
+    /// The 2D-NDRange twin used by [`Zip::apply_matrix`].
+    program2d: Program,
     _pd: PhantomData<fn(T1, T2) -> U>,
 }
 
@@ -42,9 +47,17 @@ where
             U::TYPE_NAME,
             0,
         );
+        let program2d = codegen::zip2d_program(
+            user.name(),
+            user.source(),
+            T1::TYPE_NAME,
+            T2::TYPE_NAME,
+            U::TYPE_NAME,
+        );
         Zip {
             user,
             program,
+            program2d,
             _pd: PhantomData,
         }
     }
@@ -97,13 +110,74 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(lp.device).launch(&kernel, linear_range(&ctx, lp.len))?;
+            ctx.queue(lp.device)
+                .launch(&kernel, linear_range(&ctx, lp.len))?;
         }
         Ok(output_vector(
             &ctx,
             lhs.len(),
             lhs.distribution(),
             out_parts,
+        ))
+    }
+
+    /// Apply the skeleton element-wise over two equally shaped matrices,
+    /// launching one 2D NDRange per device part. As with vectors, `rhs` is
+    /// automatically redistributed to follow `lhs`; halo rows are computed
+    /// locally, so halo coherence is preserved without any exchange.
+    pub fn apply_matrix(&self, lhs: &Matrix<T1>, rhs: &Matrix<T2>) -> Result<Matrix<U>> {
+        if lhs.dims() != rhs.dims() {
+            return Err(Error::ShapeMismatch {
+                left: lhs.dims(),
+                right: rhs.dims(),
+            });
+        }
+        let ctx = lhs.ctx().clone();
+        let compiled = ctx.get_or_build(&self.program2d)?;
+        if rhs.distribution() != lhs.distribution() {
+            rhs.set_distribution(lhs.distribution())?;
+        }
+        let (rows, cols) = lhs.dims();
+        let l_parts = lhs.parts()?;
+        let r_parts = rhs.parts()?;
+        let halos_fresh = lhs.halos_fresh() && rhs.halos_fresh();
+        let out_parts = alloc_matching_matrix_parts::<T1, U>(&ctx, &l_parts, cols)?;
+
+        let static_ops = self.user.static_ops();
+        for ((lp, rp), op) in l_parts.iter().zip(&r_parts).zip(&out_parts) {
+            debug_assert_eq!(lp.row_offset, rp.row_offset);
+            debug_assert_eq!(lp.span_rows(), rp.span_rows());
+            if lp.rows == 0 || cols == 0 {
+                continue;
+            }
+            let f = self.user.func().clone();
+            let a = lp.buffer.clone();
+            let b = rp.buffer.clone();
+            let dst = op.buffer.clone();
+            let body: KernelBody = Arc::new(move |wg| {
+                wg.for_each_item(|it| {
+                    if !it.in_bounds() {
+                        return;
+                    }
+                    let i = it.global_id(1) * cols + it.global_id(0);
+                    let x = it.read(&a, i);
+                    let y = it.read(&b, i);
+                    let (r, dyn_ops) = meter::metered(|| f(x, y));
+                    it.write(&dst, i, r);
+                    it.work(static_ops + dyn_ops);
+                });
+            });
+            let kernel = compiled.with_body(body);
+            ctx.queue(lp.device)
+                .launch(&kernel, range_2d(&ctx, cols, lp.span_rows()))?;
+        }
+        Ok(Matrix::from_device_parts(
+            &ctx,
+            rows,
+            cols,
+            lhs.distribution(),
+            out_parts,
+            halos_fresh,
         ))
     }
 }
@@ -142,12 +216,7 @@ where
         )
     }
 
-    pub fn apply(
-        &self,
-        lhs: &Vector<T1>,
-        rhs: &Vector<T2>,
-        args: &Arguments,
-    ) -> Result<Vector<U>> {
+    pub fn apply(&self, lhs: &Vector<T1>, rhs: &Vector<T2>, args: &Arguments) -> Result<Vector<U>> {
         if lhs.len() != rhs.len() {
             return Err(Error::LengthMismatch {
                 left: lhs.len(),
@@ -192,7 +261,8 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(lp.device).launch(&kernel, linear_range(&ctx, lp.len))?;
+            ctx.queue(lp.device)
+                .launch(&kernel, linear_range(&ctx, lp.len))?;
         }
         Ok(output_vector(
             &ctx,
@@ -212,7 +282,11 @@ mod tests {
     #[test]
     fn zip_multiplies_elementwise() {
         let c = ctx(1);
-        let mult = crate::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y });
+        let mult = crate::skel_fn!(
+            fn mult(x: f32, y: f32) -> f32 {
+                x * y
+            }
+        );
         let z = Zip::new(mult);
         let a = Vector::from_vec(&c, (0..50).map(|i| i as f32).collect());
         let b = Vector::from_vec(&c, vec![2.0f32; 50]);
@@ -226,7 +300,11 @@ mod tests {
     #[test]
     fn zip_rejects_length_mismatch() {
         let c = ctx(1);
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
         let z = Zip::new(add);
         let a = Vector::from_vec(&c, vec![1.0f32; 4]);
         let b = Vector::from_vec(&c, vec![1.0f32; 5]);
@@ -239,17 +317,28 @@ mod tests {
     #[test]
     fn zip_mixed_element_types() {
         let c = ctx(1);
-        let scale = crate::skel_fn!(fn scale(x: i32, s: f32) -> f32 { x as f32 * s });
+        let scale = crate::skel_fn!(
+            fn scale(x: i32, s: f32) -> f32 {
+                x as f32 * s
+            }
+        );
         let z = Zip::new(scale);
         let a = Vector::from_vec(&c, vec![1i32, 2, 3]);
         let b = Vector::from_vec(&c, vec![0.5f32, 0.25, 2.0]);
-        assert_eq!(z.apply(&a, &b).unwrap().to_vec().unwrap(), vec![0.5, 0.5, 6.0]);
+        assert_eq!(
+            z.apply(&a, &b).unwrap().to_vec().unwrap(),
+            vec![0.5, 0.5, 6.0]
+        );
     }
 
     #[test]
     fn zip_aligns_mismatched_distributions() {
         let c = ctx(2);
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
         let z = Zip::new(add);
         let a = Vector::from_vec(&c, vec![1.0f32; 32]);
         let b = Vector::from_vec(&c, vec![2.0f32; 32]);
@@ -266,8 +355,16 @@ mod tests {
         // The paper: "By chaining Zip skeletons, variadic forms of Map can
         // be implemented." Compute a*b + c with two Zips.
         let c = ctx(2);
-        let mult = crate::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y });
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+        let mult = crate::skel_fn!(
+            fn mult(x: f32, y: f32) -> f32 {
+                x * y
+            }
+        );
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
         let a = Vector::from_vec(&c, (0..20).map(|i| i as f32).collect());
         let b = Vector::from_vec(&c, vec![3.0f32; 20]);
         let d = Vector::from_vec(&c, vec![1.0f32; 20]);
@@ -284,8 +381,16 @@ mod tests {
         // Lazy copying (Section III-A): "if an output vector is used as the
         // input to another skeleton, no further data transfer is performed."
         let c = ctx(1);
-        let mult = crate::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y });
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+        let mult = crate::skel_fn!(
+            fn mult(x: f32, y: f32) -> f32 {
+                x * y
+            }
+        );
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
         let a = Vector::from_vec(&c, vec![1.0f32; 256]);
         let b = Vector::from_vec(&c, vec![2.0f32; 256]);
         let ab = Zip::new(mult).apply(&a, &b).unwrap();
@@ -296,6 +401,43 @@ mod tests {
             delta.h2d_transfers, 0,
             "chaining must not re-upload anything"
         );
+    }
+
+    #[test]
+    fn zip_on_matrices_matches_host_zip() {
+        let c = ctx(3);
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
+        let z = Zip::new(add);
+        let xs: Vec<f32> = (0..9 * 5).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..9 * 5).map(|i| (i * 3) as f32).collect();
+        let a = crate::Matrix::from_vec(&c, 9, 5, xs.clone());
+        let b = crate::Matrix::from_vec(&c, 9, 5, ys.clone());
+        a.set_distribution(crate::MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let out = z.apply_matrix(&a, &b).unwrap();
+        assert_eq!(b.distribution(), a.distribution(), "rhs was realigned");
+        let want: Vec<f32> = xs.iter().zip(&ys).map(|(x, y)| x + y).collect();
+        assert_eq!(out.to_vec().unwrap(), want);
+    }
+
+    #[test]
+    fn zip_rejects_matrix_shape_mismatch() {
+        let c = ctx(1);
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
+        let z = Zip::new(add);
+        let a = crate::Matrix::from_vec(&c, 2, 6, vec![0.0f32; 12]);
+        let b = crate::Matrix::from_vec(&c, 3, 4, vec![0.0f32; 12]);
+        let err = z.apply_matrix(&a, &b).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }));
+        assert_eq!(err.to_string(), "shape mismatch: 2x6 vs 3x4");
     }
 
     #[test]

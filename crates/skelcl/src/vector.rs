@@ -405,11 +405,7 @@ where
 }
 
 /// Plain data movement old-parts → new-parts (no combining).
-fn move_data<T: Scalar>(
-    ctx: &Context,
-    st: &State<T>,
-    new_parts: &[DevicePart<T>],
-) -> Result<()> {
+fn move_data<T: Scalar>(ctx: &Context, st: &State<T>, new_parts: &[DevicePart<T>]) -> Result<()> {
     // Contention hint: transfers chain per destination device, so at most
     // ~one per device is in flight at any instant.
     let mut cross = 0usize;
@@ -549,8 +545,10 @@ where
                 });
             });
             let kernel = compiled.with_body(body);
-            ctx.queue(np.device)
-                .launch(&kernel, NDRange::linear(np.len, ctx.work_group().min(np.len)))?;
+            ctx.queue(np.device).launch(
+                &kernel,
+                NDRange::linear(np.len, ctx.work_group().min(np.len)),
+            )?;
         }
     }
     ctx.sync();
@@ -720,7 +718,11 @@ mod tests {
             }
         }
         v.mark_devices_modified();
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
         v.set_distribution_with(Distribution::Block, &add).unwrap();
         let got = v.to_vec().unwrap();
         let want: Vec<f32> = (0..8).map(|i| 30.0 + 2.0 * i as f32).collect();
@@ -737,7 +739,11 @@ mod tests {
         v.set_distribution(Distribution::Copy).unwrap();
         v.ensure_on_devices().unwrap();
         v.mark_devices_modified();
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
         v.set_distribution_with(Distribution::Block, &add).unwrap();
         assert_eq!(v.to_vec().unwrap(), vec![2.0f32; n]);
     }
@@ -747,8 +753,13 @@ mod tests {
         let c = ctx(2);
         let v = Vector::from_vec(&c, data(8));
         v.ensure_on_devices().unwrap(); // Block
-        let add = crate::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
-        v.set_distribution_with(Distribution::Single(0), &add).unwrap();
+        let add = crate::skel_fn!(
+            fn add(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        );
+        v.set_distribution_with(Distribution::Single(0), &add)
+            .unwrap();
         assert_eq!(v.to_vec().unwrap(), data(8));
     }
 

@@ -61,13 +61,8 @@ impl<T: Scalar> std::fmt::Debug for Buffer<T> {
 }
 
 impl<T: Scalar> Buffer<T> {
-    pub(crate) fn new_zeroed(
-        device: DeviceId,
-        len: usize,
-        device_used: Arc<AtomicUsize>,
-    ) -> Self {
-        let data: Box<[UnsafeCell<T>]> =
-            (0..len).map(|_| UnsafeCell::new(T::default())).collect();
+    pub(crate) fn new_zeroed(device: DeviceId, len: usize, device_used: Arc<AtomicUsize>) -> Self {
+        let data: Box<[UnsafeCell<T>]> = (0..len).map(|_| UnsafeCell::new(T::default())).collect();
         Buffer {
             inner: Arc::new(BufferInner {
                 device,
@@ -95,6 +90,12 @@ impl<T: Scalar> Buffer<T> {
     /// The device owning this allocation.
     pub fn device(&self) -> DeviceId {
         self.inner.device
+    }
+
+    /// Do two handles refer to the same allocation? (Copies between a
+    /// buffer and itself at the same offset are no-ops callers may elide.)
+    pub fn same_allocation(&self, other: &Buffer<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     #[inline]

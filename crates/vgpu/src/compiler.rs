@@ -235,7 +235,9 @@ fn compile_from_source(source: &str) -> u64 {
     for pass in 0..PASSES {
         let mut h = fnv1a(bytes) ^ pass as u64;
         // A little extra mixing per pass to defeat optimisation to a no-op.
-        h = h.wrapping_mul(0x9e3779b97f4a7c15).rotate_left((pass % 63) as u32);
+        h = h
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .rotate_left((pass % 63) as u32);
         acc ^= h;
     }
     let _ = acc; // fingerprint must not depend on pass count
@@ -249,10 +251,7 @@ mod tests {
     use std::sync::Arc;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "vgpu-test-cache-{tag}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("vgpu-test-cache-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }

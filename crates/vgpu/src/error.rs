@@ -20,7 +20,10 @@ pub enum Error {
     /// A host slice and a device buffer disagree on length.
     SizeMismatch { expected: usize, actual: usize },
     /// A buffer belonging to device `expected` was used on device `actual`.
-    WrongDevice { expected: DeviceId, actual: DeviceId },
+    WrongDevice {
+        expected: DeviceId,
+        actual: DeviceId,
+    },
     /// No device with this index exists on the platform.
     NoSuchDevice { device: usize, available: usize },
     /// Launch configuration invalid (zero sizes, local > device limit, ...).

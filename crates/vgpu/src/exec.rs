@@ -77,7 +77,12 @@ pub fn execute(
             atomics: 0,
             items: 0,
         };
-        let mut wg = WorkGroup::new(nd, spec.pes_per_cu, spec.local_mem_bytes, spec.local_mem_banks);
+        let mut wg = WorkGroup::new(
+            nd,
+            spec.pes_per_cu,
+            spec.local_mem_bytes,
+            spec.local_mem_banks,
+        );
         for g in range {
             let gx = g % gx_n;
             let gy = g / gx_n;

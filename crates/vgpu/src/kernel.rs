@@ -125,7 +125,12 @@ pub struct WorkGroup {
 }
 
 impl WorkGroup {
-    pub(crate) fn new(nd: NDRange, pes_per_cu: usize, local_mem_limit: usize, banks: usize) -> Self {
+    pub(crate) fn new(
+        nd: NDRange,
+        pes_per_cu: usize,
+        local_mem_limit: usize,
+        banks: usize,
+    ) -> Self {
         WorkGroup {
             group: [0, 0],
             nd,
@@ -238,7 +243,8 @@ impl WorkGroup {
     }
 
     fn count_write(&self, bytes: usize) {
-        self.bytes_written.set(self.bytes_written.get() + bytes as u64);
+        self.bytes_written
+            .set(self.bytes_written.get() + bytes as u64);
     }
 
     /// Fold the recorded counters into the group's cycle/traffic cost.

@@ -189,7 +189,10 @@ impl Platform {
         }
         let bytes = src.size_bytes();
         self.shared.stats.add_d2d(bytes);
-        let dur = self.shared.topology.d2d_transfer_s(bytes, concurrent.max(1));
+        let dur = self
+            .shared
+            .topology
+            .d2d_transfer_s(bytes, concurrent.max(1));
         let host = self.host_now_s();
         let src_dev = self.device(src.device().0);
         let dst_dev = self.device(dst.device().0);
@@ -282,7 +285,10 @@ impl Platform {
         }
         let bytes = len * std::mem::size_of::<T>();
         self.shared.stats.add_d2d(bytes);
-        let dur = self.shared.topology.d2d_transfer_s(bytes, concurrent.max(1));
+        let dur = self
+            .shared
+            .topology
+            .d2d_transfer_s(bytes, concurrent.max(1));
         let host = self.host_now_s();
         let src_dev = self.device(src.device().0);
         let dst_dev = self.device(dst.device().0);

@@ -3,7 +3,7 @@
 //! Work-groups are independent (OpenCL guarantees no inter-group ordering),
 //! so a launch is embarrassingly parallel over groups. We split the group
 //! index space into contiguous chunks, one per host thread, and run them on
-//! crossbeam scoped threads. The group→CU assignment (and therefore every
+//! std scoped threads. The group→CU assignment (and therefore every
 //! virtual-time figure) is independent of the host thread count.
 
 /// Number of host worker threads to use for kernel execution.
@@ -55,19 +55,20 @@ where
         return ranges.into_iter().map(&f).collect();
     }
     let mut out: Vec<Option<A>> = ranges.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(ranges.len());
         for r in &ranges {
             let f = &f;
             let r = r.clone();
-            handles.push(s.spawn(move |_| f(r)));
+            handles.push(s.spawn(move || f(r)));
         }
         for (slot, h) in out.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("kernel worker panicked"));
         }
-    })
-    .expect("thread scope failed");
-    out.into_iter().map(|a| a.expect("missing chunk result")).collect()
+    });
+    out.into_iter()
+        .map(|a| a.expect("missing chunk result"))
+        .collect()
 }
 
 #[cfg(test)]

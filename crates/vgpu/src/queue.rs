@@ -239,12 +239,12 @@ impl CommandQueue {
         program: &Program,
         body: KernelBody,
     ) -> Result<(CompiledKernel, BuildOutcome)> {
-        let (kernel, outcome) = self
-            .shared
-            .compiler
-            .build(program, body, &self.profile)?;
+        let (kernel, outcome) = self.shared.compiler.build(program, body, &self.profile)?;
         if outcome.from_cache {
-            self.shared.stats.cache_loads.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .cache_loads
+                .fetch_add(1, Ordering::Relaxed);
         } else if self.profile.runtime_compile {
             self.shared
                 .stats
@@ -352,7 +352,10 @@ mod tests {
         let p = platform(1);
         let q = p.queue(0, DriverProfile::opencl());
         let buf = p.device(0).alloc::<u32>(100).unwrap();
-        let program = Program::from_source("inc", "__kernel void inc(__global uint* x){x[get_global_id(0)]++;}");
+        let program = Program::from_source(
+            "inc",
+            "__kernel void inc(__global uint* x){x[get_global_id(0)]++;}",
+        );
         let body: KernelBody = {
             let buf = buf.clone();
             Arc::new(move |wg: &WorkGroup| {

@@ -20,9 +20,7 @@ impl fmt::Display for DeviceId {
 ///
 /// `TYPE_NAME` is the OpenCL-C spelling used by the code generator when the
 /// skeleton templates are instantiated (Section III-B of the paper).
-pub trait Scalar:
-    Copy + Send + Sync + Default + fmt::Debug + PartialEq + 'static
-{
+pub trait Scalar: Copy + Send + Sync + Default + fmt::Debug + PartialEq + 'static {
     /// OpenCL C type name used in generated kernel source.
     const TYPE_NAME: &'static str;
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use skelcl::Context;
-use skelcl_mandel::{cuda_impl, opencl_impl, skelcl_impl, reference, to_ppm, MandelParams};
+use skelcl_mandel::{cuda_impl, opencl_impl, reference, skelcl_impl, to_ppm, MandelParams};
 use vgpu::{Platform, PlatformConfig};
 
 fn main() {
@@ -35,10 +35,18 @@ fn main() {
 
     let mut images = Vec::new();
     for (name, runner) in [
-        ("SkelCL", Box::new(|| skelcl_impl::run(&ctx, &params).unwrap())
-            as Box<dyn Fn() -> Vec<u32>>),
-        ("OpenCL", Box::new(|| opencl_impl::run(&platform, &params).unwrap())),
-        ("CUDA", Box::new(|| cuda_impl::run(&platform, &params).unwrap())),
+        (
+            "SkelCL",
+            Box::new(|| skelcl_impl::run(&ctx, &params).unwrap()) as Box<dyn Fn() -> Vec<u32>>,
+        ),
+        (
+            "OpenCL",
+            Box::new(|| opencl_impl::run(&platform, &params).unwrap()),
+        ),
+        (
+            "CUDA",
+            Box::new(|| cuda_impl::run(&platform, &params).unwrap()),
+        ),
     ] {
         platform.reset_clocks();
         let before = platform.stats_snapshot();

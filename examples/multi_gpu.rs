@@ -22,7 +22,11 @@ fn main() {
 
     // A reduction runs on all four devices and combines their partials.
     let sum = Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
     let total = sum.apply(&v).expect("reduce").get_value();
@@ -66,7 +70,11 @@ fn main() {
     scatter.apply(&items, &args).expect("scatter");
     hist.mark_devices_modified();
 
-    let add = skelcl::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y });
+    let add = skelcl::skel_fn!(
+        fn add(x: f32, y: f32) -> f32 {
+            x + y
+        }
+    );
     hist.set_distribution_with(Distribution::Block, &add)
         .expect("merge");
     let h = hist.to_vec().expect("download");

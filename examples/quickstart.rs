@@ -21,10 +21,18 @@ fn main() {
 
     // create skeletons
     let sum = Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
-    let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let mult = Zip::new(skelcl::skel_fn!(
+        fn mult(x: f32, y: f32) -> f32 {
+            x * y
+        }
+    ));
 
     // allocate and initialize host arrays
     let mut a_host = vec![0.0f32; ARRAY_SIZE];

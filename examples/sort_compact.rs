@@ -22,7 +22,11 @@ fn main() {
     // -- stream compaction ---------------------------------------------
     let evens = compact(&ctx, &input, |x: u32| x.is_multiple_of(2)).expect("compact");
     assert!(evens.iter().all(|x| x.is_multiple_of(2)));
-    let expected: Vec<u32> = input.iter().copied().filter(|x| x.is_multiple_of(2)).collect();
+    let expected: Vec<u32> = input
+        .iter()
+        .copied()
+        .filter(|x| x.is_multiple_of(2))
+        .collect();
     assert_eq!(evens, expected);
     println!(
         "stream compaction: kept {} of {} elements",
@@ -42,7 +46,11 @@ fn main() {
     let v = Vector::from_vec(&ctx, vec![1u32; 1 << 18]);
     v.set_distribution(Distribution::Block).expect("dist");
     let scan = Scan::new(
-        skelcl::skel_fn!(fn sum(x: u32, y: u32) -> u32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: u32, y: u32) -> u32 {
+                x + y
+            }
+        ),
         0u32,
     );
     let (out, total) = scan.apply_with_total(&v).expect("scan");

@@ -39,7 +39,11 @@ fn skeleton_oom_propagates_as_error_not_panic() {
     let ctx = cramped_ctx();
     // Input fits (128 KiB) but input + output does not.
     let v = Vector::from_vec(&ctx, vec![1.0f32; 48 << 10]);
-    let m = Map::new(skelcl::skel_fn!(fn triple(x: f32) -> f32 { x * 3.0 }));
+    let m = Map::new(skelcl::skel_fn!(
+        fn triple(x: f32) -> f32 {
+            x * 3.0
+        }
+    ));
     // First apply allocates input (192 KiB) + output (192 KiB) > 256 KiB.
     let result = m.apply(&v);
     assert!(result.is_err(), "expected OOM error");
@@ -87,7 +91,11 @@ fn reduce_after_recovered_oom_still_works() {
 
     let ok = Vector::from_vec(&ctx, (0..1000).map(|i| i as f32).collect());
     let sum = Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
     assert_eq!(sum.apply(&ok).unwrap().get_value(), 499500.0);
@@ -98,7 +106,11 @@ fn zip_length_mismatch_leaves_vectors_intact() {
     let ctx = cramped_ctx();
     let a = Vector::from_vec(&ctx, vec![1.0f32; 10]);
     let b = Vector::from_vec(&ctx, vec![2.0f32; 11]);
-    let z = Zip::new(skelcl::skel_fn!(fn add(x: f32, y: f32) -> f32 { x + y }));
+    let z = Zip::new(skelcl::skel_fn!(
+        fn add(x: f32, y: f32) -> f32 {
+            x + y
+        }
+    ));
     assert!(z.apply(&a, &b).is_err());
     // Both vectors still fully usable.
     assert_eq!(a.to_vec().unwrap(), vec![1.0f32; 10]);
@@ -137,13 +149,12 @@ fn launch_validation_rejects_oversized_work_groups() {
     let program = vgpu::Program::from_source("noop", "__kernel void noop() {}");
     let body: vgpu::KernelBody = std::sync::Arc::new(|_wg: &vgpu::WorkGroup| {});
     let kernel = queue.build_kernel(&program, body).unwrap();
-    let too_big = vgpu::NDRange::linear(
-        1024,
-        platform.device(0).spec().max_work_group + 1,
-    );
+    let too_big = vgpu::NDRange::linear(1024, platform.device(0).spec().max_work_group + 1);
     assert!(queue.launch(&kernel, too_big).is_err());
     // Valid launch still succeeds afterwards.
-    assert!(queue.launch(&kernel, vgpu::NDRange::linear(128, 64)).is_ok());
+    assert!(queue
+        .launch(&kernel, vgpu::NDRange::linear(128, 64))
+        .is_ok());
 }
 
 #[test]

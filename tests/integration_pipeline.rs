@@ -23,9 +23,17 @@ fn dot_product_pipeline_matches_host_math() {
     let a_data: Vec<f32> = (0..n).map(|i| ((i * 31) % 11) as f32).collect();
     let b_data: Vec<f32> = (0..n).map(|i| ((i * 17) % 7) as f32).collect();
 
-    let mult = Zip::new(skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }));
+    let mult = Zip::new(skelcl::skel_fn!(
+        fn mult(x: f32, y: f32) -> f32 {
+            x * y
+        }
+    ));
     let sum = Reduce::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
     let a = Vector::from_slice(&ctx, &a_data);
@@ -40,13 +48,25 @@ fn dot_product_pipeline_matches_host_math() {
 fn map_scan_reduce_chain_stays_on_device() {
     let ctx = ctx(1);
     let v = Vector::from_vec(&ctx, vec![1.0f32; 4096]);
-    let inc = Map::new(skelcl::skel_fn!(fn inc(x: f32) -> f32 { x + 1.0 }));
+    let inc = Map::new(skelcl::skel_fn!(
+        fn inc(x: f32) -> f32 {
+            x + 1.0
+        }
+    ));
     let scan = Scan::new(
-        skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
     let total = Reduce::new(
-        skelcl::skel_fn!(fn sum2(x: f32, y: f32) -> f32 { x + y }),
+        skelcl::skel_fn!(
+            fn sum2(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
         0.0,
     );
 
@@ -77,13 +97,21 @@ fn skeletons_work_across_all_distributions() {
         let v = Vector::from_slice(&ctx, &data);
         v.set_distribution(dist).unwrap();
 
-        let neg = Map::new(skelcl::skel_fn!(fn neg(x: f32) -> f32 { -x }));
+        let neg = Map::new(skelcl::skel_fn!(
+            fn neg(x: f32) -> f32 {
+                -x
+            }
+        ));
         let out = neg.apply(&v).unwrap();
         let want: Vec<f32> = data.iter().map(|x| -x).collect();
         assert_eq!(out.to_vec().unwrap(), want, "distribution {dist:?}");
 
         let sum = Reduce::new(
-            skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+            skelcl::skel_fn!(
+                fn sum(x: f32, y: f32) -> f32 {
+                    x + y
+                }
+            ),
             0.0,
         );
         let expected: f32 = data.iter().sum();
@@ -101,7 +129,10 @@ fn mandelbrot_all_variants_agree_on_shared_platform() {
     let ctx = Context::from_platform(platform.clone(), 64);
     let p = MandelParams::test_scale();
     let reference = skelcl_mandel::reference(&p);
-    assert_eq!(skelcl_mandel::skelcl_impl::run(&ctx, &p).unwrap(), reference);
+    assert_eq!(
+        skelcl_mandel::skelcl_impl::run(&ctx, &p).unwrap(),
+        reference
+    );
     assert_eq!(
         skelcl_mandel::opencl_impl::run(&platform, &p).unwrap(),
         reference
@@ -126,8 +157,7 @@ fn osem_all_variants_converge_to_the_same_image() {
     );
     let ctx = Context::from_platform(platform.clone(), 64);
 
-    let skelcl_img =
-        skelcl_osem::skelcl_impl::reconstruct(&ctx, &params.volume, &subsets).unwrap();
+    let skelcl_img = skelcl_osem::skelcl_impl::reconstruct(&ctx, &params.volume, &subsets).unwrap();
     let opencl_img =
         skelcl_osem::opencl_impl::reconstruct(&platform, &params.volume, &subsets).unwrap();
     let cuda_img =
@@ -148,9 +178,7 @@ fn virtual_time_orderings_match_the_paper() {
     // The headline comparative claims, checked end to end at test scale:
     // CUDA < OpenCL on the compute-bound Mandelbrot; SkelCL within a
     // modest factor of OpenCL.
-    let platform = Platform::new(
-        PlatformConfig::default().cache_tag("integration-ordering"),
-    );
+    let platform = Platform::new(PlatformConfig::default().cache_tag("integration-ordering"));
     let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
     let p = MandelParams {
         width: 256,
