@@ -415,6 +415,36 @@ pub fn stencil_scaling_virtual_s(rows: usize, cols: usize, devices: usize) -> f6
     })
 }
 
+/// Fig-allpairs helper: virtual time of one `C = A·B` square matrix
+/// multiplication at `size×size` (inner dimension `size` too) across
+/// `devices` devices with the given AllPairs strategy. Uploads — A
+/// row-blocked, B replicated — happen before timing, like the stencil
+/// figure; the timed region is the skeleton launches alone.
+pub fn allpairs_virtual_s(size: usize, devices: usize, strategy: skelcl::AllPairsStrategy) -> f64 {
+    use skelcl::{Matrix, MatrixDistribution};
+
+    let platform = figure_platform(devices);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let a = Matrix::from_vec(&ctx, size, size, skelcl_linalg::test_matrix(size, size, 1));
+    let b = Matrix::from_vec(&ctx, size, size, skelcl_linalg::test_matrix(size, size, 2));
+    a.set_distribution(MatrixDistribution::row_block())
+        .expect("dist A");
+    b.set_distribution(MatrixDistribution::Copy)
+        .expect("dist B");
+    a.ensure_on_devices().expect("upload A");
+    b.ensure_on_devices().expect("upload B");
+
+    // Warm the program cache with a small product of the same generated
+    // program (the program hash does not depend on the matrix size).
+    let wa = Matrix::from_vec(&ctx, 8, 8, skelcl_linalg::test_matrix(8, 8, 3));
+    let wb = Matrix::from_vec(&ctx, 8, 8, skelcl_linalg::test_matrix(8, 8, 4));
+    skelcl_linalg::skelcl_impl::matmul_matrices(&wa, &wb, strategy).expect("warm");
+
+    time_virtual(&platform, || {
+        skelcl_linalg::skelcl_impl::matmul_matrices(&a, &b, strategy).expect("matmul");
+    })
+}
+
 /// E6 (Stencil2D variant): kernel binary cache behaviour of a generated
 /// Stencil2D program — cold source build vs the on-disk cache hit a second
 /// context gets.
@@ -544,6 +574,30 @@ mod tests {
         assert!(
             t4 < t1,
             "4-device stencil ({t4}s) must beat 1-device ({t1}s)"
+        );
+    }
+
+    #[test]
+    fn tiled_allpairs_beats_naive_at_bench_scale() {
+        // The fig_allpairs relation at a test-friendly size: local-memory
+        // tiling cuts global traffic ~tile-fold, so the memory-bound naive
+        // kernel must model slower (the full 1024² check runs in the
+        // fig_allpairs bench itself).
+        let naive = allpairs_virtual_s(384, 1, skelcl::AllPairsStrategy::Naive);
+        let tiled = allpairs_virtual_s(384, 1, skelcl::AllPairsStrategy::Tiled { tile: 16 });
+        assert!(
+            tiled < naive,
+            "tiled allpairs ({tiled}s) must beat naive ({naive}s)"
+        );
+    }
+
+    #[test]
+    fn allpairs_scales_with_devices() {
+        let t1 = allpairs_virtual_s(512, 1, skelcl::AllPairsStrategy::Tiled { tile: 16 });
+        let t4 = allpairs_virtual_s(512, 4, skelcl::AllPairsStrategy::Tiled { tile: 16 });
+        assert!(
+            t4 < t1,
+            "4-device allpairs ({t4}s) must beat 1-device ({t1}s)"
         );
     }
 

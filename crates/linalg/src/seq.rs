@@ -1,0 +1,104 @@
+//! Sequential host references for the linalg pipelines.
+//!
+//! Every inner loop folds in **ascending `k` from the identity**, matching
+//! the device kernels' evaluation order exactly (naive and tiled), so the
+//! outputs compare bit-for-bit. Do not "optimise" the accumulation order.
+
+/// `C = A · B` for row-major `A (m×k)` and `B (k×n)`.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = Vec::with_capacity(m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c.push(acc);
+        }
+    }
+    c
+}
+
+/// Euclidean distances between every query (rows of `queries`, `q×dim`)
+/// and every reference point (rows of `points`, `p×dim`): a `q×p` matrix.
+pub fn pairwise_distances(
+    queries: &[f32],
+    points: &[f32],
+    q: usize,
+    p: usize,
+    dim: usize,
+) -> Vec<f32> {
+    assert_eq!(queries.len(), q * dim);
+    assert_eq!(points.len(), p * dim);
+    let mut out = Vec::with_capacity(q * p);
+    for i in 0..q {
+        for j in 0..p {
+            let mut acc = 0.0f32;
+            for dd in 0..dim {
+                let d = queries[i * dim + dd] - points[j * dim + dd];
+                acc += d * d;
+            }
+            out.push(acc.sqrt());
+        }
+    }
+    out
+}
+
+/// Per-query index of the nearest reference point in a `q×p` distance
+/// matrix (first index wins ties — strictly-less scan in ascending `j`).
+pub fn nearest_neighbors(dists: &[f32], q: usize, p: usize) -> Vec<usize> {
+    assert_eq!(dists.len(), q * p);
+    assert!(p > 0, "nearest neighbour needs at least one point");
+    (0..q)
+        .map(|i| {
+            let row = &dists[i * p..(i + 1) * p];
+            let mut best = 0usize;
+            for (j, &d) in row.iter().enumerate() {
+                if d < row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![1.0, 2.0, 3.0, 4.0]; // 2×2
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(matmul(&a, &eye, 2, 2, 2), a);
+        assert_eq!(matmul(&eye, &a, 2, 2, 2), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(matmul(&a, &b, 2, 2, 2), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let pts = crate::test_points(5, 3, 1);
+        let d = pairwise_distances(&pts, &pts, 5, 5, 3);
+        for i in 0..5 {
+            assert_eq!(d[i * 5 + i], 0.0);
+        }
+        let nn = nearest_neighbors(&d, 5, 5);
+        assert_eq!(nn, vec![0, 1, 2, 3, 4], "each point is its own neighbour");
+    }
+
+    #[test]
+    fn nearest_neighbor_prefers_first_on_ties() {
+        let d = vec![2.0, 1.0, 1.0, 0.5, 9.0, 0.5];
+        assert_eq!(nearest_neighbors(&d, 2, 3), vec![1, 0]);
+    }
+}

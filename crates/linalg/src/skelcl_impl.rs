@@ -1,0 +1,213 @@
+//! The SkelCL implementation of the linalg pipelines: `Matrix` containers,
+//! the `AllPairs` skeleton (naive or tiled) and an element-wise `Map`, all
+//! device-resident. Intermediates never visit the host: `B` operands are
+//! replicated by device-to-device exchange and the distance pipeline chains
+//! AllPairs into Map on the devices.
+
+use skelcl::{
+    AllPairs, AllPairsStrategy, Context, Map, Matrix, MatrixDistribution, Result, UserFn,
+};
+
+/// An `f32` AllPairs skeleton customized by plain function pointers (the
+/// shape `skel_fn!` produces).
+pub type AllPairsF32 = AllPairs<f32, f32, fn(f32, f32) -> f32, fn(f32, f32) -> f32>;
+
+/// The matrix-multiplication skeleton: zip = `×`, reduce = `+` from 0.
+pub fn matmul_skeleton() -> AllPairsF32 {
+    AllPairs::new(
+        skelcl::skel_fn!(
+            fn mult(x: f32, y: f32) -> f32 {
+                x * y
+            }
+        ),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
+        0.0,
+    )
+}
+
+/// The squared-distance skeleton: zip = squared difference, reduce = `+`.
+pub fn sq_distance_skeleton() -> AllPairsF32 {
+    AllPairs::new(
+        skelcl::skel_fn!(
+            fn sqdiff(x: f32, y: f32) -> f32 {
+                let d = x - y;
+                d * d
+            }
+        ),
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
+        0.0,
+    )
+}
+
+/// `C = A · B` over device-resident matrices; the result stays on the
+/// devices, rows partitioned like `A`'s.
+pub fn matmul_matrices(
+    a: &Matrix<f32>,
+    b: &Matrix<f32>,
+    strategy: AllPairsStrategy,
+) -> Result<Matrix<f32>> {
+    matmul_skeleton().with_strategy(strategy).apply(a, b)
+}
+
+/// `C = A · B` from host slices: builds the matrices (A row-blocked, B
+/// replicated), multiplies, downloads.
+pub fn matmul(
+    ctx: &Context,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    strategy: AllPairsStrategy,
+) -> Result<Vec<f32>> {
+    let a = Matrix::from_slice(ctx, m, k, a);
+    let b = Matrix::from_slice(ctx, k, n, b);
+    matmul_matrices(&a, &b, strategy)?.to_vec()
+}
+
+/// The `q×p` Euclidean distance matrix between every query (rows of
+/// `queries`, `q×dim`) and every reference point (rows of `points`,
+/// `p×dim`), computed as `sqrt(AllPairs(queries, pointsᵀ))` — the transpose
+/// turns each point's coordinates into a column, which is exactly the
+/// `B`-operand shape AllPairs consumes (and a natural fit for a
+/// [`MatrixDistribution::ColBlock`] layout). The result stays on the
+/// devices.
+pub fn distance_matrix(
+    queries: &Matrix<f32>,
+    points: &Matrix<f32>,
+    strategy: AllPairsStrategy,
+) -> Result<Matrix<f32>> {
+    let points_t = points.transpose()?;
+    // Column blocks make each device's share of Bᵀ explicit; AllPairs
+    // gathers the full copy it needs device-to-device.
+    if points_t.ctx().n_devices() > 1 {
+        points_t.set_distribution(MatrixDistribution::ColBlock)?;
+    }
+    let sq = sq_distance_skeleton()
+        .with_strategy(strategy)
+        .apply(queries, &points_t)?;
+    let sqrt = Map::new(UserFn::new(
+        "sqrtf",
+        "float sqrtf(float x) { return sqrt(x); }",
+        |x: f32| x.sqrt(),
+    ));
+    sqrt.apply_matrix(&sq)
+}
+
+/// The 1-NN pipeline: distance matrix on the devices, then a per-query
+/// nearest-reference scan on the downloaded result. Returns
+/// `(distances, nearest_index)` per query.
+pub fn nearest_neighbors(
+    queries: &Matrix<f32>,
+    points: &Matrix<f32>,
+    strategy: AllPairsStrategy,
+) -> Result<(Vec<f32>, Vec<usize>)> {
+    let d = distance_matrix(queries, points, strategy)?;
+    let (q, p) = d.dims();
+    let host = d.to_vec()?;
+    let nn = crate::seq::nearest_neighbors(&host, q, p);
+    Ok((host, nn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skelcl::ContextConfig;
+
+    fn ctx(n: usize) -> Context {
+        Context::new(
+            ContextConfig::default()
+                .devices(n)
+                .spec(vgpu::DeviceSpec::tiny())
+                .work_group(64)
+                .cache_tag("skelcl-linalg-tests"),
+        )
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_to_sequential_on_1_2_4_devices() {
+        let (m, k, n) = (33, 29, 21);
+        let a = crate::test_matrix(m, k, 1);
+        let b = crate::test_matrix(k, n, 2);
+        let want = crate::seq::matmul(&a, &b, m, k, n);
+        for devices in [1usize, 2, 4] {
+            for strategy in [
+                AllPairsStrategy::Naive,
+                AllPairsStrategy::Tiled { tile: 16 },
+            ] {
+                let c = ctx(devices);
+                let got = matmul(&c, &a, &b, m, k, n, strategy).unwrap();
+                assert_eq!(
+                    bits(&got),
+                    bits(&want),
+                    "{devices} devices, {strategy:?} must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_and_nn_are_bit_identical_on_1_2_4_devices() {
+        let (q, p, dim) = (17, 23, 7);
+        let queries = crate::test_points(q, dim, 3);
+        let points = crate::test_points(p, dim, 4);
+        let want_d = crate::seq::pairwise_distances(&queries, &points, q, p, dim);
+        let want_nn = crate::seq::nearest_neighbors(&want_d, q, p);
+        for devices in [1usize, 2, 4] {
+            for strategy in [AllPairsStrategy::Naive, AllPairsStrategy::Tiled { tile: 8 }] {
+                let c = ctx(devices);
+                let qm = Matrix::from_slice(&c, q, dim, &queries);
+                let pm = Matrix::from_slice(&c, p, dim, &points);
+                let (got_d, got_nn) = nearest_neighbors(&qm, &pm, strategy).unwrap();
+                assert_eq!(
+                    bits(&got_d),
+                    bits(&want_d),
+                    "{devices} devices {strategy:?}"
+                );
+                assert_eq!(got_nn, want_nn, "{devices} devices {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_in_the_point_set_finds_itself() {
+        let c = ctx(2);
+        let (p, dim) = (12, 5);
+        let points_data = crate::test_points(p, dim, 9);
+        let queries = Matrix::from_slice(&c, 1, dim, &points_data[5 * dim..6 * dim]);
+        let points = Matrix::from_slice(&c, p, dim, &points_data);
+        let (d, nn) = nearest_neighbors(&queries, &points, AllPairsStrategy::default()).unwrap();
+        assert_eq!(nn, vec![5]);
+        assert_eq!(d[5], 0.0);
+    }
+
+    #[test]
+    fn distance_pipeline_stays_on_the_devices() {
+        let c = ctx(2);
+        let (q, p, dim) = (10, 14, 4);
+        let qm = Matrix::from_slice(&c, q, dim, &crate::test_points(q, dim, 5));
+        let pm = Matrix::from_slice(&c, p, dim, &crate::test_points(p, dim, 6));
+        // Chaining AllPairs into Map must not download the intermediate:
+        // no d2h traffic happens until we fetch the final result.
+        let before = c.platform().stats_snapshot();
+        let d = distance_matrix(&qm, &pm, AllPairsStrategy::default()).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.d2h_transfers, 0, "intermediates stay on the devices");
+        let before = c.platform().stats_snapshot();
+        let _ = d.to_vec().unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert!(delta.d2h_transfers > 0, "the final download is real");
+    }
+}

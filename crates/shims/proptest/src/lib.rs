@@ -1,13 +1,19 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the surface this workspace's property tests use: the
-//! [`Strategy`] trait over ranges / tuples / `Just` / `any`,
+//! [`strategy::Strategy`] trait over ranges / tuples / `Just` / `any`,
 //! `prop::collection::vec`, `prop_oneof!`, `prop_map`, the `proptest!`
 //! macro with `#![proptest_config(...)]`, and the `prop_assert*` macros.
 //!
 //! Differences from real proptest, deliberate for an offline shim: cases
 //! are generated from a deterministic per-test seed (override with
-//! `PROPTEST_SEED`), and failing inputs are reported but **not shrunk**.
+//! `PROPTEST_SEED`), and shrinking is **minimal linear shrinking** — on a
+//! `prop_assert*` failure the runner greedily retries smaller candidates
+//! (integers step toward their range's lower bound, vectors drop suffix
+//! elements and shrink their elements) until no candidate still fails,
+//! then reports the minimal failing input. Strategies that cannot shrink
+//! (floats, `Just`, `prop_map` outputs) report the original value.
+//! Panicking bodies (as opposed to `prop_assert*` failures) abort unshrunk.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,12 +35,22 @@ pub mod strategy {
 
     /// A generator of values of `Self::Value`.
     ///
-    /// Object-safe core (`generate`) plus sized combinators, so strategies
-    /// can be boxed for `prop_oneof!`.
+    /// Object-safe core (`generate` + `shrink`) plus sized combinators, so
+    /// strategies can be boxed for `prop_oneof!`.
     pub trait Strategy {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing value, most aggressive
+        /// first. The runner greedily adopts the first candidate that still
+        /// fails and repeats until a fixpoint (minimal linear shrinking).
+        /// The default — for strategies whose values cannot be meaningfully
+        /// shrunk, like float ranges or `prop_map` outputs — is no
+        /// candidates.
+        fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
         where
@@ -67,6 +83,9 @@ pub mod strategy {
         type Value = V;
         fn generate(&self, rng: &mut TestRng) -> V {
             (**self).generate(rng)
+        }
+        fn shrink(&self, v: &V) -> Vec<V> {
+            (**self).shrink(v)
         }
     }
 
@@ -119,6 +138,14 @@ pub mod strategy {
             }
             panic!("prop_filter rejected 1000 candidates in a row");
         }
+        fn shrink(&self, v: &S::Value) -> Vec<S::Value> {
+            // Shrunk candidates must still satisfy the predicate.
+            self.base
+                .shrink(v)
+                .into_iter()
+                .filter(|c| (self.f)(c))
+                .collect()
+        }
     }
 
     /// Uniform choice between boxed alternatives (`prop_oneof!`).
@@ -139,9 +166,30 @@ pub mod strategy {
             let i = rng.inner.gen_range(0usize..self.options.len());
             self.options[i].generate(rng)
         }
+        fn shrink(&self, v: &V) -> Vec<V> {
+            // The producing arm is unknown; every arm's candidates are
+            // valid values of `V`, so offer them all.
+            self.options.iter().flat_map(|o| o.shrink(v)).collect()
+        }
     }
 
-    macro_rules! impl_range_strategy {
+    /// Linear-shrink candidates for an integer failing value `x` over a
+    /// range starting at `lo` (both widened to `i128`): the lower bound
+    /// itself, the midpoint towards it, and one step down — most aggressive
+    /// first, deduplicated.
+    pub(crate) fn int_shrink_candidates(lo: i128, x: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        if x > lo {
+            for c in [lo, lo + (x - lo) / 2, x - 1] {
+                if c != x && !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    macro_rules! impl_range_strategy_float {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
                 type Value = $t;
@@ -152,7 +200,26 @@ pub mod strategy {
         )*};
     }
 
-    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    impl_range_strategy_float!(f32, f64);
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.gen_range(self.clone())
+                }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    int_shrink_candidates(self.start as i128, *v as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! impl_range_inclusive_int {
         ($($t:ty),*) => {$(
@@ -165,6 +232,12 @@ pub mod strategy {
                     let span = (hi as i128 - lo as i128 + 1) as u128;
                     let v = (rng.next_u64() as u128) % span;
                     (lo as i128 + v as i128) as $t
+                }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    int_shrink_candidates(*self.start() as i128, *v as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -188,31 +261,71 @@ pub mod strategy {
 
     macro_rules! impl_tuple_strategy {
         ($(($($n:ident : $idx:tt),+)),+ $(,)?) => {$(
-            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            impl<$($n: Strategy),+> Strategy for ($($n,)+)
+            where
+                $($n::Value: Clone),+
+            {
                 type Value = ($($n::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                    // One component at a time, the others held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&v.$idx) {
+                            let mut w = v.clone();
+                            w.$idx = cand;
+                            out.push(w);
+                        }
+                    )+
+                    out
                 }
             }
         )+};
     }
 
     impl_tuple_strategy!(
+        (A: 0),
         (A: 0, B: 1),
         (A: 0, B: 1, C: 2),
-        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
     );
 
-    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    impl<S: Strategy, const N: usize> Strategy for [S; N]
+    where
+        S::Value: Clone,
+    {
         type Value = [S::Value; N];
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             std::array::from_fn(|i| self[i].generate(rng))
+        }
+        fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            for i in 0..N {
+                for cand in self[i].shrink(&v[i]) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 
     /// Types with a canonical whole-domain strategy (`any::<T>()`).
     pub trait Arbitrary: Sized {
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Shrink candidates for a failing value (see [`Strategy::shrink`]);
+        /// integers step towards zero, the domain's natural origin.
+        fn shrink(_v: &Self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     macro_rules! impl_arbitrary_int {
@@ -220,6 +333,14 @@ pub mod strategy {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+                fn shrink(v: &$t) -> Vec<$t> {
+                    let x = *v as i128;
+                    let towards = if x >= 0 { int_shrink_candidates(0, x) } else {
+                        // Negative values mirror: towards zero from below.
+                        int_shrink_candidates(0, -x).into_iter().map(|c| -c).collect()
+                    };
+                    towards.into_iter().map(|c| c as $t).collect()
                 }
             }
         )*};
@@ -230,6 +351,13 @@ pub mod strategy {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink(v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -242,6 +370,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+        fn shrink(&self, v: &T) -> Vec<T> {
+            T::shrink(v)
         }
     }
 
@@ -267,7 +398,10 @@ pub mod collection {
         len: std::ops::Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = if self.len.start + 1 >= self.len.end {
@@ -276,6 +410,31 @@ pub mod collection {
                 rng.inner.gen_range(self.len.clone())
             };
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out = Vec::new();
+            // Length first (a shorter counterexample beats a smaller one):
+            // halve towards the minimum, then drop one element.
+            if v.len() > min {
+                let half = (v.len() / 2).max(min);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                if v.len() - 1 > half {
+                    out.push(v[..v.len() - 1].to_vec());
+                }
+            }
+            // Then element-wise, one position at a time (capped so huge
+            // vectors don't explode the candidate list).
+            for i in 0..v.len().min(8) {
+                for cand in self.element.shrink(&v[i]).into_iter().take(2) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -345,6 +504,74 @@ pub fn rng_for(test_name: &str, case: u64) -> strategy::TestRng {
     }
 }
 
+/// Ties a check closure's parameter type to a strategy's value type, so
+/// the [`proptest!`] macro's generated closure type-checks without naming
+/// the tuple type (closure parameters cannot be partially annotated).
+pub fn constrain_check<S, F>(_strat: &S, check: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    check
+}
+
+/// Greedy minimal linear shrinking: starting from a failing input, adopt
+/// the first [`strategy::Strategy::shrink`] candidate that still fails and repeat
+/// until no candidate fails (or the retry budget runs out). Returns the
+/// minimal failing value, its failure, and the number of successful shrink
+/// steps. Driven by the [`proptest!`] macro; public so it can be tested.
+///
+/// A candidate whose check *panics* (as opposed to returning `Err`) counts
+/// as failing, like in real proptest — some bugs only panic at the smaller
+/// inputs shrinking explores, and a propagating panic would otherwise
+/// abort the run mid-shrink and misattribute the failure to an input the
+/// runner never reported. (The panic message still prints to stderr.)
+pub fn shrink_failure<S, F>(
+    strat: &S,
+    mut best: S::Value,
+    mut best_err: test_runner::TestCaseError,
+    check: &F,
+) -> (S::Value, test_runner::TestCaseError, usize)
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> Result<(), test_runner::TestCaseError>,
+{
+    let checked = |v: &S::Value| -> Result<(), test_runner::TestCaseError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(v))) {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(test_runner::TestCaseError::fail(format!("panicked: {msg}")))
+            }
+        }
+    };
+    let mut steps = 0usize;
+    let mut budget = 256usize;
+    loop {
+        let mut progressed = false;
+        for cand in strat.shrink(&best) {
+            if budget == 0 {
+                return (best, best_err, steps);
+            }
+            budget -= 1;
+            if let Err(e) = checked(&cand) {
+                best = cand;
+                best_err = e;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return (best, best_err, steps);
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
@@ -385,6 +612,19 @@ macro_rules! prop_assert_eq {
                 "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
                 stringify!($a),
                 stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                format!($($fmt)+),
                 a,
                 b
             )));
@@ -438,14 +678,23 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                // All argument strategies as one tuple strategy, so the
+                // shrinker can simplify one argument while holding the
+                // others fixed.
+                let strat = ($($strat,)+);
+                let check = $crate::constrain_check(&strat, |vals| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(vals);
+                    $body
+                    Ok(())
+                });
                 for case in 0..cfg.cases as u64 {
                     let mut rng = $crate::rng_for(stringify!($name), case);
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body Ok(()) })();
-                    if let Err(e) = result {
+                    let vals = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    if let Err(first) = check(&vals) {
+                        let (min, min_err, steps) =
+                            $crate::shrink_failure(&strat, vals, first, &check);
                         panic!(
-                            "proptest {} failed at case {case}/{}: {e}",
+                            "proptest {} failed at case {case}/{}: {min_err}\n  minimal failing input ({steps} shrink steps): {min:?}",
                             stringify!($name),
                             cfg.cases
                         );
@@ -495,6 +744,101 @@ mod tests {
             }
             prop_assert!(v.len() < 3);
         }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "minimal failing input")]
+        #[allow(unused_comparisons)]
+        fn failing_cases_report_shrunk_inputs(x in 0usize..1000) {
+            // Fails for every x >= 17; linear shrinking must walk the
+            // counterexample down to exactly 17 before reporting.
+            prop_assert!(x < 17, "x was {x}");
+        }
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_the_lower_bound() {
+        let s = 5usize..100;
+        let c = s.shrink(&80);
+        assert_eq!(c, vec![5, 42, 79], "bound, midpoint, one step down");
+        assert!(s.shrink(&5).is_empty(), "the bound itself cannot shrink");
+        let inc = 0u32..=10;
+        assert_eq!(inc.shrink(&10), vec![0, 5, 9]);
+    }
+
+    #[test]
+    fn any_shrinks_toward_zero_from_both_sides() {
+        assert_eq!(crate::strategy::Arbitrary::shrink(&8i32), vec![0, 4, 7]);
+        assert_eq!(crate::strategy::Arbitrary::shrink(&-8i32), vec![0, -4, -7]);
+        assert!(crate::strategy::Arbitrary::shrink(&0i32).is_empty());
+    }
+
+    #[test]
+    fn vec_strategy_shrinks_length_then_elements() {
+        let s = prop::collection::vec(0u32..100, 1..10);
+        let c = s.shrink(&vec![40, 50, 60, 70]);
+        assert_eq!(c[0], vec![40, 50], "halved first");
+        assert_eq!(c[1], vec![40, 50, 60], "then one shorter");
+        assert!(
+            c[2..].iter().all(|w| w.len() == 4),
+            "element shrinks keep the length"
+        );
+        assert_eq!(c[2], vec![0, 50, 60, 70], "first element towards its bound");
+        // Minimum length is respected.
+        let at_min = s.shrink(&vec![7]);
+        assert!(at_min.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (0usize..10, 0usize..10);
+        let c = s.shrink(&(4, 6));
+        assert!(c.contains(&(0, 6)));
+        assert!(c.contains(&(4, 0)));
+        assert!(!c.contains(&(0, 0)), "components never shrink together");
+    }
+
+    #[test]
+    fn shrink_failure_finds_the_minimal_counterexample() {
+        // Property: x < 17. Failing start: 980 of 0..1000.
+        let strat = (0usize..1000,);
+        let check = |v: &(usize,)| -> Result<(), TestCaseError> {
+            if v.0 >= 17 {
+                Err(TestCaseError::fail(format!("{} >= 17", v.0)))
+            } else {
+                Ok(())
+            }
+        };
+        let first = check(&(980,)).unwrap_err();
+        let (min, err, steps) = crate::shrink_failure(&strat, (980,), first, &check);
+        assert_eq!(min, (17,), "the boundary counterexample");
+        assert!(err.message.contains("17 >= 17"));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_survives_panicking_candidates() {
+        let strat = (100usize..1000,);
+        // Returns Err at the starting value but panics outright on the
+        // smaller inputs shrinking explores.
+        let check = |v: &(usize,)| -> Result<(), TestCaseError> {
+            if v.0 < 500 {
+                panic!("boom at {}", v.0);
+            }
+            Err(TestCaseError::fail(format!("{} too big", v.0)))
+        };
+        let first = check(&(900,)).unwrap_err();
+        let (min, err, steps) = crate::shrink_failure(&strat, (900,), first, &check);
+        assert_eq!(min, (100,), "panicking candidates count as failures");
+        assert!(err.message.contains("panicked"));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn filtered_shrink_candidates_satisfy_the_predicate() {
+        let s = (0usize..100).prop_filter("even", |v| v % 2 == 0);
+        assert!(s.shrink(&80).iter().all(|c| c % 2 == 0));
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub trait AnyMatrixArg: Send + Sync {
 #[doc(hidden)]
 #[derive(Debug, Clone, Copy)]
 pub struct MatrixArgMeta {
+    /// Matrix width (global).
     pub cols: usize,
     pub span_rows: usize,
     /// Global row held by span row 0.
@@ -96,6 +97,11 @@ pub struct MatrixArgMeta {
     /// Rows stored above the owned block (wrapped at matrix edges).
     pub halo_above: usize,
     pub n_rows: usize,
+    /// First column held by this part (0 for row-based distributions).
+    pub col_offset: usize,
+    /// Columns held by this part — also the buffer's row stride (equals
+    /// `cols` for full-width parts, a column slice under `ColBlock`).
+    pub span_cols: usize,
 }
 
 impl<T: Scalar> AnyMatrixArg for Matrix<T> {
@@ -107,7 +113,7 @@ impl<T: Scalar> AnyMatrixArg for Matrix<T> {
         let parts = self.parts_with_fresh_halos()?;
         let part = parts
             .iter()
-            .find(|p| p.device == device && p.rows > 0)
+            .find(|p| p.device == device && p.rows > 0 && p.cols > 0)
             .ok_or_else(|| {
                 Error::BadArgument(format!(
                     "matrix argument has no data on device {device} under {:?}",
@@ -120,6 +126,8 @@ impl<T: Scalar> AnyMatrixArg for Matrix<T> {
             row_offset: part.row_offset,
             halo_above: part.halo_above,
             n_rows: self.rows(),
+            col_offset: part.col_offset,
+            span_cols: part.cols,
         };
         Ok((Box::new(part.buffer.clone()), meta))
     }
@@ -466,6 +474,17 @@ impl<'a, T: Scalar> ArgMat<'a, T> {
         self.meta.span_rows
     }
 
+    /// Columns addressable on this device (the full width for row-based
+    /// distributions, this part's column block under `ColBlock`).
+    pub fn span_cols(&self) -> usize {
+        self.meta.span_cols
+    }
+
+    /// First addressable column on this device.
+    pub fn col_offset(&self) -> usize {
+        self.meta.col_offset
+    }
+
     fn span_index(&self, row: usize, col: usize) -> usize {
         assert!(
             col < self.meta.cols,
@@ -474,6 +493,15 @@ impl<'a, T: Scalar> ArgMat<'a, T> {
         assert!(
             row < self.meta.n_rows,
             "matrix argument row {row} out of range"
+        );
+        // Columns are addressed globally; only this part's column block is
+        // resident — the column analogue of the span-row check below.
+        let lc = col.wrapping_sub(self.meta.col_offset);
+        assert!(
+            lc < self.meta.span_cols,
+            "matrix argument column {col} not on this device (cols {}..{})",
+            self.meta.col_offset,
+            self.meta.col_offset + self.meta.span_cols
         );
         // Span rows hold consecutive global rows (mod n_rows) starting
         // `halo_above` above `row_offset`.
@@ -485,7 +513,7 @@ impl<'a, T: Scalar> ArgMat<'a, T> {
             "matrix argument row {row} not on this device (span {} rows from {first})",
             self.meta.span_rows
         );
-        s * self.meta.cols + col
+        s * self.meta.span_cols + lc
     }
 
     /// Counted load at global `(row, col)`.

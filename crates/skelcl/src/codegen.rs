@@ -393,6 +393,111 @@ pub fn stencil2d_program(
     .with_arg_count(5)
 }
 
+/// Generate the naive AllPairs skeleton program: one work-item per output
+/// element, combining `zip(A[i][k], B[k][j])` across the inner dimension
+/// with `reduce` (SkelCL's later `AllPairs(M, N)` skeleton restricted to
+/// the zip-reduce form that admits the fast tiled implementation).
+pub fn allpairs_program(
+    zip_name: &str,
+    zip_source: &str,
+    reduce_name: &str,
+    reduce_source: &str,
+    in_t: &str,
+    out_t: &str,
+) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: AllPairs skeleton (naive)\n\
+         {zip_source}\n\
+         {reduce_source}\n\
+         __kernel void skelcl_allpairs(__global const {in_t}* restrict a,\n\
+                                       __global const {in_t}* restrict b,\n\
+                                       __global {out_t}* restrict c,\n\
+                                       const uint m,\n\
+                                       const uint k,\n\
+                                       const uint n,\n\
+                                       const {out_t} identity) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1);\n\
+             if (row < m && col < n) {{\n\
+                 {out_t} acc = identity;\n\
+                 for (uint kk = 0; kk < k; ++kk) {{\n\
+                     acc = {reduce_name}(acc, {zip_name}(a[row * k + kk], b[kk * n + col]));\n\
+                 }}\n\
+                 c[row * n + col] = acc;\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(
+        program_name(
+            "allpairs",
+            &format!("{zip_name}_{reduce_name}"),
+            &[in_t, out_t],
+        ),
+        source,
+    )
+    .with_arg_count(7)
+}
+
+/// Generate the tiled AllPairs skeleton program: each `tile × tile`
+/// work-group stages an A-row-strip tile and a B-col-strip tile in local
+/// memory and every item combines from there, cutting global traffic by a
+/// factor of `tile` (the classic blocked matrix-multiply scheme). The tile
+/// dimension changes the emitted code — and the local-memory footprint — so
+/// it is part of the program name and thus the kernel cache key.
+pub fn allpairs_tiled_program(
+    zip_name: &str,
+    zip_source: &str,
+    reduce_name: &str,
+    reduce_source: &str,
+    in_t: &str,
+    out_t: &str,
+    tile: usize,
+) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: AllPairs skeleton (tiled, {tile}x{tile} local tiles)\n\
+         #define TILE {tile}\n\
+         {zip_source}\n\
+         {reduce_source}\n\
+         __kernel void skelcl_allpairs_tiled(__global const {in_t}* restrict a,\n\
+                                             __global const {in_t}* restrict b,\n\
+                                             __global {out_t}* restrict c,\n\
+                                             const uint m,\n\
+                                             const uint k,\n\
+                                             const uint n,\n\
+                                             const {out_t} identity,\n\
+                                             __local {in_t}* a_tile,\n\
+                                             __local {in_t}* b_tile) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1);\n\
+             uint lx = get_local_id(0);\n\
+             uint ly = get_local_id(1);\n\
+             {out_t} acc = identity;\n\
+             for (uint t = 0; t < (k + TILE - 1) / TILE; ++t) {{\n\
+                 uint ka = t * TILE + lx;\n\
+                 uint kb = t * TILE + ly;\n\
+                 a_tile[ly * TILE + lx] = (row < m && ka < k) ? a[row * k + ka] : identity;\n\
+                 b_tile[ly * TILE + lx] = (col < n && kb < k) ? b[kb * n + col] : identity;\n\
+                 barrier(CLK_LOCAL_MEM_FENCE);\n\
+                 uint span = min((uint)TILE, k - t * TILE);\n\
+                 for (uint kk = 0; kk < span; ++kk) {{\n\
+                     acc = {reduce_name}(acc, {zip_name}(a_tile[ly * TILE + kk], b_tile[kk * TILE + lx]));\n\
+                 }}\n\
+                 barrier(CLK_LOCAL_MEM_FENCE);\n\
+             }}\n\
+             if (row < m && col < n) c[row * n + col] = acc;\n\
+         }}\n"
+    );
+    Program::from_source(
+        program_name(
+            &format!("allpairs_tiled{tile}"),
+            &format!("{zip_name}_{reduce_name}"),
+            &[in_t, out_t],
+        ),
+        source,
+    )
+    .with_arg_count(9)
+}
+
 /// Generate the MapOverlap skeleton program (stencil with halo; SkelCL's
 /// follow-up extension, announced as future work in Section III-D).
 pub fn map_overlap_program(fn_name: &str, fn_source: &str, t: &str, radius: usize) -> Program {

@@ -14,6 +14,12 @@ pub enum Error {
         left: (usize, usize),
         right: (usize, usize),
     },
+    /// AllPairs-style inner dimensions disagree: `A` is `m×k`, so `B` must
+    /// be `k×n`.
+    InnerDimMismatch {
+        left: (usize, usize),
+        right: (usize, usize),
+    },
     /// An operation needed a device-side copy that does not exist.
     NotOnDevice(String),
     /// An `Arguments` slot was accessed with the wrong type or index.
@@ -36,6 +42,13 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "shape mismatch: {}x{} vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
+            }
+            Error::InnerDimMismatch { left, right } => {
+                write!(
+                    f,
+                    "inner dimension mismatch: {}x{} · {}x{} (A columns must equal B rows)",
                     left.0, left.1, right.0, right.1
                 )
             }

@@ -15,10 +15,33 @@
 //!   redistribution with a combine operator (Section III-D),
 //! * plus the [`MapOverlap`] stencil and the with-arguments Map/Zip
 //!   variants the paper's applications rely on,
-//! * and the 2D subsystem SkelCL grew next: the [`Matrix`] container with
+//! * the 2D subsystem SkelCL grew next: the [`Matrix`] container with
 //!   [`MatrixDistribution::RowBlock`] halo distribution and the
 //!   [`Stencil2D`] skeleton behind the image-processing benchmark suite
-//!   (Gaussian blur, Sobel, Canny — see the `skelcl-imgproc` crate).
+//!   (Gaussian blur, Sobel, Canny — see the `skelcl-imgproc` crate),
+//! * and the [`AllPairs`] skeleton with the column-block
+//!   [`MatrixDistribution::ColBlock`] distribution behind the dense
+//!   linear-algebra workloads (matrix multiplication, pairwise distances —
+//!   see the `skelcl-linalg` crate).
+//!
+//! ## Skeleton overview
+//!
+//! | Skeleton        | Containers            | Customizing function            | Distributions of the primary input        |
+//! |-----------------|-----------------------|---------------------------------|-------------------------------------------|
+//! | [`Map`]         | [`Vector`], [`Matrix`]| `U f(T)`                        | `Single`, `Copy`, `Block` / any matrix    |
+//! | [`Zip`]         | [`Vector`], [`Matrix`]| `U f(T1, T2)`                   | `Single`, `Copy`, `Block` / any matrix    |
+//! | [`Reduce`]      | [`Vector`]            | associative `T f(T, T)` + id    | `Single`, `Copy`, `Block`                 |
+//! | [`Scan`]        | [`Vector`]            | associative `T f(T, T)` + id    | `Single`, `Copy`, `Block`                 |
+//! | [`MapOverlap`]  | [`Vector`]            | `T f(view)` over a radius       | `Single`, `Copy`, `Block`                 |
+//! | [`Stencil2D`]   | [`Matrix`]            | `U f(view)` over a 2D radius    | `Single`, `Copy`, `RowBlock { halo }`     |
+//! | [`AllPairs`]    | [`Matrix`]            | zip `U f(T, T)` + reduce + id   | A: row-based; B: `Copy` / `ColBlock` / …  |
+//!
+//! (Plus the composed [`MapReduce`]/[`MapIndex`] fusions and the
+//! with-arguments variants [`MapArgs`], [`MapVoid`], [`ZipArgs`].)
+//! Element-wise skeletons accept every distribution; `Stencil2D` widens a
+//! too-narrow `RowBlock` halo automatically and re-lays out a `ColBlock`
+//! input; `AllPairs` replicates its `B` operand device-to-device when it
+//! is not already everywhere.
 //!
 //! ## Dot product (the paper's Listing 1)
 //!
@@ -86,6 +109,35 @@
 //! assert_eq!(twice.dims(), (64, 64));
 //! # let _ = twice.to_vec().unwrap();
 //! ```
+//!
+//! ## AllPairs (dense linear algebra: matrix multiplication)
+//!
+//! [`AllPairs`] computes `C[i][j] = reduce(zip(row_i(A), col_j(B)))` — with
+//! `zip = ×` and `reduce = +` that is the matrix product. `A`'s rows are
+//! partitioned across the devices; `B` is replicated (device-to-device when
+//! already resident, e.g. from a [`MatrixDistribution::ColBlock`] layout).
+//! The default strategy stages local-memory tiles; naive and tiled results
+//! are bit-identical.
+//!
+//! ```
+//! use skelcl::{AllPairs, Context, ContextConfig, Matrix};
+//!
+//! let ctx = Context::new(ContextConfig::default().devices(2).cache_tag("doc-allpairs"));
+//!
+//! let matmul = AllPairs::new(
+//!     skelcl::skel_fn!(fn mult(x: f32, y: f32) -> f32 { x * y }),
+//!     skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+//!     0.0,
+//! );
+//!
+//! // A (4×3) · B (3×2) = C (4×2): rows of C split across both devices.
+//! let a = Matrix::from_fn(&ctx, 4, 3, |r, c| (r * 3 + c) as f32);
+//! let b = Matrix::from_fn(&ctx, 3, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+//! let c = matmul.apply(&a, &b).unwrap();
+//! assert_eq!(c.dims(), (4, 2));
+//! // B is the leading 3×2 slice of the identity, so C is A's first 2 columns.
+//! assert_eq!(c.to_vec().unwrap()[0..2], [0.0, 1.0]);
+//! ```
 
 pub mod algorithms;
 pub mod arguments;
@@ -105,6 +157,7 @@ pub use error::{Error, Result};
 pub use matrix::{Matrix, MatrixDistribution};
 pub use meter::work;
 pub use scalar::Scalar;
+pub use skeletons::{AllPairs, AllPairsStrategy};
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
 pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};

@@ -15,6 +15,14 @@
 //! makes every part's halo well-defined regardless of position and lets the
 //! `Wrap` boundary mode of [`crate::Stencil2D`] work across devices;
 //! `Neumann`/`Zero` boundaries simply never read the wrapped rows.
+//!
+//! [`MatrixDistribution::ColBlock`] splits *columns* instead: each device
+//! owns all rows of a contiguous column block. Host↔device transfers are
+//! strided (one per row — each row's column slice is contiguous, the rows
+//! are not), and redistribution between row- and column-based layouts
+//! splits every row at owner column boundaries, entirely device-to-device.
+//! Column blocks feed the [`crate::AllPairs`] skeleton's `B` operand
+//! (matrix multiplication, pairwise distances).
 
 use crate::context::Context;
 use crate::error::{Error, Result};
@@ -33,6 +41,11 @@ pub enum MatrixDistribution {
     /// part additionally stores `halo` rows of overlap above and below its
     /// block (wrapping at the matrix edges).
     RowBlock { halo: usize },
+    /// Columns are evenly divided into one contiguous block per device;
+    /// every part stores all rows of its column block. Transfers are
+    /// strided (one per row), which is exactly what a real OpenCL
+    /// `clEnqueueWriteBufferRect` would batch up.
+    ColBlock,
 }
 
 impl MatrixDistribution {
@@ -40,11 +53,20 @@ impl MatrixDistribution {
     pub fn row_block() -> Self {
         MatrixDistribution::RowBlock { halo: 0 }
     }
+
+    /// Do parts under this distribution span the full matrix width?
+    pub(crate) fn is_full_width(self) -> bool {
+        !matches!(self, MatrixDistribution::ColBlock)
+    }
 }
 
 /// One device-resident piece of a matrix: `halo_above + rows + halo_below`
-/// consecutive (mod `n_rows`) full rows, of which `rows` starting at global
-/// row `row_offset` are *owned* (written back on download / redistribution).
+/// consecutive (mod `n_rows`) rows of the part's column range, of which
+/// `rows` starting at global row `row_offset` are *owned* (written back on
+/// download / redistribution). Row-based distributions own the full width
+/// (`col_offset == 0`, `cols == ` matrix width); under
+/// [`MatrixDistribution::ColBlock`] each part owns the `cols` columns
+/// starting at `col_offset`. The buffer's row stride is always `cols`.
 #[derive(Clone)]
 pub(crate) struct MatrixPart<T: Scalar> {
     pub device: usize,
@@ -52,6 +74,8 @@ pub(crate) struct MatrixPart<T: Scalar> {
     pub rows: usize,
     pub halo_above: usize,
     pub halo_below: usize,
+    pub col_offset: usize,
+    pub cols: usize,
     pub buffer: Buffer<T>,
 }
 
@@ -122,16 +146,32 @@ fn default_distribution(ctx: &Context) -> MatrixDistribution {
     }
 }
 
-/// Layout of `dist` for `rows` rows on `n_devices` devices:
-/// `(device, row_offset, rows, halo_above, halo_below)`.
-fn layout(
-    dist: MatrixDistribution,
+/// Geometry of one part under a distribution (everything but the buffer).
+#[derive(Debug, Clone, Copy)]
+struct PartGeom {
+    device: usize,
+    row_offset: usize,
     rows: usize,
-    n_devices: usize,
-) -> Vec<(usize, usize, usize, usize, usize)> {
+    halo_above: usize,
+    halo_below: usize,
+    col_offset: usize,
+    cols: usize,
+}
+
+/// Layout of `dist` for a `rows × cols` matrix on `n_devices` devices.
+fn layout(dist: MatrixDistribution, rows: usize, cols: usize, n_devices: usize) -> Vec<PartGeom> {
+    let full_width = |device, row_offset, rows, halo| PartGeom {
+        device,
+        row_offset,
+        rows,
+        halo_above: halo,
+        halo_below: halo,
+        col_offset: 0,
+        cols,
+    };
     match dist {
-        MatrixDistribution::Single(d) => vec![(d, 0, rows, 0, 0)],
-        MatrixDistribution::Copy => (0..n_devices).map(|d| (d, 0, rows, 0, 0)).collect(),
+        MatrixDistribution::Single(d) => vec![full_width(d, 0, rows, 0)],
+        MatrixDistribution::Copy => (0..n_devices).map(|d| full_width(d, 0, rows, 0)).collect(),
         MatrixDistribution::RowBlock { halo } => {
             // Wrapped halos are only well-defined up to one full extra copy
             // of the matrix in each direction.
@@ -139,12 +179,22 @@ fn layout(
             crate::vector::block_ranges(rows, n_devices)
                 .into_iter()
                 .enumerate()
-                .map(|(d, (off, len))| {
-                    let h = if len == 0 { 0 } else { halo };
-                    (d, off, len, h, h)
-                })
+                .map(|(d, (off, len))| full_width(d, off, len, if len == 0 { 0 } else { halo }))
                 .collect()
         }
+        MatrixDistribution::ColBlock => crate::vector::block_ranges(cols, n_devices)
+            .into_iter()
+            .enumerate()
+            .map(|(d, (off, len))| PartGeom {
+                device: d,
+                row_offset: 0,
+                rows: if len == 0 { 0 } else { rows },
+                halo_above: 0,
+                halo_below: 0,
+                col_offset: off,
+                cols: len,
+            })
+            .collect(),
     }
 }
 
@@ -267,6 +317,23 @@ impl<T: Scalar> Matrix<T> {
         Ok(st.host.clone())
     }
 
+    /// The transposed matrix, built host-side (downloads first if the
+    /// devices hold the newest data). The result starts life host-fresh
+    /// under the context's default distribution; distribute it explicitly
+    /// (e.g. [`MatrixDistribution::ColBlock`]) before feeding skeletons.
+    pub fn transpose(&self) -> Result<Matrix<T>> {
+        let (rows, cols) = self.dims();
+        let src = self.host_view()?;
+        let mut out = vec![T::default(); rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = src[r * cols + c];
+            }
+        }
+        drop(src);
+        Ok(Matrix::from_vec(&self.ctx, cols, rows, out))
+    }
+
     /// Declare that a kernel modified this matrix on the devices by side
     /// effect (the paper's `dataOnDevicesModified()`). Halo rows become
     /// stale until the next exchange.
@@ -386,6 +453,10 @@ fn span_runs<T: Scalar>(p: &MatrixPart<T>, n_rows: usize) -> Vec<(usize, usize, 
 
 /// Upload `st.host` per `st.dist` if the device copies are stale. Halo rows
 /// are filled straight from the host, so they come out coherent.
+///
+/// Full-width parts upload in contiguous multi-row runs; column-block parts
+/// need one strided write per row (each row's column slice is contiguous on
+/// the host but the rows are not adjacent).
 fn ensure_on_devices<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> {
     if st.device_fresh {
         return Ok(());
@@ -395,28 +466,44 @@ fn ensure_on_devices<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> 
         "matrix has neither fresh host nor fresh device data"
     );
     let cols = st.cols;
-    let lay = layout(st.dist, st.rows, ctx.n_devices());
-    let concurrent = lay.iter().filter(|(_, _, r, _, _)| *r > 0).count().max(1);
+    let lay = layout(st.dist, st.rows, cols, ctx.n_devices());
+    let concurrent = lay.iter().filter(|g| g.rows > 0).count().max(1);
     let mut parts = Vec::with_capacity(lay.len());
-    for (device, row_offset, rows, halo_above, halo_below) in lay {
+    for geom in lay {
         let part = MatrixPart {
-            device,
-            row_offset,
-            rows,
-            halo_above,
-            halo_below,
+            device: geom.device,
+            row_offset: geom.row_offset,
+            rows: geom.rows,
+            halo_above: geom.halo_above,
+            halo_below: geom.halo_below,
+            col_offset: geom.col_offset,
+            cols: geom.cols,
             buffer: ctx
-                .device(device)
-                .alloc::<T>((halo_above + rows + halo_below) * cols)?,
+                .device(geom.device)
+                .alloc::<T>((geom.halo_above + geom.rows + geom.halo_below) * geom.cols)?,
         };
-        if part.rows > 0 && cols > 0 {
-            for (s, g, len) in span_runs(&part, st.rows) {
-                ctx.queue(device).enqueue_write_range(
-                    &part.buffer,
-                    s * cols,
-                    &st.host[g * cols..(g + len) * cols],
-                    concurrent,
-                )?;
+        if part.rows > 0 && part.cols > 0 {
+            if part.cols == cols {
+                for (s, g, len) in span_runs(&part, st.rows) {
+                    ctx.queue(part.device).enqueue_write_range(
+                        &part.buffer,
+                        s * cols,
+                        &st.host[g * cols..(g + len) * cols],
+                        concurrent,
+                    )?;
+                }
+            } else {
+                let c0 = part.col_offset;
+                let c1 = c0 + part.cols;
+                for s in 0..part.span_rows() {
+                    let g = part.global_row(s, st.rows);
+                    ctx.queue(part.device).enqueue_write_range(
+                        &part.buffer,
+                        s * part.cols,
+                        &st.host[g * cols + c0..g * cols + c1],
+                        concurrent,
+                    )?;
+                }
             }
         }
         parts.push(part);
@@ -467,6 +554,28 @@ fn ensure_on_host<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> {
             }
             ctx.sync();
         }
+        MatrixDistribution::ColBlock => {
+            // One strided read per owned row per part: each row's column
+            // slice is contiguous on both sides, the rows are not.
+            let concurrent = st.parts.iter().filter(|p| p.cols > 0).count().max(1);
+            let parts = st.parts.clone();
+            for p in &parts {
+                if p.rows == 0 || p.cols == 0 {
+                    continue;
+                }
+                let (c0, c1) = (p.col_offset, p.col_offset + p.cols);
+                for r in 0..p.rows {
+                    ctx.queue(p.device).enqueue_read_range(
+                        &p.buffer,
+                        r * p.cols,
+                        &mut st.host[r * cols + c0..r * cols + c1],
+                        concurrent,
+                        false,
+                    )?;
+                }
+            }
+            ctx.sync();
+        }
     }
     st.host_fresh = true;
     Ok(())
@@ -479,6 +588,60 @@ fn owner_of_row<T: Scalar>(parts: &[MatrixPart<T>], g: usize, prefer: usize) -> 
         .filter(|p| g >= p.row_offset && g < p.row_offset + p.rows)
         .min_by_key(|p| if p.device == prefer { 0 } else { 1 })
         .expect("global row not owned by any part")
+}
+
+/// The part owning cell `(g, col)` (for `Copy`, the copy on `prefer`).
+fn owner_of_cell<T: Scalar>(
+    parts: &[MatrixPart<T>],
+    g: usize,
+    col: usize,
+    prefer: usize,
+) -> &MatrixPart<T> {
+    parts
+        .iter()
+        .filter(|p| {
+            g >= p.row_offset
+                && g < p.row_offset + p.rows
+                && col >= p.col_offset
+                && col < p.col_offset + p.cols
+        })
+        .min_by_key(|p| if p.device == prefer { 0 } else { 1 })
+        .expect("matrix cell not owned by any part")
+}
+
+/// Copy one span row of destination part `dst` (span row `s`, holding
+/// global row `g`) from the owning parts, splitting the part's column range
+/// at owner boundaries. The column-aware twin of [`fill_rows_from_owners`],
+/// used whenever either side of a redistribution is not full-width.
+fn fill_span_row_from_owners<T: Scalar>(
+    ctx: &Context,
+    parts: &[MatrixPart<T>],
+    dst: &MatrixPart<T>,
+    s: usize,
+    g: usize,
+    concurrent: usize,
+) -> Result<()> {
+    let mut c = dst.col_offset;
+    let end = dst.col_offset + dst.cols;
+    while c < end {
+        let src = owner_of_cell(parts, g, c, dst.device);
+        let src_span_row = src.halo_above + (g - src.row_offset);
+        let w = end.min(src.col_offset + src.cols) - c;
+        let src_off = src_span_row * src.cols + (c - src.col_offset);
+        let dst_off = s * dst.cols + (c - dst.col_offset);
+        if !(src.buffer.same_allocation(&dst.buffer) && src_off == dst_off) {
+            ctx.platform().copy_d2d_range(
+                &src.buffer,
+                src_off,
+                &dst.buffer,
+                dst_off,
+                w,
+                concurrent,
+            )?;
+        }
+        c += w;
+    }
+    Ok(())
 }
 
 /// Copy a run of global rows from their owners into destination part
@@ -588,31 +751,44 @@ fn redistribute<T: Scalar>(
     let cols = st.cols;
     let n_rows = st.rows;
     let n = ctx.n_devices();
-    let new_lay = layout(new_dist, n_rows, n);
+    let new_lay = layout(new_dist, n_rows, cols, n);
 
     let mut new_parts = Vec::with_capacity(new_lay.len());
-    for (device, row_offset, rows, halo_above, halo_below) in new_lay {
+    for geom in new_lay {
         new_parts.push(MatrixPart {
-            device,
-            row_offset,
-            rows,
-            halo_above,
-            halo_below,
+            device: geom.device,
+            row_offset: geom.row_offset,
+            rows: geom.rows,
+            halo_above: geom.halo_above,
+            halo_below: geom.halo_below,
+            col_offset: geom.col_offset,
+            cols: geom.cols,
             buffer: ctx
-                .device(device)
-                .alloc::<T>((halo_above + rows + halo_below) * cols)?,
+                .device(geom.device)
+                .alloc::<T>((geom.halo_above + geom.rows + geom.halo_below) * geom.cols)?,
         });
     }
 
     if cols > 0 {
         // Estimate bus contention: count cross-device row runs first.
         let concurrent = n.max(1);
+        let row_based = st.dist.is_full_width() && new_dist.is_full_width();
         for np in &new_parts {
-            if np.rows == 0 {
+            if np.rows == 0 || np.cols == 0 {
                 continue;
             }
-            for run in span_runs(np, n_rows) {
-                fill_rows_from_owners(ctx, &st.parts, np, run, cols, concurrent)?;
+            if row_based {
+                // Full-width parts on both sides: batch contiguous rows.
+                for run in span_runs(np, n_rows) {
+                    fill_rows_from_owners(ctx, &st.parts, np, run, cols, concurrent)?;
+                }
+            } else {
+                // A column boundary is involved: copy row by row, splitting
+                // each row at owner column boundaries (strided transfers).
+                for s in 0..np.span_rows() {
+                    let g = np.global_row(s, n_rows);
+                    fill_span_row_from_owners(ctx, &st.parts, np, s, g, concurrent)?;
+                }
             }
         }
         ctx.sync();
@@ -854,6 +1030,119 @@ mod tests {
             assert!(p.halo_below <= rows);
         }
         assert_eq!(m.to_vec().unwrap(), data(rows, 2));
+    }
+
+    #[test]
+    fn col_block_scatters_column_slices_with_strided_writes() {
+        let c = ctx(3);
+        let (rows, cols) = (5, 11);
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        m.set_distribution(MatrixDistribution::ColBlock).unwrap();
+        let before = c.platform().stats_snapshot();
+        let parts = m.parts().unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        // One strided write per row per part.
+        assert_eq!(delta.h2d_transfers as usize, 3 * rows);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(|p| p.cols).collect::<Vec<_>>(),
+            vec![4, 4, 3],
+            "11 columns over 3 devices"
+        );
+        let host = data(rows, cols);
+        for p in &parts {
+            let buf = p.buffer.to_vec();
+            for r in 0..rows {
+                assert_eq!(
+                    buf[r * p.cols..(r + 1) * p.cols],
+                    host[r * cols + p.col_offset..r * cols + p.col_offset + p.cols],
+                    "device {} row {r}",
+                    p.device
+                );
+            }
+        }
+        assert_eq!(m.to_vec().unwrap(), host);
+    }
+
+    #[test]
+    fn col_block_round_trip_after_device_modification() {
+        let c = ctx(2);
+        let (rows, cols) = (6, 7);
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        m.set_distribution(MatrixDistribution::ColBlock).unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        assert!(!m.host_fresh());
+        assert_eq!(m.to_vec().unwrap(), data(rows, cols));
+    }
+
+    #[test]
+    fn row_block_to_col_block_redistributes_device_side() {
+        let c = ctx(3);
+        let (rows, cols) = (9, 8);
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        let before = c.platform().stats_snapshot();
+        m.set_distribution(MatrixDistribution::ColBlock).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.h2d_transfers, 0, "no host round trip");
+        assert!(delta.d2d_transfers > 0, "column split crosses devices");
+        assert_eq!(m.to_vec().unwrap(), data(rows, cols));
+        // And back again, still device-side.
+        let before = c.platform().stats_snapshot();
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 0 })
+            .unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.h2d_transfers, 0, "no host round trip");
+        assert_eq!(m.to_vec().unwrap(), data(rows, cols));
+    }
+
+    #[test]
+    fn more_devices_than_columns_leaves_empty_col_parts() {
+        let c = ctx(4);
+        let m = Matrix::from_vec(&c, 3, 2, data(3, 2));
+        m.set_distribution(MatrixDistribution::ColBlock).unwrap();
+        let parts = m.parts().unwrap();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.cols).sum::<usize>(), 2);
+        assert!(parts.iter().filter(|p| p.cols == 0).all(|p| p.rows == 0));
+        assert_eq!(m.to_vec().unwrap(), data(3, 2));
+    }
+
+    #[test]
+    fn transpose_flips_dims_and_data() {
+        let c = ctx(2);
+        let (rows, cols) = (4, 7);
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        let t = m.transpose().unwrap();
+        assert_eq!(t.dims(), (cols, rows));
+        let tv = t.to_vec().unwrap();
+        let host = data(rows, cols);
+        for r in 0..rows {
+            for col in 0..cols {
+                assert_eq!(tv[col * rows + r], host[r * cols + col]);
+            }
+        }
+        // Double transpose is the identity.
+        assert_eq!(t.transpose().unwrap().to_vec().unwrap(), host);
+    }
+
+    #[test]
+    fn transpose_downloads_device_fresh_data_first() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 4, 4, data(4, 4));
+        m.ensure_on_devices().unwrap();
+        // Rewrite element (0, 0) on the device, then transpose.
+        {
+            let parts = m.parts().unwrap();
+            parts[0].buffer.set(0, 42.0);
+        }
+        m.mark_devices_modified();
+        let t = m.transpose().unwrap();
+        assert_eq!(t.to_vec().unwrap()[0], 42.0);
     }
 
     #[test]

@@ -110,22 +110,25 @@ where
         let (rows, cols) = input.dims();
         let in_parts = input.parts()?;
         let halos_fresh = input.halos_fresh();
-        let out_parts = alloc_matching_matrix_parts::<T, U>(&ctx, &in_parts, cols)?;
+        let out_parts = alloc_matching_matrix_parts::<T, U>(&ctx, &in_parts)?;
 
         let static_ops = self.user.static_ops();
         for (ip, op) in in_parts.iter().zip(&out_parts) {
-            if ip.rows == 0 || cols == 0 {
+            if ip.rows == 0 || ip.cols == 0 {
                 continue;
             }
             let f = self.user.func().clone();
             let src = ip.buffer.clone();
             let dst = op.buffer.clone();
+            // The part's own column count is the buffer's row stride (only
+            // equal to the matrix width for full-width parts).
+            let stride = ip.cols;
             let body: KernelBody = Arc::new(move |wg| {
                 wg.for_each_item(|it| {
                     if !it.in_bounds() {
                         return;
                     }
-                    let i = it.global_id(1) * cols + it.global_id(0);
+                    let i = it.global_id(1) * stride + it.global_id(0);
                     let x = it.read(&src, i);
                     let (y, dyn_ops) = meter::metered(|| f(x));
                     it.write(&dst, i, y);
@@ -134,7 +137,7 @@ where
             });
             let kernel = compiled.with_body(body);
             ctx.queue(ip.device)
-                .launch(&kernel, range_2d(&ctx, cols, ip.span_rows()))?;
+                .launch(&kernel, range_2d(&ctx, ip.cols, ip.span_rows()))?;
         }
         Ok(Matrix::from_device_parts(
             &ctx,

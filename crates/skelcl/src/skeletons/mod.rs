@@ -10,6 +10,7 @@
 //! through the two-level kernel cache; every call then launches on each
 //! device holding a part of the input, per the input's distribution.
 
+mod allpairs;
 mod map;
 mod map_overlap;
 mod map_reduce;
@@ -18,6 +19,7 @@ mod scan;
 mod stencil2d;
 mod zip;
 
+pub use allpairs::{AllPairs, AllPairsStrategy};
 pub use map::{Map, MapArgs, MapVoid};
 pub use map_overlap::{Boundary, MapOverlap, StencilView};
 pub use map_reduce::{MapIndex, MapReduce};
@@ -51,12 +53,11 @@ pub(crate) fn alloc_matching_parts<T: Element, U: Element>(
 }
 
 /// Allocate output matrix parts matching an input part layout (same
-/// devices, same owned/halo row geometry). Used by the element-wise matrix
-/// skeleton paths.
+/// devices, same owned/halo row geometry, same column range). Used by the
+/// element-wise matrix skeleton paths.
 pub(crate) fn alloc_matching_matrix_parts<T: Element, U: Element>(
     ctx: &Context,
     parts: &[crate::matrix::MatrixPart<T>],
-    cols: usize,
 ) -> Result<Vec<crate::matrix::MatrixPart<U>>> {
     let mut out = Vec::with_capacity(parts.len());
     for p in parts {
@@ -66,7 +67,9 @@ pub(crate) fn alloc_matching_matrix_parts<T: Element, U: Element>(
             rows: p.rows,
             halo_above: p.halo_above,
             halo_below: p.halo_below,
-            buffer: ctx.device(p.device).alloc::<U>(p.span_rows() * cols)?,
+            col_offset: p.col_offset,
+            cols: p.cols,
+            buffer: ctx.device(p.device).alloc::<U>(p.span_rows() * p.cols)?,
         });
     }
     Ok(out)

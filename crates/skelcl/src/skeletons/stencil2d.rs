@@ -189,10 +189,17 @@ where
 
         // A RowBlock halo narrower than the stencil radius cannot supply
         // the neighbourhood; widen it (device-side when data is fresh).
-        if let MatrixDistribution::RowBlock { halo } = input.distribution() {
-            if halo < self.radius {
+        // Column blocks have no column halos, so a stencil cannot read its
+        // horizontal neighbourhood across parts either: fall back to a
+        // row-block layout with a radius-wide halo (device-side exchange).
+        match input.distribution() {
+            MatrixDistribution::RowBlock { halo } if halo < self.radius => {
                 input.set_distribution(MatrixDistribution::RowBlock { halo: self.radius })?;
             }
+            MatrixDistribution::ColBlock => {
+                input.set_distribution(MatrixDistribution::RowBlock { halo: self.radius })?;
+            }
+            _ => {}
         }
 
         let (n_rows, cols) = input.dims();
@@ -209,6 +216,8 @@ where
                 rows: p.rows,
                 halo_above: p.halo_above,
                 halo_below: p.halo_below,
+                col_offset: p.col_offset,
+                cols: p.cols,
                 buffer: ctx.device(p.device).alloc::<U>(p.span_rows() * cols)?,
             });
         }

@@ -141,25 +141,27 @@ where
         let l_parts = lhs.parts()?;
         let r_parts = rhs.parts()?;
         let halos_fresh = lhs.halos_fresh() && rhs.halos_fresh();
-        let out_parts = alloc_matching_matrix_parts::<T1, U>(&ctx, &l_parts, cols)?;
+        let out_parts = alloc_matching_matrix_parts::<T1, U>(&ctx, &l_parts)?;
 
         let static_ops = self.user.static_ops();
         for ((lp, rp), op) in l_parts.iter().zip(&r_parts).zip(&out_parts) {
             debug_assert_eq!(lp.row_offset, rp.row_offset);
+            debug_assert_eq!(lp.col_offset, rp.col_offset);
             debug_assert_eq!(lp.span_rows(), rp.span_rows());
-            if lp.rows == 0 || cols == 0 {
+            if lp.rows == 0 || lp.cols == 0 {
                 continue;
             }
             let f = self.user.func().clone();
             let a = lp.buffer.clone();
             let b = rp.buffer.clone();
             let dst = op.buffer.clone();
+            let stride = lp.cols;
             let body: KernelBody = Arc::new(move |wg| {
                 wg.for_each_item(|it| {
                     if !it.in_bounds() {
                         return;
                     }
-                    let i = it.global_id(1) * cols + it.global_id(0);
+                    let i = it.global_id(1) * stride + it.global_id(0);
                     let x = it.read(&a, i);
                     let y = it.read(&b, i);
                     let (r, dyn_ops) = meter::metered(|| f(x, y));
@@ -169,7 +171,7 @@ where
             });
             let kernel = compiled.with_body(body);
             ctx.queue(lp.device)
-                .launch(&kernel, range_2d(&ctx, cols, lp.span_rows()))?;
+                .launch(&kernel, range_2d(&ctx, lp.cols, lp.span_rows()))?;
         }
         Ok(Matrix::from_device_parts(
             &ctx,

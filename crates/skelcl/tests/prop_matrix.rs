@@ -36,6 +36,15 @@ fn dist_strategy() -> impl Strategy<Value = MatrixDistribution> {
     ]
 }
 
+fn dist_strategy_with_col_block() -> impl Strategy<Value = MatrixDistribution> {
+    prop_oneof![
+        Just(MatrixDistribution::Single(0)),
+        Just(MatrixDistribution::Copy),
+        Just(MatrixDistribution::ColBlock),
+        (0usize..4).prop_map(|halo| MatrixDistribution::RowBlock { halo }),
+    ]
+}
+
 /// The sequential truth for the radius-1 cross stencil used below.
 fn reference_cross(data: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<f32> {
     let at = |r: isize, c: isize| -> f32 {
@@ -117,6 +126,36 @@ proptest! {
         m.ensure_on_devices().unwrap();
         m.mark_devices_modified(); // device copies become the truth
         m.halo_exchange().unwrap();
+        prop_assert_eq!(m.to_vec().unwrap(), data);
+    }
+
+    // RowBlock ↔ ColBlock ↔ Single: every device-side redistribution path
+    // through row- and column-based layouts is the identity on the data,
+    // over random shapes, device counts and halo widths.
+    #[test]
+    fn row_col_single_redistribution_round_trip_is_identity(
+        rows in 1usize..28,
+        cols in 1usize..14,
+        devices in 1usize..4,
+        halo in 0usize..4,
+        path in prop::collection::vec(dist_strategy_with_col_block(), 1..6),
+    ) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i * 13 % 89) as f32).collect();
+        let c = ctx(devices);
+        let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        m.set_distribution(MatrixDistribution::RowBlock { halo }).unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified(); // device copies become the truth
+        let before = c.platform().stats_snapshot();
+        for d in path {
+            m.set_distribution(d).unwrap();
+        }
+        // Explicit round trip through the column layout and back.
+        m.set_distribution(MatrixDistribution::ColBlock).unwrap();
+        m.set_distribution(MatrixDistribution::Single(0)).unwrap();
+        m.set_distribution(MatrixDistribution::RowBlock { halo }).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        prop_assert_eq!(delta.h2d_transfers, 0, "redistribution must stay device-side");
         prop_assert_eq!(m.to_vec().unwrap(), data);
     }
 
