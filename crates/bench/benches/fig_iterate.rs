@@ -1,0 +1,82 @@
+//! Iterative stencil workloads: `Stencil2D::iterate(n)`'s batched halo
+//! exchange vs `n` chained `apply` calls, swept over n ∈ {1, 10, 100}
+//! iterations and 1 → 4 virtual devices on the Jacobi heat-relaxation
+//! stencil. Reports virtual (modeled) seconds; on multiple devices at
+//! n ≥ 10 the batched schedule must win (asserted below — the iterative
+//! acceptance bar).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::stencil_iterate_virtual_s;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn bench_iterate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_iterate_virtual");
+    // Virtual-time samples have zero variance; one iteration per config.
+    group.sample_size(1);
+    let (rows, cols) = (1024usize, 1024usize);
+    // Virtual seconds per (n, devices, schedule), recorded while the sweep
+    // runs so the acceptance check reuses them instead of recomputing.
+    let recorded: RefCell<HashMap<(usize, usize, &str), f64>> = RefCell::new(HashMap::new());
+    for n in [1usize, 10, 100] {
+        for devices in [1usize, 2, 3, 4] {
+            for (name, batched) in [("chained_apply", false), ("batched_iterate", true)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("heat_{name}_n{n}"), devices),
+                    &devices,
+                    |b, &devices| {
+                        b.iter_custom(|iters| {
+                            let mut total = 0.0;
+                            for _ in 0..iters.max(1) {
+                                let t = stencil_iterate_virtual_s(rows, cols, devices, n, batched);
+                                recorded.borrow_mut().insert((n, devices, name), t);
+                                total += t;
+                            }
+                            Duration::from_secs_f64(total)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+
+    // The acceptance relation the figure exists to show: the batched
+    // per-iteration exchange beats the per-apply exchange in the virtual
+    // timeline wherever exchanges happen at all (2+ devices), and never
+    // loses elsewhere.
+    let recorded = recorded.borrow();
+    for n in [1usize, 10, 100] {
+        for devices in [1usize, 2, 3, 4] {
+            let chained = recorded[&(n, devices, "chained_apply")];
+            let batched = recorded[&(n, devices, "batched_iterate")];
+            assert!(
+                batched <= chained,
+                "batched iterate ({batched}s) must never lose to chained applies \
+                 ({chained}s) at n={n} x{devices} device(s)"
+            );
+            if devices >= 2 && n >= 10 {
+                assert!(
+                    batched < chained,
+                    "batched iterate ({batched}s) must strictly beat chained applies \
+                     ({chained}s) at n={n} x{devices} device(s)"
+                );
+            }
+            println!(
+                "fig_iterate check: n={n} x{devices} device(s): chained {chained:.6}s, \
+                 batched {batched:.6}s ({:.3}x)",
+                chained / batched
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the plotting
+    // backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_iterate
+}
+criterion_main!(benches);

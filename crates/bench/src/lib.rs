@@ -415,6 +415,45 @@ pub fn stencil_scaling_virtual_s(rows: usize, cols: usize, devices: usize) -> f6
     })
 }
 
+/// Fig-iterate helper: virtual time of `n` Jacobi heat-relaxation steps
+/// over a `rows × cols` row-block-distributed plate across `devices`
+/// devices. `batched` runs `Stencil2D::iterate(n)` — two ping-pong buffers
+/// per device, one batched halo exchange per iteration, no host sync
+/// between rounds; otherwise each step is one chained `apply` with the
+/// matrix-level exchange (the pre-iterate schedule). Upload and program
+/// warm-up are excluded; the timed region is the iteration schedule alone.
+pub fn stencil_iterate_virtual_s(
+    rows: usize,
+    cols: usize,
+    devices: usize,
+    n: usize,
+    batched: bool,
+) -> f64 {
+    use skelcl::{Matrix, MatrixDistribution};
+
+    let platform = figure_platform(devices);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let plate = Matrix::from_vec(&ctx, rows, cols, skelcl_iterative::heat_plate(rows, cols));
+    plate
+        .set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+        .expect("dist");
+    plate.ensure_on_devices().expect("upload");
+    let st = skelcl_iterative::skelcl_impl::heat_skeleton();
+    // Warm both generated programs (the apply and the iterate forms).
+    st.apply(&plate).expect("warm apply");
+    st.iterate(&plate, 1).expect("warm iterate");
+    time_virtual(&platform, || {
+        if batched {
+            st.iterate(&plate, n).expect("iterate");
+        } else if n > 0 {
+            let mut cur = st.apply(&plate).expect("apply");
+            for _ in 1..n {
+                cur = st.apply(&cur).expect("apply");
+            }
+        }
+    })
+}
+
 /// Fig-allpairs helper: virtual time of one `C = A·B` square matrix
 /// multiplication at `size×size` (inner dimension `size` too) across
 /// `devices` devices with the given AllPairs strategy. Uploads — A
@@ -574,6 +613,33 @@ mod tests {
         assert!(
             t4 < t1,
             "4-device stencil ({t4}s) must beat 1-device ({t1}s)"
+        );
+    }
+
+    #[test]
+    fn batched_iterate_beats_chained_applies() {
+        // The fig_iterate relation at a test-friendly size: the batched
+        // schedule exchanges strictly less (no wrapped edge rows under the
+        // heat stencil's Neumann boundary) and never re-synchronises the
+        // host between rounds, so it must model faster on multiple
+        // devices. (The full 1024² sweep runs in the fig_iterate bench.)
+        let chained = stencil_iterate_virtual_s(256, 256, 4, 50, false);
+        let batched = stencil_iterate_virtual_s(256, 256, 4, 50, true);
+        assert!(
+            batched < chained,
+            "batched iterate ({batched}s) must beat chained applies ({chained}s)"
+        );
+    }
+
+    #[test]
+    fn single_device_iterate_is_no_slower_than_chained_applies() {
+        // No halos, no exchanges: the two schedules collapse to the same
+        // launch sequence.
+        let chained = stencil_iterate_virtual_s(128, 128, 1, 20, false);
+        let batched = stencil_iterate_virtual_s(128, 128, 1, 20, true);
+        assert!(
+            batched <= chained,
+            "batched iterate ({batched}s) must not lose to chained applies ({chained}s)"
         );
     }
 

@@ -1,0 +1,83 @@
+//! Sequential references for the iterative workloads.
+//!
+//! Shares the per-cell functions with the SkelCL implementation so the two
+//! agree bit-for-bit; only the iteration and boundary plumbing live here.
+
+use crate::{heat_at, life_at};
+use skelcl::Boundary2D;
+use vgpu::Scalar;
+
+/// Apply one radius-1 stencil `f` over the whole grid under `boundary`.
+fn step<T: Scalar, F: Fn(&dyn Fn(isize, isize) -> T) -> T>(
+    grid: &[T],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary2D,
+    f: F,
+) -> Vec<T> {
+    let at = |r: isize, c: isize| -> T {
+        let (r, c) = match boundary {
+            Boundary2D::Neumann => (r.clamp(0, rows as isize - 1), c.clamp(0, cols as isize - 1)),
+            Boundary2D::Wrap => (r.rem_euclid(rows as isize), c.rem_euclid(cols as isize)),
+            Boundary2D::Zero => {
+                if r < 0 || r >= rows as isize || c < 0 || c >= cols as isize {
+                    return T::default();
+                }
+                (r, c)
+            }
+        };
+        grid[r as usize * cols + c as usize]
+    };
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows as isize {
+        for c in 0..cols as isize {
+            out.push(f(&|dr, dc| at(r + dr, c + dc)));
+        }
+    }
+    out
+}
+
+/// One Jacobi heat-relaxation step (insulated edges).
+pub fn heat_step(grid: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    step(grid, rows, cols, Boundary2D::Neumann, |get| heat_at(get))
+}
+
+/// `n` Jacobi heat-relaxation steps.
+pub fn heat_run(grid: &[f32], rows: usize, cols: usize, n: usize) -> Vec<f32> {
+    let mut cur = grid.to_vec();
+    for _ in 0..n {
+        cur = heat_step(&cur, rows, cols);
+    }
+    cur
+}
+
+/// One game-of-life generation on the torus.
+pub fn life_step(grid: &[u8], rows: usize, cols: usize) -> Vec<u8> {
+    step(grid, rows, cols, Boundary2D::Wrap, |get| life_at(get))
+}
+
+/// `n` game-of-life generations on the torus.
+pub fn life_run(grid: &[u8], rows: usize, cols: usize, n: usize) -> Vec<u8> {
+    let mut cur = grid.to_vec();
+    for _ in 0..n {
+        cur = life_step(&cur, rows, cols);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_block_is_a_still_life() {
+        let g = crate::life_grid(6, 6, &[(2, 2), (2, 3), (3, 2), (3, 3)]);
+        assert_eq!(life_run(&g, 6, 6, 5), g);
+    }
+
+    #[test]
+    fn heat_conserves_a_uniform_plate() {
+        let g = vec![7.5f32; 5 * 4];
+        assert_eq!(heat_run(&g, 5, 4, 10), g);
+    }
+}

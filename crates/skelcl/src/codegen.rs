@@ -336,6 +336,25 @@ pub fn zip2d_program(
     .with_arg_count(5)
 }
 
+/// The index-resolution snippet of `stencil_at` for one boundary mode:
+/// `neumann` clamps, `wrap` is toroidal, `zero` returns the element type's
+/// zero before indexing.
+fn stencil_boundary_resolve(boundary: &str, in_t: &str) -> String {
+    match boundary {
+        "neumann" => "int rr = clamp(row + dr, 0, (int)n_rows - 1);\n\
+                      int cc = clamp(col + dc, 0, (int)n_cols - 1);"
+            .to_string(),
+        "wrap" => "int rr = (row + dr + n_rows) % n_rows;\n\
+                   int cc = (col + dc + n_cols) % n_cols;"
+            .to_string(),
+        _ => format!(
+            "int rr = row + dr; int cc = col + dc;\n\
+             if (rr < 0 || rr >= (int)n_rows || cc < 0 || cc >= (int)n_cols)\n\
+                 return ({in_t})0;"
+        ),
+    }
+}
+
 /// Generate the Stencil2D skeleton program: a 2D stencil of the given
 /// radius whose out-of-range accesses follow `boundary` (`neumann` clamps,
 /// `wrap` is toroidal, `zero` reads 0). The boundary mode changes the
@@ -349,19 +368,7 @@ pub fn stencil2d_program(
     radius: usize,
     boundary: &str,
 ) -> Program {
-    let resolve = match boundary {
-        "neumann" => "int rr = clamp(row + dr, 0, (int)n_rows - 1);\n\
-                      int cc = clamp(col + dc, 0, (int)n_cols - 1);"
-            .to_string(),
-        "wrap" => "int rr = (row + dr + n_rows) % n_rows;\n\
-                   int cc = (col + dc + n_cols) % n_cols;"
-            .to_string(),
-        _ => format!(
-            "int rr = row + dr; int cc = col + dc;\n\
-             if (rr < 0 || rr >= (int)n_rows || cc < 0 || cc >= (int)n_cols)\n\
-                 return ({in_t})0;"
-        ),
-    };
+    let resolve = stencil_boundary_resolve(boundary, in_t);
     let source = format!(
         "// generated by SkelCL codegen: Stencil2D skeleton, radius {radius}, {boundary} boundary\n\
          inline {in_t} stencil_at(__global const {in_t}* in, int row, int col,\n\
@@ -387,6 +394,54 @@ pub fn stencil2d_program(
             &format!("stencil2d_r{radius}_{boundary}"),
             fn_name,
             &[in_t, out_t],
+        ),
+        source,
+    )
+    .with_arg_count(5)
+}
+
+/// Generate the iteration form of the Stencil2D skeleton program, behind
+/// `Stencil2D::iterate(n)`: the same per-element stencil as
+/// [`stencil2d_program`], but written against two device-resident buffers
+/// `a` (read) and `b` (write) whose roles swap between launches. The host
+/// side launches this one compiled kernel `n` times, rebinding `a`/`b`
+/// each round and batching one halo exchange per iteration; no intermediate
+/// buffer is ever allocated or downloaded. The element type is forced to be
+/// the same on both sides (`{t}` → `{t}`) — ping-ponging requires it.
+pub fn stencil2d_iter_program(
+    fn_name: &str,
+    fn_source: &str,
+    t: &str,
+    radius: usize,
+    boundary: &str,
+) -> Program {
+    let resolve = stencil_boundary_resolve(boundary, t);
+    let source = format!(
+        "// generated by SkelCL codegen: Stencil2D iteration, radius {radius}, {boundary} boundary\n\
+         // a/b ping-pong: launch n swaps the buffers of launch n-1.\n\
+         inline {t} stencil_at(__global const {t}* in, int row, int col,\n\
+                               uint n_rows, uint n_cols, int dr, int dc) {{\n\
+             {resolve}\n\
+             return in[rr * n_cols + cc];\n\
+         }}\n\
+         {fn_source}\n\
+         __kernel void skelcl_stencil2d_iter(__global const {t}* restrict a,\n\
+                                             __global {t}* restrict b,\n\
+                                             const uint n_rows,\n\
+                                             const uint n_cols,\n\
+                                             const uint row_offset) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1) + row_offset;\n\
+             if (row < n_rows && col < n_cols) {{\n\
+                 b[row * n_cols + col] = {fn_name}(a, row, col, n_rows, n_cols);\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(
+        program_name(
+            &format!("stencil2d_iter_r{radius}_{boundary}"),
+            fn_name,
+            &[t],
         ),
         source,
     )
@@ -595,6 +650,20 @@ mod tests {
         // and a different body changes the hash (cache key correctness)
         let c = map_program("f", "float f(float x){return x+2;}", "float", "float", 0);
         assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn stencil_iter_program_is_distinct_from_the_apply_form() {
+        let src = "float f(__global float* in, int r, int c, uint nr, uint nc) { return 0.0f; }";
+        let apply = stencil2d_program("f", src, "float", "float", 1, "neumann");
+        let iter = stencil2d_iter_program("f", src, "float", 1, "neumann");
+        assert_ne!(apply.hash(), iter.hash());
+        assert!(iter.source.contains("skelcl_stencil2d_iter"));
+        assert!(iter.source.contains("ping-pong"));
+        assert_eq!(iter.n_args, 5);
+        // Boundary mode is part of the iter cache key too.
+        let wrap = stencil2d_iter_program("f", src, "float", 1, "wrap");
+        assert_ne!(iter.hash(), wrap.hash());
     }
 
     #[test]

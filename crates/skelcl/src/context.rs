@@ -9,6 +9,7 @@
 use crate::error::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vgpu::{
     CommandQueue, CompiledKernel, Device, DriverProfile, KernelBody, Platform, PlatformConfig,
@@ -76,6 +77,9 @@ struct ContextInner {
     work_group: usize,
     /// program hash → built kernel (body is a placeholder; launches rebind).
     programs: Mutex<HashMap<u64, CompiledKernel>>,
+    /// Halo-exchange events performed under this context (see
+    /// [`Context::halo_exchange_count`]).
+    halo_exchanges: AtomicU64,
 }
 
 /// A SkelCL session: devices + queues + program registry.
@@ -118,6 +122,7 @@ impl Context {
                 profile,
                 work_group,
                 programs: Mutex::new(HashMap::new()),
+                halo_exchanges: AtomicU64::new(0),
             }),
         }
     }
@@ -190,6 +195,22 @@ impl Context {
     /// Number of programs built in this context so far.
     pub fn programs_built(&self) -> usize {
         self.inner.programs.lock().len()
+    }
+
+    /// Number of halo-exchange events performed so far by matrices and
+    /// skeletons of this context. One event covers the whole refresh of
+    /// every part's halo rows (however many transfers that takes); no-op
+    /// calls on already-coherent halos are not counted. This is the
+    /// counting hook behind the `Stencil2D::iterate` exchange-regression
+    /// tests.
+    pub fn halo_exchange_count(&self) -> u64 {
+        self.inner.halo_exchanges.load(Ordering::Relaxed)
+    }
+
+    /// Record one halo-exchange event (called by the matrix exchange path
+    /// and by `Stencil2D::iterate`'s batched per-iteration exchange).
+    pub(crate) fn note_halo_exchange(&self) {
+        self.inner.halo_exchanges.fetch_add(1, Ordering::Relaxed);
     }
 }
 

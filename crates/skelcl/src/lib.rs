@@ -19,10 +19,14 @@
 //!   [`MatrixDistribution::RowBlock`] halo distribution and the
 //!   [`Stencil2D`] skeleton behind the image-processing benchmark suite
 //!   (Gaussian blur, Sobel, Canny — see the `skelcl-imgproc` crate),
-//! * and the [`AllPairs`] skeleton with the column-block
+//! * the [`AllPairs`] skeleton with the column-block
 //!   [`MatrixDistribution::ColBlock`] distribution behind the dense
 //!   linear-algebra workloads (matrix multiplication, pairwise distances —
-//!   see the `skelcl-linalg` crate).
+//!   see the `skelcl-linalg` crate),
+//! * and the iterative form [`Stencil2D::iterate`] — `n` stencil passes
+//!   ping-ponging two device-resident buffers with one batched halo
+//!   exchange per iteration — behind the simulation workloads (heat
+//!   relaxation, game of life — see the `skelcl-iterative` crate).
 //!
 //! ## Skeleton overview
 //!
@@ -34,6 +38,7 @@
 //! | [`Scan`]        | [`Vector`]            | associative `T f(T, T)` + id    | `Single`, `Copy`, `Block`                 |
 //! | [`MapOverlap`]  | [`Vector`]            | `T f(view)` over a radius       | `Single`, `Copy`, `Block`                 |
 //! | [`Stencil2D`]   | [`Matrix`]            | `U f(view)` over a 2D radius    | `Single`, `Copy`, `RowBlock { halo }`     |
+//! | [`Stencil2D::iterate`] | [`Matrix`]     | same, applied `n` times         | `Single`, `Copy`, `RowBlock { halo }`     |
 //! | [`AllPairs`]    | [`Matrix`]            | zip `U f(T, T)` + reduce + id   | A: row-based; B: `Copy` / `ColBlock` / …  |
 //!
 //! (Plus the composed [`MapReduce`]/[`MapIndex`] fusions and the
@@ -108,6 +113,57 @@
 //! let twice = blur.apply(&once).unwrap();
 //! assert_eq!(twice.dims(), (64, 64));
 //! # let _ = twice.to_vec().unwrap();
+//! ```
+//!
+//! ## Iterated stencils (heat relaxation, Jacobi sweeps, game of life)
+//!
+//! Iterative simulations apply the *same* stencil hundreds of times.
+//! [`Stencil2D::iterate`] keeps the whole run on the devices: two buffers
+//! per device ping-pong roles each round, one **batched halo exchange per
+//! iteration** refreshes exactly the rows the stencil will read (under
+//! `Neumann`/`Zero` boundaries the wrapped matrix-edge rows are skipped),
+//! and a single cached kernel serves all `n` launches. The result is
+//! bit-identical to `n` chained [`Stencil2D::apply`] calls on every device
+//! count.
+//!
+//! ```
+//! use skelcl::{
+//!     Boundary2D, Context, ContextConfig, Matrix, MatrixDistribution, Stencil2D,
+//!     Stencil2DView, UserFn,
+//! };
+//!
+//! let ctx = Context::new(ContextConfig::default().devices(2).cache_tag("doc-iterate"));
+//!
+//! // Jacobi heat relaxation: each cell moves to the mean of its neighbours.
+//! let relax = Stencil2D::new(
+//!     UserFn::new(
+//!         "relax",
+//!         "float relax(__global float* in, int r, int c, uint nr, uint nc) {\n\
+//!              return 0.25f * (stencil_at(in,r,c,nr,nc,-1,0) + stencil_at(in,r,c,nr,nc,1,0)\n\
+//!                            + stencil_at(in,r,c,nr,nc,0,-1) + stencil_at(in,r,c,nr,nc,0,1));\n\
+//!          }",
+//!         |v: &Stencil2DView<'_, f32>| {
+//!             0.25 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1))
+//!         },
+//!     ),
+//!     1,                   // radius
+//!     Boundary2D::Neumann, // insulated edges
+//! );
+//!
+//! // A hot top row diffusing into a cold plate, split across both devices.
+//! let plate = Matrix::from_fn(&ctx, 32, 32, |r, _| if r == 0 { 100.0 } else { 0.0 });
+//! plate.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
+//!
+//! // 50 passes, entirely device-resident — and bit-identical to chaining.
+//! let relaxed = relax.iterate(&plate, 50).unwrap();
+//! let chained = {
+//!     let mut cur = relax.apply(&plate).unwrap();
+//!     for _ in 1..50 {
+//!         cur = relax.apply(&cur).unwrap();
+//!     }
+//!     cur
+//! };
+//! assert_eq!(relaxed.to_vec().unwrap(), chained.to_vec().unwrap());
 //! ```
 //!
 //! ## AllPairs (dense linear algebra: matrix multiplication)

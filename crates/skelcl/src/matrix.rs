@@ -691,30 +691,65 @@ fn halo_exchange<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> {
     if st.halos_fresh || !st.device_fresh || st.cols == 0 {
         return Ok(());
     }
-    let cols = st.cols;
-    let n_rows = st.rows;
-    // Every halo row crosses a device boundary (its owner is a neighbour),
-    // so the batch size is roughly two transfers per part.
-    let concurrent = (2 * st.parts.len()).min(2 * ctx.n_devices()).max(1);
-    let parts = st.parts.clone();
-    for p in &parts {
-        if p.rows == 0 {
-            continue;
-        }
-        if p.halo_above > 0 {
-            for run in halo_runs(p, n_rows, true) {
-                fill_rows_from_owners(ctx, &parts, p, run, cols, concurrent)?;
-            }
-        }
-        if p.halo_below > 0 {
-            for run in halo_runs(p, n_rows, false) {
-                fill_rows_from_owners(ctx, &parts, p, run, cols, concurrent)?;
-            }
-        }
+    if exchange_part_halos(ctx, &st.parts, st.rows, st.cols, false)? {
+        ctx.note_halo_exchange();
     }
     ctx.sync();
     st.halos_fresh = true;
     Ok(())
+}
+
+/// Refresh every part's halo rows from the rows' owning parts — the
+/// matrix-independent core of [`Matrix::halo_exchange`], also driven
+/// directly by `Stencil2D::iterate` on its device-private ping-pong part
+/// sets. With `skip_wrapped` the halo runs whose global rows wrap around
+/// the matrix edge are left untouched: only the `Wrap` boundary mode ever
+/// reads them, so a stencil that knows its boundary is `Neumann`/`Zero`
+/// can batch a strictly smaller exchange. Returns whether any halo rows
+/// were actually refreshed (one exchange *event*), so callers can count
+/// events without counting no-ops — a round where every run is skipped
+/// is a no-op.
+pub(crate) fn exchange_part_halos<T: Scalar>(
+    ctx: &Context,
+    parts: &[MatrixPart<T>],
+    n_rows: usize,
+    cols: usize,
+    skip_wrapped: bool,
+) -> Result<bool> {
+    if cols == 0 {
+        return Ok(false);
+    }
+    // Every halo row crosses a device boundary (its owner is a neighbour),
+    // so the batch size is roughly two transfers per part.
+    let concurrent = (2 * parts.len()).min(2 * ctx.n_devices()).max(1);
+    let mut exchanged = false;
+    for p in parts {
+        if p.rows == 0 {
+            continue;
+        }
+        for above in [true, false] {
+            let halo = if above { p.halo_above } else { p.halo_below };
+            if halo == 0 {
+                continue;
+            }
+            for run in halo_runs(p, n_rows, above) {
+                if skip_wrapped && run_is_wrapped(p, run, n_rows) {
+                    continue;
+                }
+                exchanged = true;
+                fill_rows_from_owners(ctx, parts, p, run, cols, concurrent)?;
+            }
+        }
+    }
+    Ok(exchanged)
+}
+
+/// Does this halo run (as produced by [`halo_runs`]) hold rows that wrap
+/// around the matrix edge? Runs never straddle a wrap point ([`halo_runs`]
+/// splits there), so testing the first row suffices.
+fn run_is_wrapped<T: Scalar>(p: &MatrixPart<T>, run: (usize, usize, usize), n_rows: usize) -> bool {
+    let unwrapped = p.row_offset as isize + run.0 as isize - p.halo_above as isize;
+    unwrapped < 0 || unwrapped >= n_rows as isize
 }
 
 /// The contiguous global-row runs of a part's upper (`above == true`) or
@@ -1152,6 +1187,72 @@ mod tests {
         let w = m.clone();
         m.host_view_mut().unwrap()[0] = 7.0;
         assert_eq!(w.to_vec().unwrap()[0], 7.0);
+    }
+
+    #[test]
+    fn halo_exchange_events_are_counted_once_each() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 8, 4, data(8, 4));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        let base = c.halo_exchange_count();
+        m.halo_exchange().unwrap(); // upload left halos coherent: no event
+        assert_eq!(c.halo_exchange_count(), base);
+        m.mark_devices_modified();
+        m.halo_exchange().unwrap();
+        assert_eq!(c.halo_exchange_count(), base + 1);
+        m.halo_exchange().unwrap(); // coherent again: no event
+        assert_eq!(c.halo_exchange_count(), base + 1);
+    }
+
+    #[test]
+    fn halo_free_exchange_is_not_an_event() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 8, 4, data(8, 4));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 0 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        let base = c.halo_exchange_count();
+        m.halo_exchange().unwrap();
+        assert_eq!(c.halo_exchange_count(), base, "no halo rows, no event");
+    }
+
+    #[test]
+    fn skipping_wrapped_runs_moves_fewer_transfers() {
+        // 4 parts with halo 1: a full exchange crosses devices 8 times; a
+        // wrap-skipping one 6 (the matrix-edge halos of the first part's
+        // top and the last part's bottom are omitted).
+        let c = ctx(4);
+        let (rows, cols) = (8, 2);
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let parts = m.parts().unwrap();
+        let before = c.platform().stats_snapshot();
+        assert!(exchange_part_halos(&c, &parts, rows, cols, true).unwrap());
+        let skipping = (c.platform().stats_snapshot() - before).d2d_transfers;
+        let before = c.platform().stats_snapshot();
+        assert!(exchange_part_halos(&c, &parts, rows, cols, false).unwrap());
+        let full = (c.platform().stats_snapshot() - before).d2d_transfers;
+        assert_eq!(full, 8);
+        assert_eq!(skipping, 6);
+    }
+
+    #[test]
+    fn all_runs_skipped_is_not_an_exchange() {
+        // One part owning the whole matrix: both halos are wrapped edge
+        // rows, so a wrap-skipping exchange refreshes nothing and must not
+        // report an event.
+        let c = ctx(1);
+        let (rows, cols) = (6, 3);
+        let m = Matrix::from_vec(&c, rows, cols, data(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let parts = m.parts().unwrap();
+        assert!(!exchange_part_halos(&c, &parts, rows, cols, true).unwrap());
+        assert!(exchange_part_halos(&c, &parts, rows, cols, false).unwrap());
     }
 
     #[test]

@@ -15,13 +15,14 @@
 //! a torus, `Zero` reads the element type's default.
 
 use crate::codegen::{self, UserFn};
+use crate::context::Context;
 use crate::error::Result;
-use crate::matrix::{Matrix, MatrixDistribution};
+use crate::matrix::{exchange_part_halos, Matrix, MatrixDistribution, MatrixPart};
 use crate::meter;
 use crate::skeletons::range_2d;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use vgpu::{Buffer, Item, KernelBody, Program, Scalar as Element};
+use vgpu::{Buffer, CompiledKernel, Item, KernelBody, Program, Scalar as Element};
 
 /// What out-of-matrix neighbourhood positions read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,9 @@ pub struct Stencil2D<T: Element, U: Element, F> {
     radius: usize,
     boundary: Boundary2D,
     program: Program,
+    /// The ping-pong form behind [`Stencil2D::iterate`] (only launchable
+    /// when `U == T`; generating the source is free either way).
+    iter_program: Program,
     _pd: PhantomData<fn(T) -> U>,
 }
 
@@ -157,11 +161,19 @@ where
             radius,
             boundary.codegen_name(),
         );
+        let iter_program = codegen::stencil2d_iter_program(
+            user.name(),
+            user.source(),
+            T::TYPE_NAME,
+            radius,
+            boundary.codegen_name(),
+        );
         Stencil2D {
             user,
             radius,
             boundary,
             program,
+            iter_program,
             _pd: PhantomData,
         }
     }
@@ -179,19 +191,12 @@ where
         self.boundary
     }
 
-    /// Apply the skeleton. Under `RowBlock` the input's halo is widened to
-    /// the stencil radius if needed and stale halo rows are refreshed by
-    /// automatic device-to-device exchange; everything stays on the devices
-    /// (lazy copying).
-    pub fn apply(&self, input: &Matrix<T>) -> Result<Matrix<U>> {
-        let ctx = input.ctx().clone();
-        let compiled = ctx.get_or_build(&self.program)?;
-
-        // A RowBlock halo narrower than the stencil radius cannot supply
-        // the neighbourhood; widen it (device-side when data is fresh).
-        // Column blocks have no column halos, so a stencil cannot read its
-        // horizontal neighbourhood across parts either: fall back to a
-        // row-block layout with a radius-wide halo (device-side exchange).
+    /// A RowBlock halo narrower than the stencil radius cannot supply the
+    /// neighbourhood; widen it (device-side when data is fresh). Column
+    /// blocks have no column halos, so a stencil cannot read its horizontal
+    /// neighbourhood across parts either: fall back to a row-block layout
+    /// with a radius-wide halo (device-side exchange).
+    fn ensure_stencil_layout(&self, input: &Matrix<T>) -> Result<()> {
         match input.distribution() {
             MatrixDistribution::RowBlock { halo } if halo < self.radius => {
                 input.set_distribution(MatrixDistribution::RowBlock { halo: self.radius })?;
@@ -201,32 +206,23 @@ where
             }
             _ => {}
         }
+        Ok(())
+    }
 
-        let (n_rows, cols) = input.dims();
-        let in_parts = input.parts_with_fresh_halos()?;
-
-        // Output parts mirror the input geometry. Stencils can only write
-        // their owned rows (halo outputs would need radius-beyond-halo
-        // inputs), so output halos are stale unless there are none.
-        let mut out_parts = Vec::with_capacity(in_parts.len());
-        for p in &in_parts {
-            out_parts.push(crate::matrix::MatrixPart {
-                device: p.device,
-                row_offset: p.row_offset,
-                rows: p.rows,
-                halo_above: p.halo_above,
-                halo_below: p.halo_below,
-                col_offset: p.col_offset,
-                cols: p.cols,
-                buffer: ctx.device(p.device).alloc::<U>(p.span_rows() * cols)?,
-            });
-        }
-        let out_halos_fresh = in_parts
-            .iter()
-            .all(|p| p.halo_above == 0 && p.halo_below == 0);
-
+    /// Launch one stencil pass over every part pair: `src[i]` (halo rows
+    /// assumed coherent) is read, the owned rows of `dst[i]` are written.
+    /// Source and destination geometry must mirror each other.
+    fn launch_parts(
+        &self,
+        ctx: &Context,
+        compiled: &CompiledKernel,
+        src_parts: &[MatrixPart<T>],
+        dst_parts: &[MatrixPart<U>],
+        n_rows: usize,
+        cols: usize,
+    ) -> Result<()> {
         let static_ops = self.user.static_ops();
-        for (ip, op) in in_parts.iter().zip(&out_parts) {
+        for (ip, op) in src_parts.iter().zip(dst_parts) {
             if ip.rows == 0 || cols == 0 {
                 continue;
             }
@@ -264,8 +260,30 @@ where
             });
             let kernel = compiled.with_body(body);
             ctx.queue(ip.device)
-                .launch(&kernel, range_2d(&ctx, cols, ip.rows))?;
+                .launch(&kernel, range_2d(ctx, cols, ip.rows))?;
         }
+        Ok(())
+    }
+
+    /// Apply the skeleton. Under `RowBlock` the input's halo is widened to
+    /// the stencil radius if needed and stale halo rows are refreshed by
+    /// automatic device-to-device exchange; everything stays on the devices
+    /// (lazy copying).
+    pub fn apply(&self, input: &Matrix<T>) -> Result<Matrix<U>> {
+        let ctx = input.ctx().clone();
+        let compiled = ctx.get_or_build(&self.program)?;
+        self.ensure_stencil_layout(input)?;
+
+        let (n_rows, cols) = input.dims();
+        let in_parts = input.parts_with_fresh_halos()?;
+
+        // Output parts mirror the input geometry. Stencils can only write
+        // their owned rows (halo outputs would need radius-beyond-halo
+        // inputs), so output halos are stale unless there are none.
+        let out_parts = alloc_mirror_parts::<T, U>(&ctx, &in_parts, cols)?;
+        let out_halos_fresh = stale_free(&in_parts);
+
+        self.launch_parts(&ctx, &compiled, &in_parts, &out_parts, n_rows, cols)?;
 
         Ok(Matrix::from_device_parts(
             &ctx,
@@ -276,6 +294,118 @@ where
             out_halos_fresh,
         ))
     }
+}
+
+impl<T, F> Stencil2D<T, T, F>
+where
+    T: Element,
+    F: Fn(&Stencil2DView<'_, T>) -> T + Send + Sync + Clone + 'static,
+{
+    /// Apply the stencil `n` times, feeding each pass's output to the next
+    /// — the iterative form behind heat relaxation, Jacobi sweeps and
+    /// game-of-life (bit-identical to `n` chained [`Stencil2D::apply`]
+    /// calls, for every boundary mode and device count).
+    ///
+    /// Unlike the chain, the whole iteration stays inside two
+    /// device-resident part sets that ping-pong roles each round:
+    ///
+    /// * **no intermediate matrices** — two buffers per device total,
+    ///   instead of one fresh allocation per pass;
+    /// * **one batched halo exchange per iteration** — issued directly on
+    ///   the part buffers, without re-synchronising the host in between,
+    ///   and (under `Neumann`/`Zero` boundaries) without the wrapped
+    ///   matrix-edge rows only `Wrap` ever reads;
+    /// * **one cached kernel across all `n` launches** — the
+    ///   [`codegen::stencil2d_iter_program`] form is built once and rebound
+    ///   to the swapped buffers each round.
+    ///
+    /// `iterate(input, 0)` is the identity: it returns a handle to `input`.
+    pub fn iterate(&self, input: &Matrix<T>, n: usize) -> Result<Matrix<T>> {
+        if n == 0 {
+            return Ok(input.clone());
+        }
+        let ctx = input.ctx().clone();
+        let compiled = ctx.get_or_build(&self.iter_program)?;
+        self.ensure_stencil_layout(input)?;
+
+        let (n_rows, cols) = input.dims();
+        // Round 1 reads the input matrix's own parts (exchanging its halos
+        // if stale — counted like any other exchange event).
+        let in_parts = input.parts_with_fresh_halos()?;
+        let out_halos_fresh = stale_free(&in_parts);
+
+        // Only `Wrap` reads the halo rows that wrap around the matrix
+        // edge; for the other boundaries the per-iteration exchange skips
+        // them (strictly fewer transfers on the same critical path).
+        let skip_wrapped = self.boundary != Boundary2D::Wrap;
+
+        let mut src = in_parts;
+        let mut dst = alloc_mirror_parts::<T, T>(&ctx, &src, cols)?;
+        let mut spare = if n > 1 {
+            Some(alloc_mirror_parts::<T, T>(&ctx, &src, cols)?)
+        } else {
+            None
+        };
+        for round in 1..=n {
+            if round > 1 {
+                // The previous round wrote only owned rows; one batched
+                // exchange refreshes this round's input halos. The device
+                // clocks already order the copies against the producing
+                // kernels — the host never blocks between rounds.
+                if exchange_part_halos(&ctx, &src, n_rows, cols, skip_wrapped)? {
+                    ctx.note_halo_exchange();
+                }
+            }
+            self.launch_parts(&ctx, &compiled, &src, &dst, n_rows, cols)?;
+            if round < n {
+                let prev_src = std::mem::replace(&mut src, std::mem::take(&mut dst));
+                dst = if round == 1 {
+                    // Never write back into the caller's input buffers.
+                    spare.take().expect("pong buffers exist when n > 1")
+                } else {
+                    prev_src
+                };
+            }
+        }
+
+        Ok(Matrix::from_device_parts(
+            &ctx,
+            n_rows,
+            cols,
+            input.distribution(),
+            dst,
+            out_halos_fresh,
+        ))
+    }
+}
+
+/// Allocate a part set mirroring `parts`' geometry with fresh (element
+/// type `V`) buffers on the same devices.
+fn alloc_mirror_parts<T: Element, V: Element>(
+    ctx: &Context,
+    parts: &[MatrixPart<T>],
+    cols: usize,
+) -> Result<Vec<MatrixPart<V>>> {
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        out.push(MatrixPart {
+            device: p.device,
+            row_offset: p.row_offset,
+            rows: p.rows,
+            halo_above: p.halo_above,
+            halo_below: p.halo_below,
+            col_offset: p.col_offset,
+            cols: p.cols,
+            buffer: ctx.device(p.device).alloc::<V>(p.span_rows() * cols)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Can a stencil's output start life with coherent halos? Only when there
+/// are none to go stale.
+fn stale_free<T: Element>(parts: &[MatrixPart<T>]) -> bool {
+    parts.iter().all(|p| p.halo_above == 0 && p.halo_below == 0)
 }
 
 #[cfg(test)]
@@ -502,6 +632,127 @@ mod tests {
         let st = Stencil2D::new(user, 1, Boundary2D::Neumann);
         let m = Matrix::from_vec(&c, 4, 4, vec![1.0f32; 16]);
         let _ = st.apply(&m);
+    }
+
+    #[test]
+    fn iterate_matches_chained_applies_bitwise() {
+        let (rows, cols) = (17, 9);
+        let data = test_image(rows, cols);
+        for boundary in [Boundary2D::Neumann, Boundary2D::Wrap, Boundary2D::Zero] {
+            for devices in [1usize, 2, 4] {
+                let c = ctx(devices);
+                let user = UserFn::new(
+                    "csum",
+                    "float csum(__global float* in, int r, int c, uint nr, uint nc) { /* cross */ }",
+                    |v: &Stencil2DView<'_, f32>| {
+                        0.2 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1) + v.get(0, 0))
+                    },
+                );
+                let st = Stencil2D::new(user, 1, boundary);
+                let m = Matrix::from_vec(&c, rows, cols, data.clone());
+                let chained = {
+                    let mut cur = st.apply(&m).unwrap();
+                    for _ in 1..5 {
+                        cur = st.apply(&cur).unwrap();
+                    }
+                    cur.to_vec().unwrap()
+                };
+                let m2 = Matrix::from_vec(&c, rows, cols, data.clone());
+                let iterated = st.iterate(&m2, 5).unwrap().to_vec().unwrap();
+                assert_eq!(
+                    iterated.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    chained.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{boundary:?} on {devices} devices"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iterate_zero_is_the_identity() {
+        let c = ctx(2);
+        let (rows, cols) = (6, 5);
+        let data = test_image(rows, cols);
+        let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        let out = cross_sum().iterate(&m, 0).unwrap();
+        assert_eq!(out.to_vec().unwrap(), data);
+    }
+
+    #[test]
+    fn iterate_never_writes_the_input() {
+        let c = ctx(3);
+        let (rows, cols) = (12, 4);
+        let data = test_image(rows, cols);
+        let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        let _ = cross_sum().iterate(&m, 3).unwrap();
+        assert_eq!(m.to_vec().unwrap(), data, "input must be untouched");
+    }
+
+    #[test]
+    fn iterate_stays_on_the_devices() {
+        let c = ctx(4);
+        let (rows, cols) = (32, 8);
+        let m = Matrix::from_vec(&c, rows, cols, test_image(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        m.ensure_on_devices().unwrap();
+        let before = c.platform().stats_snapshot();
+        let out = cross_sum().iterate(&m, 8).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.h2d_transfers, 0, "no host round trip");
+        assert_eq!(delta.d2h_transfers, 0, "no host round trip");
+        assert!(delta.d2d_transfers > 0, "halo exchange crosses devices");
+        // Still correct after the ping-pong.
+        let mut want = m.to_vec().unwrap();
+        for _ in 0..8 {
+            want = reference_cross_sum(&want, rows, cols, Boundary2D::Neumann);
+        }
+        assert_eq!(out.to_vec().unwrap(), want);
+    }
+
+    #[test]
+    fn iterate_widens_a_narrow_halo_like_apply() {
+        let c = ctx(2);
+        let (rows, cols) = (10, 3);
+        let m = Matrix::from_vec(&c, rows, cols, test_image(rows, cols));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 0 })
+            .unwrap();
+        let out = cross_sum().iterate(&m, 2).unwrap();
+        assert_eq!(
+            m.distribution(),
+            MatrixDistribution::RowBlock { halo: 1 },
+            "halo must be widened to the radius"
+        );
+        let mut want = m.to_vec().unwrap();
+        for _ in 0..2 {
+            want = reference_cross_sum(&want, rows, cols, Boundary2D::Neumann);
+        }
+        assert_eq!(out.to_vec().unwrap(), want);
+    }
+
+    #[test]
+    fn wrap_free_single_part_iterate_counts_no_exchanges() {
+        // One part owning all rows: its halo rows are all wrapped edge
+        // rows, which a Neumann stencil never reads — so the per-round
+        // exchange refreshes nothing and must not count as an event.
+        let c = ctx(1);
+        let m = Matrix::from_vec(&c, 12, 5, test_image(12, 5));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let before = c.halo_exchange_count();
+        cross_sum().iterate(&m, 5).unwrap();
+        assert_eq!(c.halo_exchange_count(), before);
+    }
+
+    #[test]
+    fn iterate_reuses_one_cached_kernel_for_all_rounds() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 16, 8, test_image(16, 8));
+        let st = cross_sum();
+        st.iterate(&m, 6).unwrap();
+        let built = c.programs_built();
+        st.iterate(&m, 6).unwrap();
+        assert_eq!(c.programs_built(), built, "no rebuild on a second run");
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Property-based tests of `Stencil2D::iterate(n)`: the batched ping-pong
+//! iteration is bit-identical to `n` chained `apply` calls for arbitrary
+//! shapes, boundary modes, device counts and starting distributions — and
+//! its exchange schedule is exactly one halo exchange per iteration.
+
+use proptest::prelude::*;
+use skelcl::{
+    Boundary2D, Context, ContextConfig, Matrix, MatrixDistribution, Stencil2D, Stencil2DView,
+    UserFn,
+};
+use vgpu::DeviceSpec;
+
+fn ctx(n_devices: usize) -> Context {
+    Context::new(
+        ContextConfig::default()
+            .devices(n_devices)
+            .spec(DeviceSpec::tiny())
+            .work_group(64)
+            .cache_tag("prop-stencil-iterate"),
+    )
+}
+
+fn boundary_strategy() -> impl Strategy<Value = Boundary2D> {
+    prop_oneof![
+        Just(Boundary2D::Neumann),
+        Just(Boundary2D::Wrap),
+        Just(Boundary2D::Zero),
+    ]
+}
+
+fn dist_strategy() -> impl Strategy<Value = MatrixDistribution> {
+    prop_oneof![
+        Just(MatrixDistribution::Single(0)),
+        Just(MatrixDistribution::Copy),
+        (0usize..3).prop_map(|halo| MatrixDistribution::RowBlock { halo }),
+    ]
+}
+
+/// A damped cross stencil: value mixing keeps magnitudes bounded over many
+/// iterations so repeated applications stay numerically interesting.
+fn cross_stencil(
+    boundary: Boundary2D,
+) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
+    let user = UserFn::new(
+        "icross",
+        "float icross(__global float* in, int r, int c, uint nr, uint nc) { /* damped cross */ }",
+        |v: &Stencil2DView<'_, f32>| {
+            0.2 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1)) + 0.1 * v.get(0, 0)
+        },
+    );
+    Stencil2D::new(user, 1, boundary)
+}
+
+fn test_data(rows: usize, cols: usize, seed: u32) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| {
+            ((((i as u32).wrapping_mul(2654435761).wrapping_add(seed)) % 2000) as f32) / 8.0 - 125.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // iterate(n) == n chained applies, bit for bit, for every shape /
+    // boundary / device count / starting distribution / iteration count.
+    #[test]
+    fn iterate_is_bit_identical_to_chained_applies(
+        rows in 1usize..20,
+        cols in 1usize..12,
+        devices in 1usize..4,
+        n in 0usize..6,
+        boundary in boundary_strategy(),
+        dist in dist_strategy(),
+        seed in 0u32..1000,
+    ) {
+        let data = test_data(rows, cols, seed);
+        let st = cross_stencil(boundary);
+        let c = ctx(devices);
+
+        let chained = {
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            m.set_distribution(dist).unwrap();
+            let mut cur = m.clone();
+            for _ in 0..n {
+                cur = st.apply(&cur).unwrap();
+            }
+            cur.to_vec().unwrap()
+        };
+        let iterated = {
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            m.set_distribution(dist).unwrap();
+            st.iterate(&m, n).unwrap().to_vec().unwrap()
+        };
+        prop_assert_eq!(
+            iterated.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            chained.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    // The dedicated 1/2/4-device sweep of the acceptance criteria: the
+    // same input must produce one bit pattern on every device count.
+    #[test]
+    fn iterate_is_device_count_deterministic(
+        rows in 1usize..20,
+        cols in 1usize..12,
+        n in 1usize..5,
+        boundary in boundary_strategy(),
+        seed in 0u32..1000,
+    ) {
+        let data = test_data(rows, cols, seed);
+        let st = cross_stencil(boundary);
+        let single = {
+            let c = ctx(1);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            st.iterate(&m, n).unwrap().to_vec().unwrap()
+        };
+        for devices in [2usize, 4] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
+            let got = st.iterate(&m, n).unwrap().to_vec().unwrap();
+            prop_assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{} devices", devices
+            );
+        }
+    }
+
+    // Exchange-count regression: on 2+ devices with a halo-stale input,
+    // iterate(n) performs exactly n halo-exchange events — one batched
+    // exchange per iteration, never one per radius row or per part.
+    #[test]
+    fn iterate_performs_exactly_n_halo_exchanges(
+        rows in 8usize..24,
+        cols in 1usize..8,
+        devices in 2usize..5,
+        n in 1usize..8,
+        boundary in boundary_strategy(),
+    ) {
+        let c = ctx(devices);
+        let st = cross_stencil(boundary);
+        let m = Matrix::from_vec(&c, rows, cols, test_data(rows, cols, 7));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
+        // Make the input halo-stale, as it is in any real pipeline where
+        // the grid arrives from a previous device-side skeleton.
+        m.ensure_on_devices().unwrap();
+        m.mark_devices_modified();
+        let before = c.halo_exchange_count();
+        st.iterate(&m, n).unwrap();
+        prop_assert_eq!(c.halo_exchange_count() - before, n as u64);
+    }
+}
+
+/// The non-property twin of the exchange-count regression, pinned to the
+/// acceptance criteria's exact configuration so a failure names it plainly.
+#[test]
+fn two_and_four_device_iterates_exchange_once_per_iteration() {
+    for devices in [2usize, 4] {
+        for n in [1usize, 10] {
+            let c = ctx(devices);
+            let st = cross_stencil(Boundary2D::Neumann);
+            let m = Matrix::from_vec(&c, 32, 8, test_data(32, 8, 3));
+            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+                .unwrap();
+            m.ensure_on_devices().unwrap();
+            m.mark_devices_modified();
+            let before = c.halo_exchange_count();
+            st.iterate(&m, n).unwrap();
+            assert_eq!(
+                c.halo_exchange_count() - before,
+                n as u64,
+                "{n} iterations on {devices} devices"
+            );
+        }
+    }
+}
+
+/// A fresh upload seeds coherent halos, so the first iteration's exchange
+/// is a no-op and n iterations cost n − 1 exchange events.
+#[test]
+fn fresh_uploads_save_the_first_exchange() {
+    let c = ctx(4);
+    let st = cross_stencil(Boundary2D::Wrap);
+    let m = Matrix::from_vec(&c, 32, 8, test_data(32, 8, 5));
+    m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+        .unwrap();
+    let before = c.halo_exchange_count();
+    st.iterate(&m, 6).unwrap();
+    assert_eq!(c.halo_exchange_count() - before, 5);
+}
