@@ -1,0 +1,75 @@
+//! 2D reduction workloads: the device-resident 1-NN pipeline (distance
+//! matrix + `ReduceRowsArg` per-query argmin, two length-`q` downloads)
+//! vs the download-and-host-argmin baseline (the whole `q×p` distance
+//! matrix crosses PCIe), swept over problem sizes and 1 → 4 virtual
+//! devices. Reports virtual (modeled) seconds; the device-side schedule
+//! must win wherever the matrix download dominates (asserted below — the
+//! reduce2d acceptance bar). Both paths are bit-identical (linalg tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skelcl_bench::nn_virtual_s;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn bench_reduce2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_reduce2d_virtual");
+    // Virtual-time samples have zero variance; one iteration per config.
+    group.sample_size(1);
+    let dim = 16usize;
+    // Virtual seconds per (size, devices, schedule), recorded while the
+    // sweep runs so the acceptance check reuses them.
+    let recorded: RefCell<HashMap<(usize, usize, &str), f64>> = RefCell::new(HashMap::new());
+    for size in [512usize, 768, 1024] {
+        for devices in [1usize, 2, 3, 4] {
+            for (name, device_side) in [("host_argmin", false), ("device_argmin", true)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("nn_{name}_{size}"), devices),
+                    &devices,
+                    |b, &devices| {
+                        b.iter_custom(|iters| {
+                            let mut total = 0.0;
+                            for _ in 0..iters.max(1) {
+                                let t = nn_virtual_s(size, size, dim, devices, device_side);
+                                recorded.borrow_mut().insert((size, devices, name), t);
+                                total += t;
+                            }
+                            Duration::from_secs_f64(total)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+
+    // The acceptance relation the figure exists to show: keeping the
+    // distance matrix on the devices beats downloading it for the host
+    // argmin, at every swept size and device count.
+    let recorded = recorded.borrow();
+    for size in [512usize, 768, 1024] {
+        for devices in [1usize, 2, 3, 4] {
+            let host = recorded[&(size, devices, "host_argmin")];
+            let device = recorded[&(size, devices, "device_argmin")];
+            assert!(
+                device < host,
+                "device-side 1-NN ({device}s) must beat download-and-host-argmin \
+                 ({host}s) at {size}x{size} on {devices} device(s)"
+            );
+            println!(
+                "fig_reduce2d check: {size}x{size} x{devices} device(s): host {host:.6}s, \
+                 device {device:.6}s ({:.3}x)",
+                host / device
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the plotting
+    // backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_reduce2d
+}
+criterion_main!(benches);

@@ -484,6 +484,45 @@ pub fn allpairs_virtual_s(size: usize, devices: usize, strategy: skelcl::AllPair
     })
 }
 
+/// Fig-reduce2d helper: virtual time of the 1-NN pipeline (`q` queries ×
+/// `p` reference points of dimension `dim`) across `devices` devices.
+/// With `device_side` the per-query argmin runs as the device-resident
+/// `ReduceRowsArg` row reduction and only two length-`q` vectors are
+/// downloaded; otherwise the pre-reduce2d baseline downloads the whole
+/// `q×p` distance matrix and scans it on the host. Program warm-up is
+/// excluded; both paths produce bit-identical results (asserted in the
+/// linalg tests), so the figure isolates the transfer schedule.
+pub fn nn_virtual_s(q: usize, p: usize, dim: usize, devices: usize, device_side: bool) -> f64 {
+    use skelcl::Matrix;
+
+    let platform = figure_platform(devices);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let strategy = skelcl::AllPairsStrategy::default();
+    let mk = || {
+        (
+            Matrix::from_vec(&ctx, q, dim, skelcl_linalg::test_points(q, dim, 1)),
+            Matrix::from_vec(&ctx, p, dim, skelcl_linalg::test_points(p, dim, 2)),
+        )
+    };
+    // Warm both generated program sets (AllPairs + Map + ReduceRowsArg).
+    {
+        let (qm, pm) = mk();
+        skelcl_linalg::skelcl_impl::nearest_neighbors(&qm, &pm, strategy).expect("warm device");
+        let (qm, pm) = mk();
+        skelcl_linalg::skelcl_impl::nearest_neighbors_host_argmin(&qm, &pm, strategy)
+            .expect("warm host");
+    }
+    let (qm, pm) = mk();
+    time_virtual(&platform, || {
+        if device_side {
+            skelcl_linalg::skelcl_impl::nearest_neighbors(&qm, &pm, strategy).expect("nn");
+        } else {
+            skelcl_linalg::skelcl_impl::nearest_neighbors_host_argmin(&qm, &pm, strategy)
+                .expect("nn baseline");
+        }
+    })
+}
+
 /// E6 (Stencil2D variant): kernel binary cache behaviour of a generated
 /// Stencil2D program — cold source build vs the on-disk cache hit a second
 /// context gets.
@@ -664,6 +703,20 @@ mod tests {
         assert!(
             t4 < t1,
             "4-device allpairs ({t4}s) must beat 1-device ({t1}s)"
+        );
+    }
+
+    #[test]
+    fn device_side_argmin_beats_matrix_download() {
+        // The fig_reduce2d relation at a test-friendly size: the baseline
+        // ships the whole q×p distance matrix over PCIe, the device-side
+        // ReduceRowsArg ships two length-q vectors (the full sweep runs in
+        // the fig_reduce2d bench itself).
+        let host = nn_virtual_s(512, 512, 16, 1, false);
+        let device = nn_virtual_s(512, 512, 16, 1, true);
+        assert!(
+            device < host,
+            "device-side 1-NN ({device}s) must beat download-and-host-argmin ({host}s)"
         );
     }
 

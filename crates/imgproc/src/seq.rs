@@ -54,6 +54,46 @@ pub fn blur_sobel(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -
     sobel(&blurred, rows, cols, boundary)
 }
 
+/// Per-row total gradient energy: ascending-column left fold from 0 of the
+/// pipeline's magnitude image — the exact fold order the device-side
+/// `ReduceRows` uses, so the two agree bit-for-bit.
+pub fn row_gradient_sums(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<f32> {
+    let mag = blur_sobel(img, rows, cols, boundary);
+    (0..rows)
+        .map(|r| {
+            mag[r * cols..(r + 1) * cols]
+                .iter()
+                .fold(0.0, |a, &x| a + x)
+        })
+        .collect()
+}
+
+/// Per-row strongest edge `(magnitude, column)`: strictly-greater scan in
+/// ascending column order, lowest column wins ties — mirroring the
+/// device-side `ReduceRowsArg`.
+pub fn row_peak_gradient(
+    img: &[f32],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary2D,
+) -> (Vec<f32>, Vec<u32>) {
+    let mag = blur_sobel(img, rows, cols, boundary);
+    let mut vals = Vec::with_capacity(rows);
+    let mut idxs = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &mag[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        for (c, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = c;
+            }
+        }
+        vals.push(row[best]);
+        idxs.push(best as u32);
+    }
+    (vals, idxs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,10 @@
 //! neighbourhoods through the matrix halo machinery.
 
 use crate::{gaussian3_at, magnitude, sobel_x_at, sobel_y_at};
-use skelcl::{Boundary2D, Matrix, Result, Stencil2D, Stencil2DView, UserFn, Zip};
+use skelcl::{
+    Boundary2D, Matrix, ReduceRows, ReduceRowsArg, Result, Stencil2D, Stencil2DView, UserFn,
+    Vector, Zip,
+};
 
 /// The Gaussian blur skeleton.
 pub fn gaussian_skeleton(
@@ -89,6 +92,44 @@ pub fn blur_sobel(img: &Matrix<f32>, boundary: Boundary2D) -> Result<Matrix<f32>
     magnitude_skeleton().apply_matrix(&gx, &gy)
 }
 
+/// Per-row total gradient energy: the Gaussian → Sobel pipeline composed
+/// with a device-side [`ReduceRows`] sum, so the `rows×cols` magnitude
+/// image is reduced to a length-`rows` vector without ever visiting the
+/// host (the gradient-histogram building block). Ascending-column fold
+/// from 0, bit-identical to the sequential reference on any device count.
+pub fn row_gradient_sums(img: &Matrix<f32>, boundary: Boundary2D) -> Result<Vector<f32>> {
+    let mag = blur_sobel(img, boundary)?;
+    // >>> kernel
+    let sums = ReduceRows::new(
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
+        0.0,
+    );
+    // <<< kernel
+    sums.apply(&mag)
+}
+
+/// Per-row strongest edge: gradient magnitude + the column it peaks at,
+/// via the index-carrying [`ReduceRowsArg`] (strictly-greater scan, lowest
+/// column wins ties). Device-resident end to end.
+pub fn row_peak_gradient(
+    img: &Matrix<f32>,
+    boundary: Boundary2D,
+) -> Result<(Vector<f32>, Vector<u32>)> {
+    let mag = blur_sobel(img, boundary)?;
+    // >>> kernel
+    let peak = ReduceRowsArg::new(skelcl::skel_fn!(
+        fn greater(x: f32, y: f32) -> bool {
+            x > y
+        }
+    ));
+    // <<< kernel
+    peak.apply(&mag)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +189,61 @@ mod tests {
                 "{devices} devices"
             );
         }
+    }
+
+    #[test]
+    fn row_gradient_reductions_match_the_sequential_reference() {
+        let (rows, cols) = (21, 13);
+        let img = crate::test_image(rows, cols);
+        let want_sums = crate::seq::row_gradient_sums(&img, rows, cols, Boundary2D::Neumann);
+        let (want_peak, want_col) =
+            crate::seq::row_peak_gradient(&img, rows, cols, Boundary2D::Neumann);
+        for devices in [1usize, 2, 4] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            let sums = row_gradient_sums(&m, Boundary2D::Neumann)
+                .unwrap()
+                .to_vec()
+                .unwrap();
+            assert_eq!(
+                sums.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want_sums.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{devices} devices"
+            );
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            let (peak, col) = row_peak_gradient(&m, Boundary2D::Neumann).unwrap();
+            assert_eq!(
+                peak.to_vec()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                want_peak.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{devices} devices"
+            );
+            assert_eq!(col.to_vec().unwrap(), want_col, "{devices} devices");
+        }
+    }
+
+    #[test]
+    fn row_gradient_sums_never_download_the_magnitude_image() {
+        let (rows, cols) = (32, 16);
+        let c = ctx(4);
+        let img = Matrix::from_vec(&c, rows, cols, crate::test_image(rows, cols));
+        img.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        img.ensure_on_devices().unwrap();
+        let before = c.platform().stats_snapshot();
+        let sums = row_gradient_sums(&img, Boundary2D::Neumann).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.d2h_transfers, 0, "reduction composes on the devices");
+        assert_eq!(delta.h2d_transfers, 0, "no re-upload");
+        // Only the tiny per-row vector crosses on the final read.
+        let before = c.platform().stats_snapshot();
+        let host = sums.to_vec().unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(host.len(), rows);
+        assert!(delta.d2h_bytes <= (rows * 4) as u64);
     }
 
     #[test]

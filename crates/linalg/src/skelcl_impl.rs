@@ -1,11 +1,16 @@
 //! The SkelCL implementation of the linalg pipelines: `Matrix` containers,
-//! the `AllPairs` skeleton (naive or tiled) and an element-wise `Map`, all
-//! device-resident. Intermediates never visit the host: `B` operands are
-//! replicated by device-to-device exchange and the distance pipeline chains
-//! AllPairs into Map on the devices.
+//! the `AllPairs` skeleton (naive or tiled), an element-wise `Map` and the
+//! index-carrying `ReduceRowsArg` row reduction, all device-resident.
+//! Intermediates never visit the host: `B` operands are replicated by
+//! device-to-device exchange, the distance pipeline chains AllPairs into
+//! Map on the devices, and the 1-NN per-query argmin runs as a device-side
+//! row reduction over the distance matrix — the `q×p` matrix itself is
+//! never downloaded (asserted by the transfer-count regression test
+//! below); only the two length-`q` result vectors cross the host boundary.
 
 use skelcl::{
-    AllPairs, AllPairsStrategy, Context, Map, Matrix, MatrixDistribution, Result, UserFn,
+    AllPairs, AllPairsStrategy, Context, Map, Matrix, MatrixDistribution, ReduceRowsArg, Result,
+    UserFn, Vector,
 };
 
 /// An `f32` AllPairs skeleton customized by plain function pointers (the
@@ -102,10 +107,50 @@ pub fn distance_matrix(
     sqrt.apply_matrix(&sq)
 }
 
-/// The 1-NN pipeline: distance matrix on the devices, then a per-query
-/// nearest-reference scan on the downloaded result. Returns
-/// `(distances, nearest_index)` per query.
+/// The per-row argmin skeleton: a strictly-less scan in ascending column
+/// order, so the lowest reference index wins ties — exactly the
+/// [`crate::seq::nearest_neighbors`] tie-break.
+pub fn argmin_skeleton() -> ReduceRowsArg<f32, fn(f32, f32) -> bool> {
+    ReduceRowsArg::new(skelcl::skel_fn!(
+        fn less(x: f32, y: f32) -> bool {
+            x < y
+        }
+    ))
+}
+
+/// The device-resident 1-NN pipeline: distance matrix on the devices, then
+/// a device-side per-query argmin row reduction. Returns the per-query
+/// `(nearest_distance, nearest_index)` vectors **still on the devices** —
+/// the distance matrix never crosses the host boundary.
+pub fn nearest_neighbors_device(
+    queries: &Matrix<f32>,
+    points: &Matrix<f32>,
+    strategy: AllPairsStrategy,
+) -> Result<(Vector<f32>, Vector<u32>)> {
+    let d = distance_matrix(queries, points, strategy)?;
+    argmin_skeleton().apply(&d)
+}
+
+/// The 1-NN pipeline: distance matrix and per-query argmin on the devices,
+/// then a download of the two length-`q` results. Returns
+/// `(nearest_distance, nearest_index)` per query.
 pub fn nearest_neighbors(
+    queries: &Matrix<f32>,
+    points: &Matrix<f32>,
+    strategy: AllPairsStrategy,
+) -> Result<(Vec<f32>, Vec<usize>)> {
+    let (dist, idx) = nearest_neighbors_device(queries, points, strategy)?;
+    Ok((
+        dist.to_vec()?,
+        idx.to_vec()?.into_iter().map(|i| i as usize).collect(),
+    ))
+}
+
+/// The pre-`ReduceRowsArg` baseline: download the whole `q×p` distance
+/// matrix and scan it on the host. Kept for the `fig_reduce2d` comparison
+/// (device-side argmin vs download-and-host-argmin); produces bit-identical
+/// results to [`nearest_neighbors`].
+pub fn nearest_neighbors_host_argmin(
     queries: &Matrix<f32>,
     points: &Matrix<f32>,
     strategy: AllPairsStrategy,
@@ -114,7 +159,12 @@ pub fn nearest_neighbors(
     let (q, p) = d.dims();
     let host = d.to_vec()?;
     let nn = crate::seq::nearest_neighbors(&host, q, p);
-    Ok((host, nn))
+    let dist = nn
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| host[i * p + j])
+        .collect();
+    Ok((dist, nn))
 }
 
 #[cfg(test)]
@@ -165,19 +215,54 @@ mod tests {
         let points = crate::test_points(p, dim, 4);
         let want_d = crate::seq::pairwise_distances(&queries, &points, q, p, dim);
         let want_nn = crate::seq::nearest_neighbors(&want_d, q, p);
+        let want_nd: Vec<f32> = want_nn
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| want_d[i * p + j])
+            .collect();
         for devices in [1usize, 2, 4] {
             for strategy in [AllPairsStrategy::Naive, AllPairsStrategy::Tiled { tile: 8 }] {
                 let c = ctx(devices);
                 let qm = Matrix::from_slice(&c, q, dim, &queries);
                 let pm = Matrix::from_slice(&c, p, dim, &points);
-                let (got_d, got_nn) = nearest_neighbors(&qm, &pm, strategy).unwrap();
+                let got_full = distance_matrix(&qm, &pm, strategy)
+                    .unwrap()
+                    .to_vec()
+                    .unwrap();
                 assert_eq!(
-                    bits(&got_d),
+                    bits(&got_full),
                     bits(&want_d),
                     "{devices} devices {strategy:?}"
                 );
+                let qm = Matrix::from_slice(&c, q, dim, &queries);
+                let pm = Matrix::from_slice(&c, p, dim, &points);
+                let (got_nd, got_nn) = nearest_neighbors(&qm, &pm, strategy).unwrap();
                 assert_eq!(got_nn, want_nn, "{devices} devices {strategy:?}");
+                assert_eq!(
+                    bits(&got_nd),
+                    bits(&want_nd),
+                    "{devices} devices {strategy:?}"
+                );
             }
+        }
+    }
+
+    #[test]
+    fn device_and_host_argmin_agree_bitwise() {
+        let (q, p, dim) = (13, 19, 5);
+        let queries = crate::test_points(q, dim, 7);
+        let points = crate::test_points(p, dim, 8);
+        for devices in [1usize, 2, 4] {
+            let c = ctx(devices);
+            let qm = Matrix::from_slice(&c, q, dim, &queries);
+            let pm = Matrix::from_slice(&c, p, dim, &points);
+            let dev = nearest_neighbors(&qm, &pm, AllPairsStrategy::default()).unwrap();
+            let qm = Matrix::from_slice(&c, q, dim, &queries);
+            let pm = Matrix::from_slice(&c, p, dim, &points);
+            let host =
+                nearest_neighbors_host_argmin(&qm, &pm, AllPairsStrategy::default()).unwrap();
+            assert_eq!(dev.1, host.1, "{devices} devices");
+            assert_eq!(bits(&dev.0), bits(&host.0), "{devices} devices");
         }
     }
 
@@ -190,7 +275,39 @@ mod tests {
         let points = Matrix::from_slice(&c, p, dim, &points_data);
         let (d, nn) = nearest_neighbors(&queries, &points, AllPairsStrategy::default()).unwrap();
         assert_eq!(nn, vec![5]);
-        assert_eq!(d[5], 0.0);
+        assert_eq!(d, vec![0.0]);
+    }
+
+    // The doc-contract regression: the module header promises the distance
+    // matrix never crosses the host boundary; this pins it down in the
+    // transfer accounting. The whole 1-NN pipeline — distances + argmin —
+    // performs zero device→host transfers; only the caller's download of
+    // the two length-q result vectors is d2h, and it moves q·(4+4) bytes,
+    // not q·p·4.
+    #[test]
+    fn one_nn_downloads_zero_distance_matrix_bytes() {
+        let c = ctx(2);
+        let (q, p, dim) = (16, 24, 6);
+        let qm = Matrix::from_slice(&c, q, dim, &crate::test_points(q, dim, 11));
+        let pm = Matrix::from_slice(&c, p, dim, &crate::test_points(p, dim, 12));
+        let before = c.platform().stats_snapshot();
+        let (dist, idx) = nearest_neighbors_device(&qm, &pm, AllPairsStrategy::default()).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.d2h_transfers, 0, "no device→host transfers at all");
+        assert_eq!(
+            delta.d2h_bytes, 0,
+            "no device→host bytes for the distance matrix"
+        );
+        // The only d2h is the caller's final download of the tiny results.
+        let before = c.platform().stats_snapshot();
+        let _ = dist.to_vec().unwrap();
+        let _ = idx.to_vec().unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert!(delta.d2h_transfers > 0, "the result download is real");
+        assert!(
+            delta.d2h_bytes < (q * p * 4 / 2) as u64,
+            "results are vastly smaller than the q×p matrix"
+        );
     }
 
     #[test]

@@ -448,6 +448,104 @@ pub fn stencil2d_iter_program(
     .with_arg_count(5)
 }
 
+/// Generate the row-segmented 2D Reduce program behind
+/// [`crate::ReduceRows`]: one work-item per matrix row folds that row's
+/// column segment in **ascending column order** from a seed — the identity
+/// on the first (or only) segment, the previous segment's per-row partial
+/// when column-block parts are chained. The fixed fold order is what makes
+/// the result bit-identical across device counts and distributions.
+pub fn reduce_rows_program(fn_name: &str, fn_source: &str, t: &str) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: ReduceRows skeleton (row-segmented fold)\n\
+         {fn_source}\n\
+         __kernel void skelcl_reduce_rows(__global const {t}* restrict in,\n\
+                                          __global const {t}* restrict seed,\n\
+                                          __global {t}* restrict out,\n\
+                                          const uint n_rows,\n\
+                                          const uint n_cols,\n\
+                                          const uint row_stride,\n\
+                                          const uint has_seed,\n\
+                                          const {t} identity) {{\n\
+             uint row = get_global_id(0);\n\
+             if (row < n_rows) {{\n\
+                 {t} acc = has_seed ? seed[row] : identity;\n\
+                 for (uint c = 0; c < n_cols; ++c) {{\n\
+                     acc = {fn_name}(acc, in[row * row_stride + c]);\n\
+                 }}\n\
+                 out[row] = acc;\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(program_name("reduce_rows", fn_name, &[t]), source).with_arg_count(8)
+}
+
+/// Generate the column-strided 2D Reduce program behind
+/// [`crate::ReduceCols`]: one work-item per matrix column folds that
+/// column's row segment in **ascending row order** from a seed (identity,
+/// or the previous row-block's per-column partial when parts are chained).
+/// Reads stride by the part's row pitch — the column-strided twin of
+/// [`reduce_rows_program`], with its own cache key.
+pub fn reduce_cols_program(fn_name: &str, fn_source: &str, t: &str) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: ReduceCols skeleton (column-strided fold)\n\
+         {fn_source}\n\
+         __kernel void skelcl_reduce_cols(__global const {t}* restrict in,\n\
+                                          __global const {t}* restrict seed,\n\
+                                          __global {t}* restrict out,\n\
+                                          const uint n_rows,\n\
+                                          const uint n_cols,\n\
+                                          const uint row_stride,\n\
+                                          const uint has_seed,\n\
+                                          const {t} identity) {{\n\
+             uint col = get_global_id(0);\n\
+             if (col < n_cols) {{\n\
+                 {t} acc = has_seed ? seed[col] : identity;\n\
+                 for (uint r = 0; r < n_rows; ++r) {{\n\
+                     acc = {fn_name}(acc, in[r * row_stride + col]);\n\
+                 }}\n\
+                 out[col] = acc;\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(program_name("reduce_cols", fn_name, &[t]), source).with_arg_count(8)
+}
+
+/// Generate the index-carrying row reduction behind
+/// [`crate::ReduceRowsArg`]: per row, a strictly-better comparison scan in
+/// ascending column order keeps the best value **and its global column
+/// index** (lowest index wins ties because only a strict improvement
+/// replaces the incumbent). Chained column-block parts seed from the
+/// previous segment's (value, index) pair.
+pub fn reduce_rows_arg_program(fn_name: &str, fn_source: &str, t: &str) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: ReduceRowsArg skeleton (argbest scan)\n\
+         {fn_source}\n\
+         __kernel void skelcl_reduce_rows_arg(__global const {t}* restrict in,\n\
+                                              __global const {t}* restrict seed_val,\n\
+                                              __global const uint* restrict seed_idx,\n\
+                                              __global {t}* restrict out_val,\n\
+                                              __global uint* restrict out_idx,\n\
+                                              const uint n_rows,\n\
+                                              const uint n_cols,\n\
+                                              const uint row_stride,\n\
+                                              const uint col_offset,\n\
+                                              const uint has_seed) {{\n\
+             uint row = get_global_id(0);\n\
+             if (row < n_rows) {{\n\
+                 {t} best = has_seed ? seed_val[row] : in[row * row_stride];\n\
+                 uint best_i = has_seed ? seed_idx[row] : col_offset;\n\
+                 for (uint c = has_seed ? 0 : 1; c < n_cols; ++c) {{\n\
+                     {t} x = in[row * row_stride + c];\n\
+                     if ({fn_name}(x, best)) {{ best = x; best_i = col_offset + c; }}\n\
+                 }}\n\
+                 out_val[row] = best;\n\
+                 out_idx[row] = best_i;\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(program_name("reduce_rows_arg", fn_name, &[t]), source).with_arg_count(10)
+}
+
 /// Generate the naive AllPairs skeleton program: one work-item per output
 /// element, combining `zip(A[i][k], B[k][j])` across the inner dimension
 /// with `reduce` (SkelCL's later `AllPairs(M, N)` skeleton restricted to

@@ -40,13 +40,21 @@
 //! | [`Stencil2D`]   | [`Matrix`]            | `U f(view)` over a 2D radius    | `Single`, `Copy`, `RowBlock { halo }`     |
 //! | [`Stencil2D::iterate`] | [`Matrix`]     | same, applied `n` times         | `Single`, `Copy`, `RowBlock { halo }`     |
 //! | [`AllPairs`]    | [`Matrix`]            | zip `U f(T, T)` + reduce + id   | A: row-based; B: `Copy` / `ColBlock` / …  |
+//! | [`ReduceRows`]  | [`Matrix`] → [`Vector`] | associative `T f(T, T)` + id  | any matrix                                |
+//! | [`ReduceCols`]  | [`Matrix`] → [`Vector`] | associative `T f(T, T)` + id  | any matrix                                |
+//! | [`ReduceRowsArg`] | [`Matrix`] → value + index [`Vector`]s | strict `bool f(T, T)` | any matrix                  |
 //!
 //! (Plus the composed [`MapReduce`]/[`MapIndex`] fusions and the
 //! with-arguments variants [`MapArgs`], [`MapVoid`], [`ZipArgs`].)
 //! Element-wise skeletons accept every distribution; `Stencil2D` widens a
 //! too-narrow `RowBlock` halo automatically and re-lays out a `ColBlock`
 //! input; `AllPairs` replicates its `B` operand device-to-device when it
-//! is not already everywhere.
+//! is not already everywhere. The 2D reductions fold in canonical
+//! ascending row/column order, so their results are bit-identical to a
+//! sequential host fold on every device count and distribution; under the
+//! distribution that keeps the reduced dimension intact (`RowBlock` for
+//! rows, `ColBlock` for columns) the output simply concatenates the
+//! per-device results with zero inter-device transfers.
 //!
 //! ## Dot product (the paper's Listing 1)
 //!
@@ -166,6 +174,39 @@
 //! assert_eq!(relaxed.to_vec().unwrap(), chained.to_vec().unwrap());
 //! ```
 //!
+//! ## 2D reductions (row/column folds, device-resident argmin)
+//!
+//! [`ReduceRows`]/[`ReduceCols`] fold a [`Matrix`] to a device-resident
+//! [`Vector`] — one element per row or column — and [`ReduceRowsArg`]
+//! additionally carries the winning column index (lowest index wins ties),
+//! which moves per-row argmin pipelines like 1-NN fully onto the devices:
+//! the matrix is never downloaded, only the tiny result vectors are.
+//!
+//! ```
+//! use skelcl::{Context, ContextConfig, Matrix, ReduceRows, ReduceRowsArg};
+//!
+//! let ctx = Context::new(ContextConfig::default().devices(2).cache_tag("doc-reduce2d"));
+//!
+//! // Row sums: Matrix (4×3) → Vector (4), folded in ascending column
+//! // order from the identity — bit-identical on any device count.
+//! let sums = ReduceRows::new(
+//!     skelcl::skel_fn!(fn sum(x: f32, y: f32) -> f32 { x + y }),
+//!     0.0,
+//! );
+//! let m = Matrix::from_fn(&ctx, 4, 3, |r, c| (r * 3 + c) as f32);
+//! assert_eq!(sums.apply(&m).unwrap().to_vec().unwrap(), vec![3.0, 12.0, 21.0, 30.0]);
+//!
+//! // Per-row argmin: the strictly-less scan keeps the lowest index on
+//! // ties — the row reduction behind the 1-NN pipeline.
+//! let argmin = ReduceRowsArg::new(
+//!     skelcl::skel_fn!(fn less(x: f32, y: f32) -> bool { x < y }),
+//! );
+//! let d = Matrix::from_fn(&ctx, 2, 3, |r, c| if c == r { 0.5 } else { 2.0 });
+//! let (vals, idxs) = argmin.apply(&d).unwrap();
+//! assert_eq!(vals.to_vec().unwrap(), vec![0.5, 0.5]);
+//! assert_eq!(idxs.to_vec().unwrap(), vec![0, 1]);
+//! ```
+//!
 //! ## AllPairs (dense linear algebra: matrix multiplication)
 //!
 //! [`AllPairs`] computes `C[i][j] = reduce(zip(row_i(A), col_j(B)))` — with
@@ -217,6 +258,7 @@ pub use skeletons::{AllPairs, AllPairsStrategy};
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
 pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
+pub use skeletons::{ReduceCols, ReduceRows, ReduceRowsArg};
 pub use vector::{Distribution, Vector};
 
 /// The element trait vectors are generic over (re-exported from the

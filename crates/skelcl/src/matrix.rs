@@ -85,6 +85,13 @@ impl<T: Scalar> MatrixPart<T> {
         self.halo_above + self.rows + self.halo_below
     }
 
+    /// Element offset of the first *owned* row in the part's buffer — the
+    /// base every strided read pattern (column folds, row-segment folds)
+    /// must add to skip the halo rows.
+    pub fn owned_base(&self) -> usize {
+        self.halo_above * self.cols
+    }
+
     /// The global row stored at span row `s` of this part's buffer.
     pub fn global_row(&self, s: usize, n_rows: usize) -> usize {
         debug_assert!(s < self.span_rows());
@@ -174,7 +181,12 @@ fn layout(dist: MatrixDistribution, rows: usize, cols: usize, n_devices: usize) 
         MatrixDistribution::Copy => (0..n_devices).map(|d| full_width(d, 0, rows, 0)).collect(),
         MatrixDistribution::RowBlock { halo } => {
             // Wrapped halos are only well-defined up to one full extra copy
-            // of the matrix in each direction.
+            // of the matrix in each direction, so wider requests clamp to
+            // `rows`. The clamp is *lossless*: a full-height halo already
+            // holds every matrix row within reach of any wrapped or clamped
+            // neighbour access, and `Stencil2DView::get` resolves
+            // beyond-span deltas modulo the height against exactly that
+            // invariant (regression: `tests/degenerate_shapes.rs`).
             let halo = halo.min(rows);
             crate::vector::block_ranges(rows, n_devices)
                 .into_iter()

@@ -111,8 +111,17 @@ impl<'a, T: Element> Stencil2DView<'a, T> {
         };
         let mut span_row = self.span_row as isize + row_delta;
         if span_row < 0 || span_row >= self.span_rows as isize {
-            // Only reachable when this part holds the whole matrix and has
-            // no halo rows (Single/Copy under Wrap): wrap within it.
+            // Reachable in two cases, both with `span_rows >= n_rows`: a
+            // part holding the whole matrix with no halo rows (Single/Copy
+            // under Wrap), and a RowBlock part whose halo was clamped to
+            // the matrix height because the radius meets or exceeds it.
+            // Span rows are consecutive global rows (mod n_rows), so
+            // reducing the overflowed span position modulo the height
+            // lands on a span row holding exactly the wrapped target row.
+            debug_assert!(
+                self.span_rows >= self.n_rows,
+                "beyond-span stencil read with a span narrower than the matrix"
+            );
             span_row = span_row.rem_euclid(n_rows);
         }
         self.item

@@ -275,6 +275,29 @@ impl<T: Scalar> Vector<T> {
         Ok(st.parts.clone())
     }
 
+    /// Wrap one freshly computed device buffer as a `Single(device)`
+    /// vector — the shape 2D-reduction outputs take when the whole result
+    /// lands on one device (no host round trip; the host copy is stale
+    /// until first read).
+    pub(crate) fn from_single_device_part(
+        ctx: &Context,
+        device: usize,
+        len: usize,
+        buffer: Buffer<T>,
+    ) -> Self {
+        Vector::from_device_parts(
+            ctx,
+            len,
+            Distribution::Single(device),
+            vec![DevicePart {
+                device,
+                offset: 0,
+                len,
+                buffer,
+            }],
+        )
+    }
+
     /// Wrap freshly computed device parts as a new vector (skeleton
     /// outputs): device data is fresh, host copy is stale.
     pub(crate) fn from_device_parts(

@@ -1,0 +1,180 @@
+//! Property-based tests of the 2D reduction subsystem: `ReduceRows` /
+//! `ReduceCols` equal sequential host folds **bitwise** for arbitrary
+//! shapes (including degenerate 0/1-extent edges), every matrix
+//! distribution and 1–4 devices, and the index-carrying `ReduceRowsArg`
+//! matches a host argbest scan with lowest-index tie-breaks.
+//!
+//! Runs under the pinned-seed CI job (`PROPTEST_SEED`), so shrunk
+//! degenerate-shape counterexamples reproduce locally.
+
+use proptest::prelude::*;
+use skelcl::{
+    Context, ContextConfig, Matrix, MatrixDistribution, ReduceCols, ReduceRows, ReduceRowsArg,
+};
+use vgpu::DeviceSpec;
+
+fn ctx(n_devices: usize) -> Context {
+    Context::new(
+        ContextConfig::default()
+            .devices(n_devices)
+            .spec(DeviceSpec::tiny())
+            .work_group(64)
+            .cache_tag("prop-reduce2d"),
+    )
+}
+
+fn dist_strategy() -> impl Strategy<Value = MatrixDistribution> {
+    prop_oneof![
+        Just(MatrixDistribution::Single(0)),
+        Just(MatrixDistribution::Copy),
+        Just(MatrixDistribution::ColBlock),
+        (0usize..4).prop_map(|halo| MatrixDistribution::RowBlock { halo }),
+    ]
+}
+
+/// Awkward, sign-mixed floats whose sums are order-sensitive: any fold
+/// that deviates from the canonical ascending order fails bitwise.
+fn messy(rows: usize, cols: usize, seed: u32) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+            ((h % 2000) as f32) / 7.0 - 140.0
+        })
+        .collect()
+}
+
+fn sum_rows() -> ReduceRows<f32, fn(f32, f32) -> f32> {
+    ReduceRows::new(
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
+        0.0,
+    )
+}
+
+fn sum_cols() -> ReduceCols<f32, fn(f32, f32) -> f32> {
+    ReduceCols::new(
+        skelcl::skel_fn!(
+            fn sum(x: f32, y: f32) -> f32 {
+                x + y
+            }
+        ),
+        0.0,
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ReduceRows == ascending-column host fold from the identity, bitwise,
+    // for every shape (0-extent edges included), distribution and device
+    // count.
+    #[test]
+    fn reduce_rows_equals_host_fold(
+        rows in 0usize..20,
+        cols in 0usize..14,
+        devices in 1usize..5,
+        dist in dist_strategy(),
+        seed in 0u32..1000,
+    ) {
+        let data = messy(rows, cols, seed);
+        let want: Vec<f32> = (0..rows)
+            .map(|r| data[r * cols..(r + 1) * cols].iter().fold(0.0, |a, &x| a + x))
+            .collect();
+        let c = ctx(devices);
+        let m = Matrix::from_vec(&c, rows, cols, data);
+        m.set_distribution(dist).unwrap();
+        let got = sum_rows().apply(&m).unwrap().to_vec().unwrap();
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    // ReduceCols == ascending-row host fold, same coverage.
+    #[test]
+    fn reduce_cols_equals_host_fold(
+        rows in 0usize..20,
+        cols in 0usize..14,
+        devices in 1usize..5,
+        dist in dist_strategy(),
+        seed in 0u32..1000,
+    ) {
+        let data = messy(rows, cols, seed);
+        let want: Vec<f32> = (0..cols)
+            .map(|c| (0..rows).fold(0.0, |a, r| a + data[r * cols + c]))
+            .collect();
+        let c = ctx(devices);
+        let m = Matrix::from_vec(&c, rows, cols, data);
+        m.set_distribution(dist).unwrap();
+        let got = sum_cols().apply(&m).unwrap().to_vec().unwrap();
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    // Results are identical across device counts (the 1-device run is the
+    // canonical truth the multi-device concat/chain paths must reproduce).
+    #[test]
+    fn reduce_rows_is_device_count_invariant(
+        rows in 1usize..16,
+        cols in 1usize..12,
+        dist in dist_strategy(),
+        seed in 0u32..1000,
+    ) {
+        let data = messy(rows, cols, seed);
+        let single = {
+            let c = ctx(1);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            sum_rows().apply(&m).unwrap().to_vec().unwrap()
+        };
+        for devices in [2usize, 4] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, rows, cols, data.clone());
+            m.set_distribution(dist).unwrap();
+            let got = sum_rows().apply(&m).unwrap().to_vec().unwrap();
+            prop_assert_eq!(bits(&got), bits(&single), "{} devices {:?}", devices, dist);
+        }
+    }
+
+    // ReduceRowsArg == host argbest scan (values from a tiny set force
+    // ties; the lowest column index must win every one of them).
+    #[test]
+    fn reduce_rows_arg_equals_host_scan(
+        rows in 1usize..16,
+        cols in 1usize..14,
+        devices in 1usize..5,
+        dist in dist_strategy(),
+        modulus in 2u32..6,
+        seed in 0u32..1000,
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| (((i as u32).wrapping_mul(31).wrapping_add(seed)) % modulus) as f32)
+            .collect();
+        let mut want_v = Vec::with_capacity(rows);
+        let mut want_i = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            let mut best = 0usize;
+            for (cc, &x) in row.iter().enumerate() {
+                if x < row[best] {
+                    best = cc;
+                }
+            }
+            want_v.push(row[best]);
+            want_i.push(best as u32);
+        }
+        let c = ctx(devices);
+        let m = Matrix::from_vec(&c, rows, cols, data);
+        m.set_distribution(dist).unwrap();
+        let argmin = ReduceRowsArg::new(skelcl::skel_fn!(
+            fn less(x: f32, y: f32) -> bool {
+                x < y
+            }
+        ));
+        let (v, i) = argmin.apply(&m).unwrap();
+        prop_assert_eq!(bits(&v.to_vec().unwrap()), bits(&want_v));
+        prop_assert_eq!(i.to_vec().unwrap(), want_i);
+    }
+}
