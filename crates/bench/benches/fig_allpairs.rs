@@ -3,42 +3,25 @@
 //! seconds; at ≥1024² the tiled strategy must beat naive on every device
 //! count (asserted below — the dense-linalg acceptance bar).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion};
 use skelcl::AllPairsStrategy;
-use skelcl_bench::allpairs_virtual_s;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::time::Duration;
+use skelcl_bench::{allpairs_virtual_s, VirtualSweep};
 
 fn bench_allpairs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig_allpairs_virtual");
-    // One iteration per configuration: virtual-time samples have zero
-    // variance, and a 1024³ product simulates ~1G inner-loop steps.
-    group.sample_size(1);
-    // Virtual seconds per (size, devices, strategy), recorded while the
-    // sweep runs so the acceptance check below reuses them instead of
-    // recomputing the expensive 1024³ configurations.
-    let recorded: RefCell<HashMap<(usize, usize, &str), f64>> = RefCell::new(HashMap::new());
+    let sweep = VirtualSweep::new();
+    let mut group = VirtualSweep::group(c, "fig_allpairs_virtual");
     for size in [256usize, 512, 1024] {
         for devices in [1usize, 2, 4] {
             for (name, strategy) in [
                 ("naive", AllPairsStrategy::Naive),
                 ("tiled16", AllPairsStrategy::Tiled { tile: 16 }),
             ] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("matmul_{name}_{size}"), devices),
-                    &devices,
-                    |b, &devices| {
-                        b.iter_custom(|iters| {
-                            let mut total = 0.0;
-                            for _ in 0..iters.max(1) {
-                                let t = allpairs_virtual_s(size, devices, strategy);
-                                recorded.borrow_mut().insert((size, devices, name), t);
-                                total += t;
-                            }
-                            Duration::from_secs_f64(total)
-                        })
-                    },
+                sweep.bench(
+                    &mut group,
+                    format!("matmul_{name}_{size}"),
+                    devices,
+                    (size, devices, name),
+                    move || allpairs_virtual_s(size, devices, strategy),
                 );
             }
         }
@@ -47,10 +30,9 @@ fn bench_allpairs(c: &mut Criterion) {
 
     // The acceptance relation the figure exists to show: local-memory
     // tiling wins the virtual timeline at 1024² on every device count.
-    let recorded = recorded.borrow();
     for devices in [1usize, 2, 4] {
-        let naive = recorded[&(1024, devices, "naive")];
-        let tiled = recorded[&(1024, devices, "tiled16")];
+        let naive = sweep.get((1024, devices, "naive"));
+        let tiled = sweep.get((1024, devices, "tiled16"));
         assert!(
             tiled < naive,
             "tiled ({tiled}s) must beat naive ({naive}s) at 1024^2 on {devices} device(s)"

@@ -5,37 +5,22 @@
 //! n ≥ 10 the batched schedule must win (asserted below — the iterative
 //! acceptance bar).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skelcl_bench::stencil_iterate_virtual_s;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use skelcl_bench::{stencil_iterate_virtual_s, VirtualSweep};
 
 fn bench_iterate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig_iterate_virtual");
-    // Virtual-time samples have zero variance; one iteration per config.
-    group.sample_size(1);
+    let sweep = VirtualSweep::new();
+    let mut group = VirtualSweep::group(c, "fig_iterate_virtual");
     let (rows, cols) = (1024usize, 1024usize);
-    // Virtual seconds per (n, devices, schedule), recorded while the sweep
-    // runs so the acceptance check reuses them instead of recomputing.
-    let recorded: RefCell<HashMap<(usize, usize, &str), f64>> = RefCell::new(HashMap::new());
     for n in [1usize, 10, 100] {
         for devices in [1usize, 2, 3, 4] {
             for (name, batched) in [("chained_apply", false), ("batched_iterate", true)] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("heat_{name}_n{n}"), devices),
-                    &devices,
-                    |b, &devices| {
-                        b.iter_custom(|iters| {
-                            let mut total = 0.0;
-                            for _ in 0..iters.max(1) {
-                                let t = stencil_iterate_virtual_s(rows, cols, devices, n, batched);
-                                recorded.borrow_mut().insert((n, devices, name), t);
-                                total += t;
-                            }
-                            Duration::from_secs_f64(total)
-                        })
-                    },
+                sweep.bench(
+                    &mut group,
+                    format!("heat_{name}_n{n}"),
+                    devices,
+                    (n, devices, name),
+                    || stencil_iterate_virtual_s(rows, cols, devices, n, batched),
                 );
             }
         }
@@ -46,11 +31,10 @@ fn bench_iterate(c: &mut Criterion) {
     // per-iteration exchange beats the per-apply exchange in the virtual
     // timeline wherever exchanges happen at all (2+ devices), and never
     // loses elsewhere.
-    let recorded = recorded.borrow();
     for n in [1usize, 10, 100] {
         for devices in [1usize, 2, 3, 4] {
-            let chained = recorded[&(n, devices, "chained_apply")];
-            let batched = recorded[&(n, devices, "batched_iterate")];
+            let chained = sweep.get((n, devices, "chained_apply"));
+            let batched = sweep.get((n, devices, "batched_iterate"));
             assert!(
                 batched <= chained,
                 "batched iterate ({batched}s) must never lose to chained applies \

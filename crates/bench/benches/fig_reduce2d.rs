@@ -6,37 +6,22 @@
 //! must win wherever the matrix download dominates (asserted below — the
 //! reduce2d acceptance bar). Both paths are bit-identical (linalg tests).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use skelcl_bench::nn_virtual_s;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use skelcl_bench::{nn_virtual_s, VirtualSweep};
 
 fn bench_reduce2d(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig_reduce2d_virtual");
-    // Virtual-time samples have zero variance; one iteration per config.
-    group.sample_size(1);
+    let sweep = VirtualSweep::new();
+    let mut group = VirtualSweep::group(c, "fig_reduce2d_virtual");
     let dim = 16usize;
-    // Virtual seconds per (size, devices, schedule), recorded while the
-    // sweep runs so the acceptance check reuses them.
-    let recorded: RefCell<HashMap<(usize, usize, &str), f64>> = RefCell::new(HashMap::new());
     for size in [512usize, 768, 1024] {
         for devices in [1usize, 2, 3, 4] {
             for (name, device_side) in [("host_argmin", false), ("device_argmin", true)] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("nn_{name}_{size}"), devices),
-                    &devices,
-                    |b, &devices| {
-                        b.iter_custom(|iters| {
-                            let mut total = 0.0;
-                            for _ in 0..iters.max(1) {
-                                let t = nn_virtual_s(size, size, dim, devices, device_side);
-                                recorded.borrow_mut().insert((size, devices, name), t);
-                                total += t;
-                            }
-                            Duration::from_secs_f64(total)
-                        })
-                    },
+                sweep.bench(
+                    &mut group,
+                    format!("nn_{name}_{size}"),
+                    devices,
+                    (size, devices, name),
+                    move || nn_virtual_s(size, size, dim, devices, device_side),
                 );
             }
         }
@@ -46,11 +31,10 @@ fn bench_reduce2d(c: &mut Criterion) {
     // The acceptance relation the figure exists to show: keeping the
     // distance matrix on the devices beats downloading it for the host
     // argmin, at every swept size and device count.
-    let recorded = recorded.borrow();
     for size in [512usize, 768, 1024] {
         for devices in [1usize, 2, 3, 4] {
-            let host = recorded[&(size, devices, "host_argmin")];
-            let device = recorded[&(size, devices, "device_argmin")];
+            let host = sweep.get((size, devices, "host_argmin"));
+            let device = sweep.get((size, devices, "device_argmin"));
             assert!(
                 device < host,
                 "device-side 1-NN ({device}s) must beat download-and-host-argmin \

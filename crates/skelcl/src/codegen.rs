@@ -546,6 +546,42 @@ pub fn reduce_rows_arg_program(fn_name: &str, fn_source: &str, t: &str) -> Progr
     Program::from_source(program_name("reduce_rows_arg", fn_name, &[t]), source).with_arg_count(10)
 }
 
+/// Generate the index-carrying column reduction behind
+/// [`crate::ReduceColsArg`]: per column, a strictly-better comparison scan
+/// in ascending row order keeps the best value **and its global row
+/// index** (lowest index wins ties). Chained row-block parts seed from the
+/// previous segment's (value, index) pair — the column-strided twin of
+/// [`reduce_rows_arg_program`], with its own cache key.
+pub fn reduce_cols_arg_program(fn_name: &str, fn_source: &str, t: &str) -> Program {
+    let source = format!(
+        "// generated by SkelCL codegen: ReduceColsArg skeleton (argbest scan)\n\
+         {fn_source}\n\
+         __kernel void skelcl_reduce_cols_arg(__global const {t}* restrict in,\n\
+                                              __global const {t}* restrict seed_val,\n\
+                                              __global const uint* restrict seed_idx,\n\
+                                              __global {t}* restrict out_val,\n\
+                                              __global uint* restrict out_idx,\n\
+                                              const uint n_rows,\n\
+                                              const uint n_cols,\n\
+                                              const uint row_stride,\n\
+                                              const uint row_offset,\n\
+                                              const uint has_seed) {{\n\
+             uint col = get_global_id(0);\n\
+             if (col < n_cols) {{\n\
+                 {t} best = has_seed ? seed_val[col] : in[col];\n\
+                 uint best_i = has_seed ? seed_idx[col] : row_offset;\n\
+                 for (uint r = has_seed ? 0 : 1; r < n_rows; ++r) {{\n\
+                     {t} x = in[r * row_stride + col];\n\
+                     if ({fn_name}(x, best)) {{ best = x; best_i = row_offset + r; }}\n\
+                 }}\n\
+                 out_val[col] = best;\n\
+                 out_idx[col] = best_i;\n\
+             }}\n\
+         }}\n"
+    );
+    Program::from_source(program_name("reduce_cols_arg", fn_name, &[t]), source).with_arg_count(10)
+}
+
 /// Generate the naive AllPairs skeleton program: one work-item per output
 /// element, combining `zip(A[i][k], B[k][j])` across the inner dimension
 /// with `reduce` (SkelCL's later `AllPairs(M, N)` skeleton restricted to

@@ -1,9 +1,13 @@
 //! The SkelCL context: the paper's `SkelCL::init()`.
 //!
-//! A [`Context`] owns one command queue per device (under the SkelCL driver
-//! profile), an in-memory registry of already-built skeleton programs (the
-//! first layer of the paper's kernel cache; the second, on-disk layer lives
-//! in [`vgpu::compiler`]), and the configuration shared by every vector and
+//! A [`Context`] owns **two** command queues per device — the main queue
+//! carrying kernels and legacy transfers, and a dedicated *copy stream*
+//! ([`Context::copy_queue`]) the overlapped paths issue asynchronous
+//! transfers on, so halo exchanges and chunked uploads run on the device's
+//! copy engine underneath kernels on the compute engine — plus an in-memory
+//! registry of already-built skeleton programs (the first layer of the
+//! paper's kernel cache; the second, on-disk layer lives in
+//! [`vgpu::compiler`]) and the configuration shared by every vector and
 //! skeleton created from it.
 
 use crate::error::{Error, Result};
@@ -73,6 +77,9 @@ impl ContextConfig {
 struct ContextInner {
     platform: Platform,
     queues: Vec<CommandQueue>,
+    /// One dedicated copy stream per device: asynchronous transfers issued
+    /// here overlap kernels on the main queue when their events allow.
+    copy_queues: Vec<CommandQueue>,
     profile: DriverProfile,
     work_group: usize,
     /// program hash → built kernel (body is a placeholder; launches rebind).
@@ -115,10 +122,14 @@ impl Context {
         let queues = (0..platform.n_devices())
             .map(|i| platform.queue(i, profile))
             .collect();
+        let copy_queues = (0..platform.n_devices())
+            .map(|i| platform.queue(i, profile))
+            .collect();
         Context {
             inner: Arc::new(ContextInner {
                 platform,
                 queues,
+                copy_queues,
                 profile,
                 work_group,
                 programs: Mutex::new(HashMap::new()),
@@ -146,6 +157,15 @@ impl Context {
 
     pub fn queues(&self) -> &[CommandQueue] {
         &self.inner.queues
+    }
+
+    /// The dedicated copy stream of device `i` — the queue the overlapped
+    /// halo exchange and the streamed uploads issue async transfers on.
+    /// Separate from [`Context::queue`], so a transfer here is not ordered
+    /// behind kernels already enqueued on the main queue (only its
+    /// `wait_for` events order it).
+    pub fn copy_queue(&self, i: usize) -> &CommandQueue {
+        &self.inner.copy_queues[i]
     }
 
     pub fn profile(&self) -> &DriverProfile {

@@ -23,10 +23,15 @@
 //!   [`MatrixDistribution::ColBlock`] distribution behind the dense
 //!   linear-algebra workloads (matrix multiplication, pairwise distances —
 //!   see the `skelcl-linalg` crate),
-//! * and the iterative form [`Stencil2D::iterate`] — `n` stencil passes
+//! * the iterative form [`Stencil2D::iterate`] — `n` stencil passes
 //!   ping-ponging two device-resident buffers with one batched halo
 //!   exchange per iteration — behind the simulation workloads (heat
-//!   relaxation, game of life — see the `skelcl-iterative` crate).
+//!   relaxation, game of life — see the `skelcl-iterative` crate),
+//! * and the **async overlap subsystem**: per-device copy streams with
+//!   event-ordered transfers, so the overlapped `iterate` schedule runs
+//!   halo exchanges *under* interior kernels and streamed uploads
+//!   ([`Stencil2D::apply_streamed`], [`Map::apply_streamed`]) overlap PCIe
+//!   with the first dependent kernels (see *Streams and events* below).
 //!
 //! ## Skeleton overview
 //!
@@ -43,6 +48,7 @@
 //! | [`ReduceRows`]  | [`Matrix`] → [`Vector`] | associative `T f(T, T)` + id  | any matrix                                |
 //! | [`ReduceCols`]  | [`Matrix`] → [`Vector`] | associative `T f(T, T)` + id  | any matrix                                |
 //! | [`ReduceRowsArg`] | [`Matrix`] → value + index [`Vector`]s | strict `bool f(T, T)` | any matrix                  |
+//! | [`ReduceColsArg`] | [`Matrix`] → value + index [`Vector`]s | strict `bool f(T, T)` | any matrix                  |
 //!
 //! (Plus the composed [`MapReduce`]/[`MapIndex`] fusions and the
 //! with-arguments variants [`MapArgs`], [`MapVoid`], [`ZipArgs`].)
@@ -55,6 +61,39 @@
 //! distribution that keeps the reduced dimension intact (`RowBlock` for
 //! rows, `ColBlock` for columns) the output simply concatenates the
 //! per-device results with zero inter-device transfers.
+//!
+//! **Which paths overlap:** [`Stencil2D::iterate`] (halo exchange on the
+//! copy stream under interior compute; `iterate_serial` keeps the serial
+//! schedule), [`Stencil2D::apply_streamed`] and [`Map::apply_streamed`]
+//! (chunked uploads overlapping the first dependent kernels). Every other
+//! path is device-serializing, exactly as before the subsystem existed.
+//!
+//! ## Streams and events
+//!
+//! Every [`Context`] drives each device through **two in-order command
+//! queues over one shared device timeline**: the main queue carrying
+//! kernels, and a dedicated *copy stream* ([`Context::copy_queue`])
+//! carrying asynchronous transfers. The underlying [`vgpu`] platform
+//! models a separate copy (DMA) engine and compute engine per device, and
+//! schedules every asynchronous command at
+//!
+//! ```text
+//! start = max(queue-ready, dependency-ready, engine-availability, enqueue time)
+//! ```
+//!
+//! with first-class events (`wait_for: &[vgpu::Event]`) expressing
+//! cross-stream dependencies — OpenCL's own answer to transfer/compute
+//! overlap, expressed through events and multiple command queues. A halo
+//! exchange issued on the copy stream therefore genuinely runs *under* an
+//! independent kernel, while two kernels (or two transfers) on one device
+//! still serialize on their engine.
+//!
+//! The overlapped paths are **bit-identical to their serial twins** —
+//! same generated programs, same per-element arithmetic, only the modeled
+//! timeline changes — and the simulator's timeline trace
+//! (`vgpu::Platform::enable_timeline_trace`) lets tests assert that no
+//! engine ever runs two commands at once (see the `prop_overlap` suite
+//! and the `fig_overlap` bench, which measures the overlap win).
 //!
 //! ## Dot product (the paper's Listing 1)
 //!
@@ -258,7 +297,7 @@ pub use skeletons::{AllPairs, AllPairsStrategy};
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
 pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
-pub use skeletons::{ReduceCols, ReduceRows, ReduceRowsArg};
+pub use skeletons::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
 pub use vector::{Distribution, Vector};
 
 /// The element trait vectors are generic over (re-exported from the

@@ -28,7 +28,7 @@ use crate::context::Context;
 use crate::error::{Error, Result};
 use parking_lot::{MappedMutexGuard, Mutex, MutexGuard};
 use std::sync::Arc;
-use vgpu::{Buffer, Scalar};
+use vgpu::{Buffer, Event, Scalar};
 
 /// How a matrix's rows are laid out across the context's devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +99,21 @@ impl<T: Scalar> MatrixPart<T> {
     }
 }
 
+/// One chunk of a streamed part upload: span rows
+/// `[span_start, span_start + span_len)` of the part's buffer hold valid
+/// data once `event` completes on the device's copy engine. A consumer
+/// kernel reading those rows passes `event` in its `wait_for` list; rows
+/// not yet covered by any chunk are still in flight.
+#[derive(Clone)]
+pub(crate) struct UploadChunk {
+    pub span_start: usize,
+    pub span_len: usize,
+    pub event: Event,
+}
+
+/// Device parts plus their per-part streamed-upload chunk events.
+pub(crate) type PartsWithChunks<T> = (Vec<MatrixPart<T>>, Vec<Vec<UploadChunk>>);
+
 struct State<T: Scalar> {
     host: Vec<T>,
     rows: usize,
@@ -113,6 +128,16 @@ struct State<T: Scalar> {
     halos_fresh: bool,
     dist: MatrixDistribution,
     parts: Vec<MatrixPart<T>>,
+    /// Per part: the chunk events of a streamed upload (empty for blocking
+    /// uploads and device-born matrices). Consumed by the streamed skeleton
+    /// paths; conservative consumers may ignore it — their legacy launches
+    /// wait for the whole device anyway.
+    upload_chunks: Vec<Vec<UploadChunk>>,
+    /// The platform clock epoch the chunks were recorded under: a
+    /// `reset_clocks` between upload and consumption invalidates the
+    /// events' timestamps, so stale-epoch chunks are discarded instead of
+    /// waited on.
+    upload_epoch: u64,
 }
 
 /// The SkelCL matrix. Cloning yields a second handle to the same matrix
@@ -231,6 +256,8 @@ impl<T: Scalar> Matrix<T> {
                 halos_fresh: false,
                 dist,
                 parts: Vec::new(),
+                upload_chunks: Vec::new(),
+                upload_epoch: 0,
             })),
         }
     }
@@ -318,6 +345,7 @@ impl<T: Scalar> Matrix<T> {
         st.device_fresh = false;
         st.halos_fresh = false;
         st.parts.clear();
+        st.upload_chunks.clear();
         Ok(MutexGuard::map(st, |s| s.host.as_mut_slice()))
     }
 
@@ -358,6 +386,8 @@ impl<T: Scalar> Matrix<T> {
         st.device_fresh = true;
         st.host_fresh = false;
         st.halos_fresh = false;
+        // The kernel's writes supersede any still-recorded upload events.
+        st.upload_chunks.clear();
     }
 
     /// Upload to the devices (per the current distribution) if the device
@@ -365,6 +395,18 @@ impl<T: Scalar> Matrix<T> {
     pub fn ensure_on_devices(&self) -> Result<()> {
         let mut st = self.state.lock();
         ensure_on_devices(&self.ctx, &mut st)
+    }
+
+    /// Upload to the devices like [`Matrix::ensure_on_devices`], but
+    /// **streamed in row chunks on the copy stream**: the upload is issued
+    /// as asynchronous chunked writes whose events are kept with the parts,
+    /// so a streamed skeleton pass ([`crate::Stencil2D::apply_streamed`])
+    /// launches its first kernels while later chunks are still crossing
+    /// PCIe. A no-op when the devices are already fresh; bit-identical
+    /// data either way.
+    pub fn ensure_on_devices_streamed(&self, chunk_rows: usize) -> Result<()> {
+        let mut st = self.state.lock();
+        ensure_on_devices_streamed(&self.ctx, &mut st, chunk_rows)
     }
 
     /// Refresh every part's halo rows from the rows' owning parts via
@@ -397,6 +439,7 @@ impl<T: Scalar> Matrix<T> {
         if !st.device_fresh {
             st.dist = dist;
             st.parts.clear();
+            st.upload_chunks.clear();
             return Ok(());
         }
         redistribute(&self.ctx, &mut st, dist)
@@ -417,6 +460,25 @@ impl<T: Scalar> Matrix<T> {
         ensure_on_devices(&self.ctx, &mut st)?;
         halo_exchange(&self.ctx, &mut st)?;
         Ok(st.parts.clone())
+    }
+
+    /// The device-resident parts together with any pending streamed-upload
+    /// chunk events (uploading *streamed* first if the devices are stale —
+    /// halos come straight from the host, so they are coherent). The chunk
+    /// lists are empty for parts that were uploaded blocking or written by
+    /// kernels; consumers then need no upload dependencies.
+    pub(crate) fn parts_with_upload_chunks(&self, chunk_rows: usize) -> Result<PartsWithChunks<T>> {
+        let mut st = self.state.lock();
+        ensure_on_devices_streamed(&self.ctx, &mut st, chunk_rows)?;
+        halo_exchange(&self.ctx, &mut st)?;
+        let live = st.upload_chunks.len() == st.parts.len()
+            && st.upload_epoch == self.ctx.platform().clock_epoch();
+        let chunks = if live {
+            st.upload_chunks.clone()
+        } else {
+            vec![Vec::new(); st.parts.len()]
+        };
+        Ok((st.parts.clone(), chunks))
     }
 
     /// Wrap freshly computed device parts as a new matrix (skeleton
@@ -442,6 +504,8 @@ impl<T: Scalar> Matrix<T> {
                 halos_fresh,
                 dist,
                 parts,
+                upload_chunks: Vec::new(),
+                upload_epoch: 0,
             })),
         }
     }
@@ -521,6 +585,88 @@ fn ensure_on_devices<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> 
         parts.push(part);
     }
     st.parts = parts;
+    st.upload_chunks.clear();
+    st.device_fresh = true;
+    st.halos_fresh = true;
+    Ok(())
+}
+
+/// Upload `st.host` like [`ensure_on_devices`], but **streamed**: each
+/// full-width part's span goes out in row chunks of (at most) `chunk_rows`
+/// as asynchronous writes on the device's *copy stream*, and the chunks'
+/// events are recorded in `st.upload_chunks` so the first dependent kernel
+/// can start once its rows have landed — while later chunks are still
+/// crossing PCIe. Results are bit-identical to the blocking upload (same
+/// bytes, same destination); only the modeled timeline differs.
+///
+/// Column-block layouts fall back to the blocking upload (their per-row
+/// strided writes are already minimal and no consumer chunks by rows).
+fn ensure_on_devices_streamed<T: Scalar>(
+    ctx: &Context,
+    st: &mut State<T>,
+    chunk_rows: usize,
+) -> Result<()> {
+    if st.device_fresh {
+        return Ok(());
+    }
+    if !st.dist.is_full_width() {
+        return ensure_on_devices(ctx, st);
+    }
+    assert!(
+        st.host_fresh,
+        "matrix has neither fresh host nor fresh device data"
+    );
+    let chunk_rows = chunk_rows.max(1);
+    let cols = st.cols;
+    let lay = layout(st.dist, st.rows, cols, ctx.n_devices());
+    let concurrent = lay.iter().filter(|g| g.rows > 0).count().max(1);
+    let mut parts = Vec::with_capacity(lay.len());
+    let mut upload_chunks = Vec::with_capacity(lay.len());
+    for geom in lay {
+        let part = MatrixPart {
+            device: geom.device,
+            row_offset: geom.row_offset,
+            rows: geom.rows,
+            halo_above: geom.halo_above,
+            halo_below: geom.halo_below,
+            col_offset: geom.col_offset,
+            cols: geom.cols,
+            buffer: ctx
+                .device(geom.device)
+                .alloc::<T>((geom.halo_above + geom.rows + geom.halo_below) * geom.cols)?,
+        };
+        let mut chunks = Vec::new();
+        if part.rows > 0 && cols > 0 {
+            let queue = ctx.copy_queue(part.device);
+            for (s, g, len) in span_runs(&part, st.rows) {
+                // Split each contiguous run into chunk_rows-row writes; the
+                // copy stream keeps them in order, so chunk k's event also
+                // covers every chunk before it.
+                let mut done = 0;
+                while done < len {
+                    let n = chunk_rows.min(len - done);
+                    let event = queue.enqueue_write_range_async(
+                        &part.buffer,
+                        (s + done) * cols,
+                        &st.host[(g + done) * cols..(g + done + n) * cols],
+                        concurrent,
+                        &[],
+                    )?;
+                    chunks.push(UploadChunk {
+                        span_start: s + done,
+                        span_len: n,
+                        event,
+                    });
+                    done += n;
+                }
+            }
+        }
+        parts.push(part);
+        upload_chunks.push(chunks);
+    }
+    st.parts = parts;
+    st.upload_chunks = upload_chunks;
+    st.upload_epoch = ctx.platform().clock_epoch();
     st.device_fresh = true;
     st.halos_fresh = true;
     Ok(())
@@ -660,6 +806,14 @@ fn fill_span_row_from_owners<T: Scalar>(
 /// `dst`: `run` is `(span_row_start, global_row_start, n_rows)`, as
 /// produced by [`span_runs`] / [`halo_runs`]. Returns the number of
 /// cross-device transfers issued.
+///
+/// With `overlap = Some((deps_by_device, out_events))` the copies are
+/// issued **asynchronously on the copy engines**: each copy waits for the
+/// producer events of its source *and* destination devices (the
+/// destination's events also fence the write-after-read hazard against the
+/// previous round's readers of the halo region) and its event is appended
+/// to `out_events`. With `None`, the legacy device-serializing copies are
+/// issued.
 fn fill_rows_from_owners<T: Scalar>(
     ctx: &Context,
     parts: &[MatrixPart<T>],
@@ -667,6 +821,7 @@ fn fill_rows_from_owners<T: Scalar>(
     run: (usize, usize, usize),
     cols: usize,
     concurrent: usize,
+    mut overlap: Option<(&[Vec<Event>], &mut Vec<Event>)>,
 ) -> Result<usize> {
     let (mut s, mut g, mut len) = run;
     let mut cross = 0usize;
@@ -682,14 +837,34 @@ fn fill_rows_from_owners<T: Scalar>(
             if src.device != dst.device {
                 cross += 1;
             }
-            ctx.platform().copy_d2d_range(
-                &src.buffer,
-                src_span_row * cols,
-                &dst.buffer,
-                s * cols,
-                run * cols,
-                concurrent,
-            )?;
+            match overlap.as_mut() {
+                None => {
+                    ctx.platform().copy_d2d_range(
+                        &src.buffer,
+                        src_span_row * cols,
+                        &dst.buffer,
+                        s * cols,
+                        run * cols,
+                        concurrent,
+                    )?;
+                }
+                Some((deps_by_device, out_events)) => {
+                    let mut deps = deps_by_device[src.device].clone();
+                    if src.device != dst.device {
+                        deps.extend_from_slice(&deps_by_device[dst.device]);
+                    }
+                    let ev = ctx.platform().copy_d2d_range_async(
+                        &src.buffer,
+                        src_span_row * cols,
+                        &dst.buffer,
+                        s * cols,
+                        run * cols,
+                        concurrent,
+                        &deps,
+                    )?;
+                    out_events.push(ev);
+                }
+            }
         }
         s += run;
         g += run;
@@ -728,14 +903,45 @@ pub(crate) fn exchange_part_halos<T: Scalar>(
     cols: usize,
     skip_wrapped: bool,
 ) -> Result<bool> {
+    Ok(exchange_part_halos_impl(ctx, parts, n_rows, cols, skip_wrapped, None)?.0)
+}
+
+/// The overlapped twin of [`exchange_part_halos`]: every copy is issued
+/// **asynchronously on the copy engines**, waiting only for the producer
+/// events in `deps_by_device` (per source/destination device), so the whole
+/// exchange runs underneath unrelated kernels. Returns whether anything was
+/// refreshed (one exchange *event*, counted by the caller exactly like the
+/// serial exchange — issuing on the copy stream must not change the count)
+/// and, per part, the copy events that wrote into that part's halos — the
+/// `wait_for` list of the next boundary launch reading them.
+pub(crate) fn exchange_part_halos_overlapped<T: Scalar>(
+    ctx: &Context,
+    parts: &[MatrixPart<T>],
+    n_rows: usize,
+    cols: usize,
+    skip_wrapped: bool,
+    deps_by_device: &[Vec<Event>],
+) -> Result<(bool, Vec<Vec<Event>>)> {
+    exchange_part_halos_impl(ctx, parts, n_rows, cols, skip_wrapped, Some(deps_by_device))
+}
+
+fn exchange_part_halos_impl<T: Scalar>(
+    ctx: &Context,
+    parts: &[MatrixPart<T>],
+    n_rows: usize,
+    cols: usize,
+    skip_wrapped: bool,
+    deps_by_device: Option<&[Vec<Event>]>,
+) -> Result<(bool, Vec<Vec<Event>>)> {
+    let mut events: Vec<Vec<Event>> = vec![Vec::new(); parts.len()];
     if cols == 0 {
-        return Ok(false);
+        return Ok((false, events));
     }
     // Every halo row crosses a device boundary (its owner is a neighbour),
     // so the batch size is roughly two transfers per part.
     let concurrent = (2 * parts.len()).min(2 * ctx.n_devices()).max(1);
     let mut exchanged = false;
-    for p in parts {
+    for (i, p) in parts.iter().enumerate() {
         if p.rows == 0 {
             continue;
         }
@@ -749,11 +955,12 @@ pub(crate) fn exchange_part_halos<T: Scalar>(
                     continue;
                 }
                 exchanged = true;
-                fill_rows_from_owners(ctx, parts, p, run, cols, concurrent)?;
+                let overlap = deps_by_device.map(|deps| (deps, &mut events[i]));
+                fill_rows_from_owners(ctx, parts, p, run, cols, concurrent, overlap)?;
             }
         }
     }
-    Ok(exchanged)
+    Ok((exchanged, events))
 }
 
 /// Does this halo run (as produced by [`halo_runs`]) hold rows that wrap
@@ -827,7 +1034,7 @@ fn redistribute<T: Scalar>(
             if row_based {
                 // Full-width parts on both sides: batch contiguous rows.
                 for run in span_runs(np, n_rows) {
-                    fill_rows_from_owners(ctx, &st.parts, np, run, cols, concurrent)?;
+                    fill_rows_from_owners(ctx, &st.parts, np, run, cols, concurrent, None)?;
                 }
             } else {
                 // A column boundary is involved: copy row by row, splitting
@@ -842,6 +1049,7 @@ fn redistribute<T: Scalar>(
     }
 
     st.parts = new_parts;
+    st.upload_chunks.clear();
     st.dist = new_dist;
     st.halos_fresh = true;
     Ok(())

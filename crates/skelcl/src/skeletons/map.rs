@@ -58,6 +58,49 @@ where
         &self.program
     }
 
+    /// Launch the map kernel over elements `[start, start + len)` of one
+    /// part pair — the one body both [`Map::apply`] (full range, legacy
+    /// device-serializing launch) and [`Map::apply_streamed`] (one range
+    /// per upload chunk, async launch waiting on the chunk's event) bind.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_range(
+        &self,
+        ctx: &crate::context::Context,
+        compiled: &vgpu::CompiledKernel,
+        ip: &crate::vector::DevicePart<T>,
+        op: &crate::vector::DevicePart<U>,
+        start: usize,
+        len: usize,
+        dep: Option<vgpu::Event>,
+    ) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let static_ops = self.user.static_ops();
+        let f = self.user.func().clone();
+        let src = ip.buffer.clone();
+        let dst = op.buffer.clone();
+        let body: KernelBody = Arc::new(move |wg| {
+            wg.for_each_item(|it| {
+                if !it.in_bounds() {
+                    return;
+                }
+                let i = start + it.global_id(0);
+                let x = it.read(&src, i);
+                let (y, dyn_ops) = meter::metered(|| f(x));
+                it.write(&dst, i, y);
+                it.work(static_ops + dyn_ops);
+            });
+        });
+        let kernel = compiled.with_body(body);
+        let nd = linear_range(ctx, len);
+        match dep {
+            None => ctx.queue(ip.device).launch(&kernel, nd)?,
+            Some(ev) => ctx.queue(ip.device).launch_async(&kernel, nd, &[ev])?,
+        };
+        Ok(())
+    }
+
     /// Apply the skeleton: uploads the input lazily, launches one kernel
     /// per device part, and returns the output vector with the same
     /// distribution — its data stays on the devices (lazy copying).
@@ -66,30 +109,47 @@ where
         let compiled = ctx.get_or_build(&self.program)?;
         let in_parts = input.parts()?;
         let out_parts = alloc_matching_parts::<T, U>(&ctx, &in_parts)?;
-
-        let static_ops = self.user.static_ops();
         for (ip, op) in in_parts.iter().zip(&out_parts) {
-            if ip.len == 0 {
-                continue;
+            self.launch_range(&ctx, &compiled, ip, op, 0, ip.len, None)?;
+        }
+        Ok(output_vector(
+            &ctx,
+            input.len(),
+            input.distribution(),
+            out_parts,
+        ))
+    }
+
+    /// Like [`Map::apply`], but when the input still lives on the host its
+    /// upload is **streamed in `chunk_len`-element chunks on the copy
+    /// stream** and the map launches one kernel per chunk, each waiting
+    /// only for its own chunk's upload event — the classic
+    /// upload/compute-pipelined schedule: chunk `k` computes while chunk
+    /// `k+1` is still crossing PCIe. Bit-identical to [`Map::apply`] (same
+    /// generated program, same per-element math); on device-fresh input it
+    /// degrades to exactly `apply`'s schedule.
+    pub fn apply_streamed(&self, input: &Vector<T>, chunk_len: usize) -> Result<Vector<U>> {
+        let ctx = input.ctx().clone();
+        let compiled = ctx.get_or_build(&self.program)?;
+        let (in_parts, upload_chunks) = input.parts_with_upload_chunks(chunk_len.max(1))?;
+        let out_parts = alloc_matching_parts::<T, U>(&ctx, &in_parts)?;
+        for ((ip, op), chunks) in in_parts.iter().zip(&out_parts).zip(&upload_chunks) {
+            if chunks.is_empty() {
+                // Already resident, no chunk events: apply's exact launch.
+                self.launch_range(&ctx, &compiled, ip, op, 0, ip.len, None)?;
+            } else {
+                for c in chunks {
+                    self.launch_range(
+                        &ctx,
+                        &compiled,
+                        ip,
+                        op,
+                        c.start,
+                        c.len,
+                        Some(c.event.clone()),
+                    )?;
+                }
             }
-            let f = self.user.func().clone();
-            let src = ip.buffer.clone();
-            let dst = op.buffer.clone();
-            let body: KernelBody = Arc::new(move |wg| {
-                wg.for_each_item(|it| {
-                    if !it.in_bounds() {
-                        return;
-                    }
-                    let i = it.global_id(0);
-                    let x = it.read(&src, i);
-                    let (y, dyn_ops) = meter::metered(|| f(x));
-                    it.write(&dst, i, y);
-                    it.work(static_ops + dyn_ops);
-                });
-            });
-            let kernel = compiled.with_body(body);
-            ctx.queue(ip.device)
-                .launch(&kernel, linear_range(&ctx, ip.len))?;
         }
         Ok(output_vector(
             &ctx,

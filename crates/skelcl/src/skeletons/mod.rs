@@ -25,7 +25,7 @@ pub use map::{Map, MapArgs, MapVoid};
 pub use map_overlap::{Boundary, MapOverlap, StencilView};
 pub use map_reduce::{MapIndex, MapReduce};
 pub use reduce::{Reduce, ReduceStrategy};
-pub use reduce2d::{ReduceCols, ReduceRows, ReduceRowsArg};
+pub use reduce2d::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
 pub use scan::{Scan, ScanStrategy};
 pub use stencil2d::{Boundary2D, Stencil2D, Stencil2DView};
 pub use zip::{Zip, ZipArgs};

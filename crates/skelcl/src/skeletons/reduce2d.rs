@@ -1,6 +1,10 @@
 //! The 2D reduction skeletons: [`ReduceRows`], [`ReduceCols`] and the
-//! index-carrying [`ReduceRowsArg`] — `Matrix<T> → Vector<T>` reductions
-//! that keep every intermediate on the devices.
+//! index-carrying [`ReduceRowsArg`] / [`ReduceColsArg`] —
+//! `Matrix<T> → Vector<T>` reductions that keep every intermediate on the
+//! devices. All four share one axis-parameterized distribution dispatch
+//! ([`dispatch_reduce`]): Single/Copy inputs reduce in place, the
+//! axis-aligned block distribution concatenates per-part results with zero
+//! transfers, and the split axis chains seeded partials device-to-device.
 //!
 //! These are the matrix counterparts of the 1D [`crate::Reduce`]: where
 //! Reduce folds a whole vector to one scalar, `ReduceRows` folds every
@@ -52,8 +56,8 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 use vgpu::{Buffer, CompiledKernel, KernelBody, Program, Scalar as Element};
 
-/// A (best value, best column index) buffer pair — the running state the
-/// chained argbest launches carry across column parts.
+/// A (best value, best index) buffer pair — the running state the chained
+/// argbest launches carry across parts.
 type ArgPair<T> = (Buffer<T>, Buffer<u32>);
 
 /// Move the previous segment's partials to `device` if they live elsewhere
@@ -71,6 +75,207 @@ fn stage_on<T: Element>(
     let staged = ctx.device(device).alloc::<T>(len)?;
     ctx.platform().copy_d2d_range(&buf, 0, &staged, 0, len, 1)?;
     Ok(staged)
+}
+
+/// Which output axis a 2D reduction produces: one element per matrix row
+/// (the column dimension folds away) or one per column (rows fold away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Rows,
+    Cols,
+}
+
+impl Axis {
+    /// Is `dist` the distribution that keeps this reduction's *reduced*
+    /// dimension intact inside every part, so per-part results simply
+    /// concatenate into the output's `Block` layout with zero transfers?
+    fn concatenates_under(self, dist: MatrixDistribution) -> bool {
+        matches!(
+            (self, dist),
+            (Axis::Rows, MatrixDistribution::RowBlock { .. })
+                | (Axis::Cols, MatrixDistribution::ColBlock)
+        )
+    }
+
+    /// Output elements a part contributes under the concat layout.
+    fn part_items<T: Element>(self, p: &MatrixPart<T>) -> usize {
+        match self {
+            Axis::Rows => p.rows,
+            Axis::Cols => p.cols,
+        }
+    }
+
+    /// The part's offset in the concatenated output vector.
+    fn part_offset<T: Element>(self, p: &MatrixPart<T>) -> usize {
+        match self {
+            Axis::Rows => p.row_offset,
+            Axis::Cols => p.col_offset,
+        }
+    }
+
+    /// The part's extent along the *reduced* dimension — zero-extent parts
+    /// contribute nothing to a chained fold and are skipped.
+    fn reduced_extent<T: Element>(self, p: &MatrixPart<T>) -> usize {
+        match self {
+            Axis::Rows => p.cols,
+            Axis::Cols => p.rows,
+        }
+    }
+}
+
+/// The running device-resident state a chained reduction carries across
+/// part boundaries: a partials buffer for the value folds, a (value,
+/// index) pair for the argbest skeletons.
+trait ChainState: Sized {
+    fn stage(self, ctx: &Context, from: usize, to: usize, len: usize) -> Result<Self>;
+}
+
+impl<T: Element> ChainState for Buffer<T> {
+    fn stage(self, ctx: &Context, from: usize, to: usize, len: usize) -> Result<Self> {
+        stage_on(ctx, (from, self), to, len)
+    }
+}
+
+impl<T: Element> ChainState for ArgPair<T> {
+    fn stage(self, ctx: &Context, from: usize, to: usize, len: usize) -> Result<Self> {
+        let (v, i) = self;
+        Ok((
+            stage_on(ctx, (from, v), to, len)?,
+            stage_on(ctx, (from, i), to, len)?,
+        ))
+    }
+}
+
+/// Where a dispatched reduction's output landed.
+enum Reduced<S> {
+    /// One state per part, placed at `offset` (length `len`) of the output:
+    /// the part layout *is* the output's `Block` distribution.
+    Concat(Vec<(usize, usize, usize, S)>),
+    /// The whole output on one device (`Single`/`Copy` inputs and chained
+    /// folds).
+    Single(usize, S),
+}
+
+/// The Single/Copy-vs-concat-vs-chain distribution dispatch shared by all
+/// four 2D reduction skeletons (previously copied into each `apply` body):
+///
+/// * `Single`/`Copy` inputs reduce on the (first) device holding the data;
+/// * under the distribution that keeps the reduced dimension intact
+///   ([`Axis::concatenates_under`]) every part folds its own output slice
+///   locally and the results concatenate — zero inter-device transfers;
+/// * otherwise the parts are chained in ascending row/column order, each
+///   launch seeded with the previous part's staged partials (one
+///   device-to-device hop per boundary, never through the host) — the
+///   seeding is what preserves the exact sequential fold order, and with
+///   it bitwise identity across device counts.
+///
+/// `launch(part, n_items, seed)` runs one kernel over a part and returns
+/// its output state.
+fn dispatch_reduce<T, S, L>(
+    input: &Matrix<T>,
+    axis: Axis,
+    out_len: usize,
+    mut launch: L,
+) -> Result<Reduced<S>>
+where
+    T: Element,
+    S: ChainState,
+    L: FnMut(&MatrixPart<T>, usize, Option<S>) -> Result<S>,
+{
+    let ctx = input.ctx().clone();
+    let parts = input.parts()?;
+    match input.distribution() {
+        MatrixDistribution::Single(_) | MatrixDistribution::Copy => {
+            let p = &parts[0];
+            let s = launch(p, out_len, None)?;
+            Ok(Reduced::Single(p.device, s))
+        }
+        dist if axis.concatenates_under(dist) => {
+            let mut out = Vec::with_capacity(parts.len());
+            for p in &parts {
+                let s = launch(p, axis.part_items(p), None)?;
+                out.push((p.device, axis.part_offset(p), axis.part_items(p), s));
+            }
+            Ok(Reduced::Concat(out))
+        }
+        _ => {
+            let mut acc: Option<(usize, S)> = None;
+            for p in parts.iter().filter(|p| axis.reduced_extent(p) > 0) {
+                let seed = match acc.take() {
+                    Some((home, s)) => Some(s.stage(&ctx, home, p.device, out_len)?),
+                    None => None,
+                };
+                let s = launch(p, out_len, seed)?;
+                acc = Some((p.device, s));
+            }
+            let (device, s) =
+                acc.expect("a non-empty matrix has a part with non-zero reduced extent");
+            Ok(Reduced::Single(device, s))
+        }
+    }
+}
+
+/// Wrap a dispatched value reduction as the output vector.
+fn reduced_to_vector<T: Element>(
+    ctx: &Context,
+    out_len: usize,
+    reduced: Reduced<Buffer<T>>,
+) -> Vector<T> {
+    match reduced {
+        Reduced::Single(device, buffer) => {
+            Vector::from_single_device_part(ctx, device, out_len, buffer)
+        }
+        Reduced::Concat(items) => Vector::from_device_parts(
+            ctx,
+            out_len,
+            Distribution::Block,
+            items
+                .into_iter()
+                .map(|(device, offset, len, buffer)| DevicePart {
+                    device,
+                    offset,
+                    len,
+                    buffer,
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Wrap a dispatched argbest reduction as its (values, indices) vectors.
+fn reduced_to_arg_vectors<T: Element>(
+    ctx: &Context,
+    out_len: usize,
+    reduced: Reduced<ArgPair<T>>,
+) -> (Vector<T>, Vector<u32>) {
+    match reduced {
+        Reduced::Single(device, (val, idx)) => (
+            Vector::from_single_device_part(ctx, device, out_len, val),
+            Vector::from_single_device_part(ctx, device, out_len, idx),
+        ),
+        Reduced::Concat(items) => {
+            let mut val_parts = Vec::with_capacity(items.len());
+            let mut idx_parts = Vec::with_capacity(items.len());
+            for (device, offset, len, (val, idx)) in items {
+                val_parts.push(DevicePart {
+                    device,
+                    offset,
+                    len,
+                    buffer: val,
+                });
+                idx_parts.push(DevicePart {
+                    device,
+                    offset,
+                    len,
+                    buffer: idx,
+                });
+            }
+            (
+                Vector::from_device_parts(ctx, out_len, Distribution::Block, val_parts),
+                Vector::from_device_parts(ctx, out_len, Distribution::Block, idx_parts),
+            )
+        }
+    }
 }
 
 /// Launch one segmented-fold kernel on `device`: `n_items` work-items each
@@ -186,90 +391,23 @@ where
             return Ok(Vector::from_vec(&ctx, vec![self.identity; rows]));
         }
         let compiled = ctx.get_or_build(&self.program)?;
-        let parts = input.parts()?;
-        match input.distribution() {
-            MatrixDistribution::Single(_) | MatrixDistribution::Copy => {
-                let p = &parts[0];
-                let out = launch_fold(
-                    &ctx,
-                    &compiled,
-                    p.device,
-                    &p.buffer,
-                    p.owned_base(),
-                    rows,
-                    cols,
-                    p.cols,
-                    1,
-                    None,
-                    self.identity,
-                    &self.user,
-                )?;
-                Ok(Vector::from_single_device_part(&ctx, p.device, rows, out))
-            }
-            MatrixDistribution::RowBlock { .. } => {
-                // Concat: each part folds its owned rows locally; the row
-                // partition *is* the output's Block layout, so no data
-                // moves between devices at all.
-                let mut out_parts = Vec::with_capacity(parts.len());
-                for p in &parts {
-                    let out = launch_fold(
-                        &ctx,
-                        &compiled,
-                        p.device,
-                        &p.buffer,
-                        p.owned_base(),
-                        p.rows,
-                        cols,
-                        p.cols,
-                        1,
-                        None,
-                        self.identity,
-                        &self.user,
-                    )?;
-                    out_parts.push(DevicePart {
-                        device: p.device,
-                        offset: p.row_offset,
-                        len: p.rows,
-                        buffer: out,
-                    });
-                }
-                Ok(Vector::from_device_parts(
-                    &ctx,
-                    rows,
-                    Distribution::Block,
-                    out_parts,
-                ))
-            }
-            MatrixDistribution::ColBlock => {
-                // Chain the column parts in ascending column order, each
-                // seeded with the previous part's per-row partials — the
-                // running fold state crosses one device boundary per part.
-                let mut acc: Option<(usize, Buffer<T>)> = None;
-                for p in parts.iter().filter(|p| p.cols > 0) {
-                    let seed = match acc.take() {
-                        Some(prev) => Some(stage_on(&ctx, prev, p.device, rows)?),
-                        None => None,
-                    };
-                    let out = launch_fold(
-                        &ctx,
-                        &compiled,
-                        p.device,
-                        &p.buffer,
-                        0,
-                        rows,
-                        p.cols,
-                        p.cols,
-                        1,
-                        seed,
-                        self.identity,
-                        &self.user,
-                    )?;
-                    acc = Some((p.device, out));
-                }
-                let (device, buffer) = acc.expect("cols > 0 implies a non-empty column part");
-                Ok(Vector::from_single_device_part(&ctx, device, rows, buffer))
-            }
-        }
+        let reduced = dispatch_reduce(input, Axis::Rows, rows, |p, n_items, seed| {
+            launch_fold(
+                &ctx,
+                &compiled,
+                p.device,
+                &p.buffer,
+                p.owned_base(),
+                n_items,
+                p.cols,
+                p.cols,
+                1,
+                seed,
+                self.identity,
+                &self.user,
+            )
+        })?;
+        Ok(reduced_to_vector(&ctx, rows, reduced))
     }
 }
 
@@ -317,87 +455,25 @@ where
             return Ok(Vector::from_vec(&ctx, vec![self.identity; cols]));
         }
         let compiled = ctx.get_or_build(&self.program)?;
-        let parts = input.parts()?;
-        match input.distribution() {
-            MatrixDistribution::Single(_) | MatrixDistribution::Copy => {
-                let p = &parts[0];
-                let out = launch_fold(
-                    &ctx,
-                    &compiled,
-                    p.device,
-                    &p.buffer,
-                    p.owned_base(),
-                    cols,
-                    rows,
-                    1,
-                    p.cols,
-                    None,
-                    self.identity,
-                    &self.user,
-                )?;
-                Ok(Vector::from_single_device_part(&ctx, p.device, cols, out))
-            }
-            MatrixDistribution::ColBlock => {
-                // Concat: every column lives wholly inside one part.
-                let mut out_parts = Vec::with_capacity(parts.len());
-                for p in &parts {
-                    let out = launch_fold(
-                        &ctx,
-                        &compiled,
-                        p.device,
-                        &p.buffer,
-                        0,
-                        p.cols,
-                        p.rows,
-                        1,
-                        p.cols,
-                        None,
-                        self.identity,
-                        &self.user,
-                    )?;
-                    out_parts.push(DevicePart {
-                        device: p.device,
-                        offset: p.col_offset,
-                        len: p.cols,
-                        buffer: out,
-                    });
-                }
-                Ok(Vector::from_device_parts(
-                    &ctx,
-                    cols,
-                    Distribution::Block,
-                    out_parts,
-                ))
-            }
-            MatrixDistribution::RowBlock { .. } => {
-                // Chain the row parts in ascending row order; only owned
-                // rows are folded (halo rows are other parts' data).
-                let mut acc: Option<(usize, Buffer<T>)> = None;
-                for p in parts.iter().filter(|p| p.rows > 0) {
-                    let seed = match acc.take() {
-                        Some(prev) => Some(stage_on(&ctx, prev, p.device, cols)?),
-                        None => None,
-                    };
-                    let out = launch_fold(
-                        &ctx,
-                        &compiled,
-                        p.device,
-                        &p.buffer,
-                        p.owned_base(),
-                        cols,
-                        p.rows,
-                        1,
-                        p.cols,
-                        seed,
-                        self.identity,
-                        &self.user,
-                    )?;
-                    acc = Some((p.device, out));
-                }
-                let (device, buffer) = acc.expect("rows > 0 implies a non-empty row part");
-                Ok(Vector::from_single_device_part(&ctx, device, cols, buffer))
-            }
-        }
+        // Only a part's owned rows are folded (halo rows are other parts'
+        // data): the base skips them and the segment is `p.rows` long.
+        let reduced = dispatch_reduce(input, Axis::Cols, cols, |p, n_items, seed| {
+            launch_fold(
+                &ctx,
+                &compiled,
+                p.device,
+                &p.buffer,
+                p.owned_base(),
+                n_items,
+                p.rows,
+                1,
+                p.cols,
+                seed,
+                self.identity,
+                &self.user,
+            )
+        })?;
+        Ok(reduced_to_vector(&ctx, cols, reduced))
     }
 }
 
@@ -510,61 +586,126 @@ where
             ));
         }
         let compiled = ctx.get_or_build(&self.program)?;
-        let parts = input.parts()?;
-        match input.distribution() {
-            MatrixDistribution::Single(_) | MatrixDistribution::Copy => {
-                let p = &parts[0];
-                let (val, idx) =
-                    self.launch_argbest(&ctx, &compiled, p, p.owned_base(), rows, None)?;
-                Ok((
-                    Vector::from_single_device_part(&ctx, p.device, rows, val),
-                    Vector::from_single_device_part(&ctx, p.device, rows, idx),
-                ))
-            }
-            MatrixDistribution::RowBlock { .. } => {
-                let mut val_parts = Vec::with_capacity(parts.len());
-                let mut idx_parts = Vec::with_capacity(parts.len());
-                for p in &parts {
-                    let (val, idx) =
-                        self.launch_argbest(&ctx, &compiled, p, p.owned_base(), p.rows, None)?;
-                    val_parts.push(DevicePart {
-                        device: p.device,
-                        offset: p.row_offset,
-                        len: p.rows,
-                        buffer: val,
-                    });
-                    idx_parts.push(DevicePart {
-                        device: p.device,
-                        offset: p.row_offset,
-                        len: p.rows,
-                        buffer: idx,
-                    });
-                }
-                Ok((
-                    Vector::from_device_parts(&ctx, rows, Distribution::Block, val_parts),
-                    Vector::from_device_parts(&ctx, rows, Distribution::Block, idx_parts),
-                ))
-            }
-            MatrixDistribution::ColBlock => {
-                let mut acc: Option<(usize, ArgPair<T>)> = None;
-                for p in parts.iter().filter(|p| p.cols > 0) {
-                    let seed = match acc.take() {
-                        Some((home, (v, i))) => Some((
-                            stage_on(&ctx, (home, v), p.device, rows)?,
-                            stage_on(&ctx, (home, i), p.device, rows)?,
-                        )),
-                        None => None,
-                    };
-                    let out = self.launch_argbest(&ctx, &compiled, p, 0, rows, seed)?;
-                    acc = Some((p.device, out));
-                }
-                let (device, (val, idx)) = acc.expect("cols > 0 implies a non-empty column part");
-                Ok((
-                    Vector::from_single_device_part(&ctx, device, rows, val),
-                    Vector::from_single_device_part(&ctx, device, rows, idx),
-                ))
-            }
+        let reduced = dispatch_reduce(input, Axis::Rows, rows, |p, n_items, seed| {
+            self.launch_argbest(&ctx, &compiled, p, p.owned_base(), n_items, seed)
+        })?;
+        Ok(reduced_to_arg_vectors(&ctx, rows, reduced))
+    }
+}
+
+/// The index-carrying column reduction: per column, the best value **and
+/// its row index** under the same strict "is `x` better?" comparison as
+/// [`ReduceRowsArg`], scanned in ascending row order — lowest row index
+/// wins ties. With `better = <` a per-column argmin (e.g. the closest
+/// reference point per feature column); with `better = >` a per-column
+/// argmax (the strongest gradient per image column). Completes the argmin
+/// family the ROADMAP called for: both matrix axes now reduce to
+/// device-resident (value, index) pairs.
+pub struct ReduceColsArg<T: Element, F> {
+    user: UserFn<F>,
+    program: Program,
+    _pd: PhantomData<fn(T, T) -> bool>,
+}
+
+impl<T, F> ReduceColsArg<T, F>
+where
+    T: Element,
+    F: Fn(T, T) -> bool + Send + Sync + Clone + 'static,
+{
+    /// `ReduceColsArg<float> argmin(less)` where `less(x, best)` returns
+    /// whether `x` is *strictly* better.
+    pub fn new(user: UserFn<F>) -> Self {
+        let program = codegen::reduce_cols_arg_program(user.name(), user.source(), T::TYPE_NAME);
+        ReduceColsArg {
+            user,
+            program,
+            _pd: PhantomData,
         }
+    }
+
+    /// The generated OpenCL-C program (exposed for the cache experiments).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// One argbest launch over a part's owned rows; `seed` carries the
+    /// running (value, row index) pairs across chained row parts.
+    fn launch_argbest(
+        &self,
+        ctx: &Context,
+        compiled: &CompiledKernel,
+        p: &MatrixPart<T>,
+        n_cols: usize,
+        seed: Option<ArgPair<T>>,
+    ) -> Result<ArgPair<T>> {
+        let out_val = ctx.device(p.device).alloc::<T>(n_cols)?;
+        let out_idx = ctx.device(p.device).alloc::<u32>(n_cols)?;
+        if n_cols == 0 || p.rows == 0 {
+            return Ok((out_val, out_idx));
+        }
+        let snap: Arc<Vec<T>> = Arc::new(p.buffer.to_vec());
+        let seeds = seed.map(|(v, i)| (Arc::new(v.to_vec()), Arc::new(i.to_vec())));
+        let better = self.user.func().clone();
+        let static_ops = self.user.static_ops();
+        let (dval, didx) = (out_val.clone(), out_idx.clone());
+        let base = p.owned_base();
+        let stride = p.cols;
+        let seg_len = p.rows;
+        let row_offset = p.row_offset;
+        let elem_bytes = std::mem::size_of::<T>();
+        let seeded = seeds.is_some();
+        let body: KernelBody = Arc::new(move |wg| {
+            wg.for_each_item(|it| {
+                if !it.in_bounds() {
+                    return;
+                }
+                let i = it.global_id(0);
+                let ((best, best_i), dyn_ops) = meter::metered(|| {
+                    let (mut best, mut best_i) = match &seeds {
+                        Some((sv, si)) => (sv[i], si[i]),
+                        None => (snap[base + i], row_offset as u32),
+                    };
+                    let start = usize::from(!seeded);
+                    for r in start..seg_len {
+                        let x = snap[base + r * stride + i];
+                        if better(x, best) {
+                            best = x;
+                            best_i = (row_offset + r) as u32;
+                        }
+                    }
+                    (best, best_i)
+                });
+                it.write(&dval, i, best);
+                it.write(&didx, i, best_i);
+                it.work(seg_len as u64 * static_ops + dyn_ops);
+                it.traffic_read((seg_len + 2 * usize::from(seeded)) * elem_bytes);
+            });
+        });
+        ctx.queue(p.device)
+            .launch(&compiled.with_body(body), linear_range(ctx, n_cols))?;
+        Ok((out_val, out_idx))
+    }
+
+    /// Apply the skeleton: per-column best value + row index, both as
+    /// device-resident vectors distributed like [`ReduceCols::apply`]'s
+    /// output. A 0-row matrix has no best element and errors.
+    pub fn apply(&self, input: &Matrix<T>) -> Result<(Vector<T>, Vector<u32>)> {
+        let ctx = input.ctx().clone();
+        let (rows, cols) = input.dims();
+        if rows == 0 {
+            return Err(Error::Empty("reduce_cols_arg"));
+        }
+        if cols == 0 {
+            return Ok((
+                Vector::from_vec(&ctx, Vec::new()),
+                Vector::from_vec(&ctx, Vec::new()),
+            ));
+        }
+        let compiled = ctx.get_or_build(&self.program)?;
+        let reduced = dispatch_reduce(input, Axis::Cols, cols, |p, n_items, seed| {
+            self.launch_argbest(&ctx, &compiled, p, n_items, seed)
+        })?;
+        Ok(reduced_to_arg_vectors(&ctx, cols, reduced))
     }
 }
 
@@ -597,6 +738,14 @@ mod tests {
 
     fn argmin_rows() -> ReduceRowsArg<f32, fn(f32, f32) -> bool> {
         ReduceRowsArg::new(crate::skel_fn!(
+            fn less(x: f32, y: f32) -> bool {
+                x < y
+            }
+        ))
+    }
+
+    fn argmin_cols() -> ReduceColsArg<f32, fn(f32, f32) -> bool> {
+        ReduceColsArg::new(crate::skel_fn!(
             fn less(x: f32, y: f32) -> bool {
                 x < y
             }
@@ -641,6 +790,22 @@ mod tests {
                 }
             }
             vals.push(row[best]);
+            idxs.push(best as u32);
+        }
+        (vals, idxs)
+    }
+
+    fn host_col_argmin(data: &[f32], rows: usize, cols: usize) -> (Vec<f32>, Vec<u32>) {
+        let mut vals = Vec::with_capacity(cols);
+        let mut idxs = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut best = 0usize;
+            for r in 0..rows {
+                if data[r * cols + c] < data[best * cols + c] {
+                    best = r;
+                }
+            }
+            vals.push(data[best * cols + c]);
             idxs.push(best as u32);
         }
         (vals, idxs)
@@ -766,6 +931,43 @@ mod tests {
     }
 
     #[test]
+    fn col_argmin_matches_host_scan_with_lowest_index_ties() {
+        // Values from a tiny set force plenty of ties.
+        let (rows, cols) = (15, 12);
+        let data: Vec<f32> = (0..rows * cols).map(|i| ((i * 11) % 4) as f32).collect();
+        let (want_v, want_i) = host_col_argmin(&data, rows, cols);
+        for devices in [1usize, 2, 4] {
+            for dist in all_dists() {
+                let c = ctx(devices);
+                let m = Matrix::from_vec(&c, rows, cols, data.clone());
+                m.set_distribution(dist).unwrap();
+                let (v, i) = argmin_cols().apply(&m).unwrap();
+                assert_eq!(
+                    bits(&v.to_vec().unwrap()),
+                    bits(&want_v),
+                    "{devices} {dist:?}"
+                );
+                assert_eq!(i.to_vec().unwrap(), want_i, "{devices} {dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_block_col_argmin_moves_nothing_between_devices() {
+        let c = ctx(3);
+        let (rows, cols) = (10, 13);
+        let m = Matrix::from_vec(&c, rows, cols, messy(rows, cols, 9));
+        m.set_distribution(MatrixDistribution::ColBlock).unwrap();
+        m.ensure_on_devices().unwrap();
+        let before = c.platform().stats_snapshot();
+        let (v, i) = argmin_cols().apply(&m).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.d2d_transfers, 0, "concat combine needs no copies");
+        assert_eq!(v.distribution(), Distribution::Block);
+        assert_eq!(i.distribution(), Distribution::Block);
+    }
+
+    #[test]
     fn degenerate_shapes_reduce_correctly() {
         // 1×N, N×1 and fewer rows/cols than devices, all distributions.
         for (rows, cols) in [(1usize, 9usize), (9, 1), (2, 3), (3, 2), (1, 1)] {
@@ -815,6 +1017,13 @@ mod tests {
             argmin_rows().apply(&hollow),
             Err(Error::Empty("reduce_rows_arg"))
         ));
+        assert!(matches!(
+            argmin_cols().apply(&none),
+            Err(Error::Empty("reduce_cols_arg"))
+        ));
+        let (v, i) = argmin_cols().apply(&hollow).unwrap();
+        assert!(v.to_vec().unwrap().is_empty());
+        assert!(i.to_vec().unwrap().is_empty());
     }
 
     #[test]
@@ -822,9 +1031,12 @@ mod tests {
         let r = sum_rows();
         let c = sum_cols();
         let a = argmin_rows();
+        let ca = argmin_cols();
         assert_ne!(r.program().hash(), c.program().hash());
         assert_ne!(r.program().hash(), a.program().hash());
         assert_ne!(c.program().hash(), a.program().hash());
+        assert_ne!(ca.program().hash(), a.program().hash());
+        assert_ne!(ca.program().hash(), c.program().hash());
     }
 
     #[test]

@@ -17,12 +17,15 @@
 use crate::codegen::{self, UserFn};
 use crate::context::Context;
 use crate::error::Result;
-use crate::matrix::{exchange_part_halos, Matrix, MatrixDistribution, MatrixPart};
+use crate::matrix::{
+    exchange_part_halos, exchange_part_halos_overlapped, Matrix, MatrixDistribution, MatrixPart,
+    UploadChunk,
+};
 use crate::meter;
 use crate::skeletons::range_2d;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use vgpu::{Buffer, CompiledKernel, Item, KernelBody, Program, Scalar as Element};
+use vgpu::{Buffer, CompiledKernel, Event, Item, KernelBody, Program, Scalar as Element};
 
 /// What out-of-matrix neighbourhood positions read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,6 +221,88 @@ where
         Ok(())
     }
 
+    /// Launch one stencil pass over `segments` of one part's owned rows:
+    /// each `(start, len)` names owned rows `[start, start + len)`, and the
+    /// launch covers their disjoint union in one kernel (the interior /
+    /// boundary split of the overlapped iterate packs the top and bottom
+    /// bands into a single launch this way). The input part's halo rows are
+    /// assumed coherent for the rows the segments read.
+    ///
+    /// `deps = None` issues the legacy device-serializing launch; with
+    /// `Some(events)` the kernel is launched **asynchronously** on the main
+    /// queue, ordered only by the queue, the events, and the compute
+    /// engine. Returns the launch event (`None` when the segments are
+    /// empty). Either way every covered element computes the exact same
+    /// value — the split changes the modeled timeline, never the data.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_part_segments(
+        &self,
+        ctx: &Context,
+        compiled: &CompiledKernel,
+        ip: &MatrixPart<T>,
+        op: &MatrixPart<U>,
+        n_rows: usize,
+        cols: usize,
+        segments: &[(usize, usize)],
+        deps: Option<&[Event]>,
+    ) -> Result<Option<Event>> {
+        let launch_rows: usize = segments.iter().map(|&(_, len)| len).sum();
+        if launch_rows == 0 || cols == 0 {
+            return Ok(None);
+        }
+        let static_ops = self.user.static_ops();
+        let f = self.user.func().clone();
+        let src = ip.buffer.clone();
+        let dst = op.buffer.clone();
+        let radius = self.radius;
+        let boundary = self.boundary;
+        let halo_above = ip.halo_above;
+        let row_offset = ip.row_offset;
+        let span_rows = ip.span_rows();
+        let segs: Arc<Vec<(usize, usize)>> = Arc::new(segments.to_vec());
+        let body: KernelBody = Arc::new(move |wg| {
+            wg.for_each_item(|it| {
+                if !it.in_bounds() {
+                    return;
+                }
+                let col = it.global_id(0);
+                // Map the compact launch row back to its owned row through
+                // the segment list (at most two segments).
+                let mut launch_row = it.global_id(1);
+                let mut local_row = 0;
+                for &(start, len) in segs.iter() {
+                    if launch_row < len {
+                        local_row = start + launch_row;
+                        break;
+                    }
+                    launch_row -= len;
+                }
+                let view = Stencil2DView {
+                    buf: &src,
+                    cols,
+                    n_rows,
+                    span_row: halo_above + local_row,
+                    span_rows,
+                    g_row: row_offset + local_row,
+                    col,
+                    radius,
+                    boundary,
+                    item: it,
+                };
+                let (y, dyn_ops) = meter::metered(|| f(&view));
+                it.write(&dst, (halo_above + local_row) * cols + col, y);
+                it.work(static_ops + dyn_ops);
+            });
+        });
+        let kernel = compiled.with_body(body);
+        let nd = range_2d(ctx, cols, launch_rows);
+        let event = match deps {
+            None => ctx.queue(ip.device).launch(&kernel, nd)?,
+            Some(events) => ctx.queue(ip.device).launch_async(&kernel, nd, events)?,
+        };
+        Ok(Some(event))
+    }
+
     /// Launch one stencil pass over every part pair: `src[i]` (halo rows
     /// assumed coherent) is read, the owned rows of `dst[i]` are written.
     /// Source and destination geometry must mirror each other.
@@ -230,46 +315,8 @@ where
         n_rows: usize,
         cols: usize,
     ) -> Result<()> {
-        let static_ops = self.user.static_ops();
         for (ip, op) in src_parts.iter().zip(dst_parts) {
-            if ip.rows == 0 || cols == 0 {
-                continue;
-            }
-            let f = self.user.func().clone();
-            let src = ip.buffer.clone();
-            let dst = op.buffer.clone();
-            let radius = self.radius;
-            let boundary = self.boundary;
-            let halo_above = ip.halo_above;
-            let row_offset = ip.row_offset;
-            let span_rows = ip.span_rows();
-            let body: KernelBody = Arc::new(move |wg| {
-                wg.for_each_item(|it| {
-                    if !it.in_bounds() {
-                        return;
-                    }
-                    let col = it.global_id(0);
-                    let local_row = it.global_id(1);
-                    let view = Stencil2DView {
-                        buf: &src,
-                        cols,
-                        n_rows,
-                        span_row: halo_above + local_row,
-                        span_rows,
-                        g_row: row_offset + local_row,
-                        col,
-                        radius,
-                        boundary,
-                        item: it,
-                    };
-                    let (y, dyn_ops) = meter::metered(|| f(&view));
-                    it.write(&dst, (halo_above + local_row) * cols + col, y);
-                    it.work(static_ops + dyn_ops);
-                });
-            });
-            let kernel = compiled.with_body(body);
-            ctx.queue(ip.device)
-                .launch(&kernel, range_2d(ctx, cols, ip.rows))?;
+            self.launch_part_segments(ctx, compiled, ip, op, n_rows, cols, &[(0, ip.rows)], None)?;
         }
         Ok(())
     }
@@ -293,6 +340,75 @@ where
         let out_halos_fresh = stale_free(&in_parts);
 
         self.launch_parts(&ctx, &compiled, &in_parts, &out_parts, n_rows, cols)?;
+
+        Ok(Matrix::from_device_parts(
+            &ctx,
+            n_rows,
+            cols,
+            input.distribution(),
+            out_parts,
+            out_halos_fresh,
+        ))
+    }
+
+    /// Like [`Stencil2D::apply`], but when the input still lives on the
+    /// host its upload is **streamed in row chunks on the copy stream** and
+    /// the stencil launches in chunk-sized row bands, each waiting only for
+    /// the upload chunks covering its read window — so the first bands
+    /// compute while later chunks are still crossing PCIe, instead of the
+    /// whole upload completing before the first kernel. Bit-identical to
+    /// [`Stencil2D::apply`] (same generated program, same per-element
+    /// math); on device-fresh input it degrades to exactly `apply`'s
+    /// schedule.
+    pub fn apply_streamed(&self, input: &Matrix<T>, chunk_rows: usize) -> Result<Matrix<U>> {
+        let ctx = input.ctx().clone();
+        let compiled = ctx.get_or_build(&self.program)?;
+        self.ensure_stencil_layout(input)?;
+
+        let (n_rows, cols) = input.dims();
+        let chunk_rows = chunk_rows.max(1);
+        let (in_parts, upload_chunks) = input.parts_with_upload_chunks(chunk_rows)?;
+
+        let out_parts = alloc_mirror_parts::<T, U>(&ctx, &in_parts, cols)?;
+        let out_halos_fresh = stale_free(&in_parts);
+
+        for ((ip, op), chunks) in in_parts.iter().zip(&out_parts).zip(&upload_chunks) {
+            if ip.rows == 0 || cols == 0 {
+                continue;
+            }
+            if chunks.is_empty() {
+                // Already resident: the plain device-serializing launch.
+                self.launch_part_segments(
+                    &ctx,
+                    &compiled,
+                    ip,
+                    op,
+                    n_rows,
+                    cols,
+                    &[(0, ip.rows)],
+                    None,
+                )?;
+                continue;
+            }
+            // Launch in chunk-aligned owned-row bands, each depending on
+            // the upload chunks covering its radius-widened read window.
+            let mut start = 0;
+            while start < ip.rows {
+                let len = chunk_rows.min(ip.rows - start);
+                let deps = covering_chunks(chunks, ip, self.radius, self.boundary, start, len);
+                self.launch_part_segments(
+                    &ctx,
+                    &compiled,
+                    ip,
+                    op,
+                    n_rows,
+                    cols,
+                    &[(start, len)],
+                    Some(&deps),
+                )?;
+                start += len;
+            }
+        }
 
         Ok(Matrix::from_device_parts(
             &ctx,
@@ -329,7 +445,36 @@ where
     ///   to the swapped buffers each round.
     ///
     /// `iterate(input, 0)` is the identity: it returns a handle to `input`.
+    ///
+    /// ## Overlapped schedule (the default)
+    ///
+    /// Each round is split into an **interior** launch (owned rows more
+    /// than the boundary band away from the part edges — they read no halo
+    /// rows) and a **boundary** launch (the top and bottom bands, packed
+    /// into one kernel). The halo exchange for round *r* is issued on the
+    /// **copy stream** with events tying it to round *r−1*'s boundary
+    /// kernels, so the copies run on the devices' copy engines *underneath*
+    /// round *r*'s interior kernels; only the boundary launch waits for
+    /// them. Results are bit-identical to the serial schedule
+    /// ([`Stencil2D::iterate_serial`]) — same kernels, same data, only the
+    /// modeled timeline changes — and exactly the same exchange events are
+    /// counted. Parts that receive no exchanged rows in a round (one
+    /// device, halo-free layouts) launch as a single kernel, so the
+    /// overlapped schedule never pays the split where there is nothing to
+    /// hide.
     pub fn iterate(&self, input: &Matrix<T>, n: usize) -> Result<Matrix<T>> {
+        self.iterate_impl(input, n, true)
+    }
+
+    /// The serial schedule of [`Stencil2D::iterate`]: one kernel per part
+    /// per round, each round's halo exchange device-serializing on the main
+    /// timeline (the pre-overlap behaviour, kept as the measurable
+    /// baseline for `fig_overlap` and the overlap property suite).
+    pub fn iterate_serial(&self, input: &Matrix<T>, n: usize) -> Result<Matrix<T>> {
+        self.iterate_impl(input, n, false)
+    }
+
+    fn iterate_impl(&self, input: &Matrix<T>, n: usize, overlap: bool) -> Result<Matrix<T>> {
         if n == 0 {
             return Ok(input.clone());
         }
@@ -355,17 +500,140 @@ where
         } else {
             None
         };
+
+        // Per device: the events the next round's exchange must wait for —
+        // the kernels that last wrote (and, transitively, read) the rows
+        // the copies touch. Round 1 anchors on a marker joining everything
+        // already scheduled on the device (the input's upload/exchange).
+        let mut producers: Vec<Vec<Event>> = if overlap {
+            (0..ctx.n_devices())
+                .map(|d| vec![ctx.queue(d).enqueue_marker()])
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         for round in 1..=n {
-            if round > 1 {
-                // The previous round wrote only owned rows; one batched
-                // exchange refreshes this round's input halos. The device
-                // clocks already order the copies against the producing
-                // kernels — the host never blocks between rounds.
-                if exchange_part_halos(&ctx, &src, n_rows, cols, skip_wrapped)? {
-                    ctx.note_halo_exchange();
+            if !overlap {
+                if round > 1 {
+                    // The previous round wrote only owned rows; one batched
+                    // exchange refreshes this round's input halos. The
+                    // device clocks already order the copies against the
+                    // producing kernels — the host never blocks between
+                    // rounds.
+                    if exchange_part_halos(&ctx, &src, n_rows, cols, skip_wrapped)? {
+                        ctx.note_halo_exchange();
+                    }
+                }
+                self.launch_parts(&ctx, &compiled, &src, &dst, n_rows, cols)?;
+            } else {
+                // Exchange round r's halos on the copy stream, ordered only
+                // against round r-1's boundary kernels: the copies run
+                // under this round's interior launches.
+                let exchange_events = if round > 1 {
+                    let (exchanged, events) = exchange_part_halos_overlapped(
+                        &ctx,
+                        &src,
+                        n_rows,
+                        cols,
+                        skip_wrapped,
+                        &producers,
+                    )?;
+                    if exchanged {
+                        ctx.note_halo_exchange();
+                    }
+                    events
+                } else {
+                    vec![Vec::new(); src.len()]
+                };
+                let mut next_producers: Vec<Vec<Event>> = vec![Vec::new(); ctx.n_devices()];
+                for (idx, (ip, op)) in src.iter().zip(&dst).enumerate() {
+                    if ip.rows == 0 || cols == 0 {
+                        continue;
+                    }
+                    // Round 1 reads buffers produced by device-serializing
+                    // commands; the marker stands in for their events.
+                    let base_deps: &[Event] = if round == 1 {
+                        &producers[ip.device]
+                    } else {
+                        &[]
+                    };
+                    let produced = if exchange_events[idx].is_empty() {
+                        // Nothing exchanged into this part this round:
+                        // nothing to hide, launch the whole part at once.
+                        self.launch_part_segments(
+                            &ctx,
+                            &compiled,
+                            ip,
+                            op,
+                            n_rows,
+                            cols,
+                            &[(0, ip.rows)],
+                            Some(base_deps),
+                        )?
+                    } else {
+                        // The boundary band must cover both the rows that
+                        // read exchanged halos (radius) and the rows the
+                        // neighbours' halos copy out next round (halo).
+                        let band = self
+                            .radius
+                            .max(ip.halo_above)
+                            .max(ip.halo_below)
+                            .min(ip.rows);
+                        let mut boundary_deps = exchange_events[idx].clone();
+                        boundary_deps.extend_from_slice(base_deps);
+                        if 2 * band >= ip.rows {
+                            // No interior: the part is all boundary.
+                            self.launch_part_segments(
+                                &ctx,
+                                &compiled,
+                                ip,
+                                op,
+                                n_rows,
+                                cols,
+                                &[(0, ip.rows)],
+                                Some(&boundary_deps),
+                            )?
+                        } else {
+                            // Interior first (it has no event dependencies,
+                            // so the in-order queue starts it immediately
+                            // while the exchange still runs), then the top
+                            // and bottom bands as one dependent launch.
+                            self.launch_part_segments(
+                                &ctx,
+                                &compiled,
+                                ip,
+                                op,
+                                n_rows,
+                                cols,
+                                &[(band, ip.rows - 2 * band)],
+                                Some(base_deps),
+                            )?;
+                            self.launch_part_segments(
+                                &ctx,
+                                &compiled,
+                                ip,
+                                op,
+                                n_rows,
+                                cols,
+                                &[(0, band), (ip.rows - band, band)],
+                                Some(&boundary_deps),
+                            )?
+                        }
+                    };
+                    if let Some(ev) = produced {
+                        // The boundary launch is enqueued last on the
+                        // in-order queue, so this single event fences every
+                        // round-r command of the device.
+                        next_producers[ip.device] = vec![ev];
+                    }
+                }
+                for (d, evs) in next_producers.into_iter().enumerate() {
+                    if !evs.is_empty() {
+                        producers[d] = evs;
+                    }
                 }
             }
-            self.launch_parts(&ctx, &compiled, &src, &dst, n_rows, cols)?;
             if round < n {
                 let prev_src = std::mem::replace(&mut src, std::mem::take(&mut dst));
                 dst = if round == 1 {
@@ -415,6 +683,38 @@ fn alloc_mirror_parts<T: Element, V: Element>(
 /// are none to go stale.
 fn stale_free<T: Element>(parts: &[MatrixPart<T>]) -> bool {
     parts.iter().all(|p| p.halo_above == 0 && p.halo_below == 0)
+}
+
+/// The upload-chunk events a band launch over owned rows
+/// `[start, start + len)` of `p` must wait for: the chunks intersecting the
+/// band's radius-widened span-row read window. `Neumann` and `Zero` never
+/// read outside the span (they clamp or synthesize), so the window clamps
+/// to it; under `Wrap` a window leaving the span wraps modulo the matrix
+/// height (`Stencil2DView::get`'s beyond-span rule) and can touch any span
+/// row, so every chunk becomes a dependency.
+fn covering_chunks<T: Element>(
+    chunks: &[UploadChunk],
+    p: &MatrixPart<T>,
+    radius: usize,
+    boundary: Boundary2D,
+    start: usize,
+    len: usize,
+) -> Vec<Event> {
+    let span = p.span_rows() as isize;
+    let mut lo = (p.halo_above + start) as isize - radius as isize;
+    let mut hi = (p.halo_above + start + len - 1) as isize + radius as isize;
+    if lo < 0 || hi >= span {
+        if boundary == Boundary2D::Wrap {
+            return chunks.iter().map(|c| c.event.clone()).collect();
+        }
+        lo = lo.max(0);
+        hi = hi.min(span - 1);
+    }
+    chunks
+        .iter()
+        .filter(|c| (c.span_start as isize) <= hi && lo < (c.span_start + c.span_len) as isize)
+        .map(|c| c.event.clone())
+        .collect()
 }
 
 #[cfg(test)]

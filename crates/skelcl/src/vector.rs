@@ -22,7 +22,7 @@ use crate::error::{Error, Result};
 use crate::meter;
 use parking_lot::{MappedMutexGuard, Mutex, MutexGuard};
 use std::sync::Arc;
-use vgpu::{Buffer, KernelBody, NDRange, Scalar};
+use vgpu::{Buffer, Event, KernelBody, NDRange, Scalar};
 
 /// How a vector's data is laid out across the context's devices
 /// (paper Section III-D).
@@ -45,6 +45,20 @@ pub(crate) struct DevicePart<T: Scalar> {
     pub buffer: Buffer<T>,
 }
 
+/// One chunk of a streamed part upload: elements
+/// `[start, start + len)` of the part's buffer hold valid data once
+/// `event` completes on the device's copy engine (the vector twin of the
+/// matrix `UploadChunk`).
+#[derive(Clone)]
+pub(crate) struct VecUploadChunk {
+    pub start: usize,
+    pub len: usize,
+    pub event: Event,
+}
+
+/// Device parts plus their per-part streamed-upload chunk events.
+pub(crate) type PartsWithChunks<T> = (Vec<DevicePart<T>>, Vec<Vec<VecUploadChunk>>);
+
 struct State<T: Scalar> {
     host: Vec<T>,
     /// Host copy reflects the newest data.
@@ -53,6 +67,12 @@ struct State<T: Scalar> {
     device_fresh: bool,
     dist: Distribution,
     parts: Vec<DevicePart<T>>,
+    /// Per part: the chunk events of a streamed upload (empty for blocking
+    /// uploads and device-born vectors).
+    upload_chunks: Vec<Vec<VecUploadChunk>>,
+    /// The platform clock epoch the chunks were recorded under (see the
+    /// matrix twin: a `reset_clocks` invalidates recorded events).
+    upload_epoch: u64,
 }
 
 /// The SkelCL vector. Cloning yields a second handle to the same vector
@@ -133,6 +153,8 @@ impl<T: Scalar> Vector<T> {
                 device_fresh: false,
                 dist,
                 parts: Vec::new(),
+                upload_chunks: Vec::new(),
+                upload_epoch: 0,
             })),
         }
     }
@@ -187,6 +209,7 @@ impl<T: Scalar> Vector<T> {
         st.host_fresh = true;
         st.device_fresh = false;
         st.parts.clear();
+        st.upload_chunks.clear();
         Ok(MutexGuard::map(st, |s| s.host.as_mut_slice()))
     }
 
@@ -209,6 +232,8 @@ impl<T: Scalar> Vector<T> {
         );
         st.device_fresh = true;
         st.host_fresh = false;
+        // The kernel's writes supersede any still-recorded upload events.
+        st.upload_chunks.clear();
     }
 
     /// Upload to the devices (per the current distribution) if the device
@@ -217,6 +242,17 @@ impl<T: Scalar> Vector<T> {
     pub fn ensure_on_devices(&self) -> Result<()> {
         let mut st = self.state.lock();
         ensure_on_devices(&self.ctx, &mut st)
+    }
+
+    /// Upload like [`Vector::ensure_on_devices`], but **streamed in chunks
+    /// of (at most) `chunk_len` elements on the copy stream**, recording
+    /// each chunk's event so a streamed skeleton pass
+    /// ([`crate::Map::apply_streamed`]) launches per-chunk kernels that
+    /// start while later chunks are still crossing PCIe. A no-op when the
+    /// devices are already fresh; bit-identical data either way.
+    pub fn ensure_on_devices_streamed(&self, chunk_len: usize) -> Result<()> {
+        let mut st = self.state.lock();
+        ensure_on_devices_streamed(&self.ctx, &mut st, chunk_len)
     }
 
     /// Change the distribution (paper's `setDistribution`). If the devices
@@ -239,6 +275,7 @@ impl<T: Scalar> Vector<T> {
         if !st.device_fresh {
             st.dist = dist;
             st.parts.clear();
+            st.upload_chunks.clear();
             return Ok(());
         }
         redistribute(&self.ctx, &mut st, dist, None::<&UserFn<fn(T, T) -> T>>)
@@ -262,6 +299,7 @@ impl<T: Scalar> Vector<T> {
         } else if !st.device_fresh {
             st.dist = dist;
             st.parts.clear();
+            st.upload_chunks.clear();
             Ok(())
         } else {
             redistribute(&self.ctx, &mut st, dist, None::<&UserFn<F>>)
@@ -273,6 +311,22 @@ impl<T: Scalar> Vector<T> {
         let mut st = self.state.lock();
         ensure_on_devices(&self.ctx, &mut st)?;
         Ok(st.parts.clone())
+    }
+
+    /// The device-resident parts with any pending streamed-upload chunk
+    /// events, uploading *streamed* first if the devices are stale. Chunk
+    /// lists are empty for blocking uploads and device-born parts.
+    pub(crate) fn parts_with_upload_chunks(&self, chunk_len: usize) -> Result<PartsWithChunks<T>> {
+        let mut st = self.state.lock();
+        ensure_on_devices_streamed(&self.ctx, &mut st, chunk_len)?;
+        let live = st.upload_chunks.len() == st.parts.len()
+            && st.upload_epoch == self.ctx.platform().clock_epoch();
+        let chunks = if live {
+            st.upload_chunks.clone()
+        } else {
+            vec![Vec::new(); st.parts.len()]
+        };
+        Ok((st.parts.clone(), chunks))
     }
 
     /// Wrap one freshly computed device buffer as a `Single(device)`
@@ -314,6 +368,8 @@ impl<T: Scalar> Vector<T> {
                 device_fresh: true,
                 dist,
                 parts,
+                upload_chunks: Vec::new(),
+                upload_epoch: 0,
             })),
         }
     }
@@ -345,6 +401,63 @@ fn ensure_on_devices<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> 
         });
     }
     st.parts = parts;
+    st.upload_chunks.clear();
+    st.device_fresh = true;
+    Ok(())
+}
+
+/// Upload `st.host` like [`ensure_on_devices`], but streamed: each part
+/// goes out in `chunk_len`-element asynchronous writes on the device's
+/// copy stream, with the chunk events recorded in `st.upload_chunks`.
+fn ensure_on_devices_streamed<T: Scalar>(
+    ctx: &Context,
+    st: &mut State<T>,
+    chunk_len: usize,
+) -> Result<()> {
+    if st.device_fresh {
+        return Ok(());
+    }
+    assert!(
+        st.host_fresh,
+        "vector has neither fresh host nor fresh device data"
+    );
+    let chunk_len = chunk_len.max(1);
+    let lay = layout(st.dist, st.host.len(), ctx.n_devices());
+    let concurrent = lay.iter().filter(|(_, _, l)| *l > 0).count().max(1);
+    let mut parts = Vec::with_capacity(lay.len());
+    let mut upload_chunks = Vec::with_capacity(lay.len());
+    for (d, off, len) in lay {
+        let buffer = ctx.device(d).alloc::<T>(len)?;
+        let mut chunks = Vec::new();
+        let queue = ctx.copy_queue(d);
+        let mut done = 0;
+        while done < len {
+            let n = chunk_len.min(len - done);
+            let event = queue.enqueue_write_range_async(
+                &buffer,
+                done,
+                &st.host[off + done..off + done + n],
+                concurrent,
+                &[],
+            )?;
+            chunks.push(VecUploadChunk {
+                start: done,
+                len: n,
+                event,
+            });
+            done += n;
+        }
+        parts.push(DevicePart {
+            device: d,
+            offset: off,
+            len,
+            buffer,
+        });
+        upload_chunks.push(chunks);
+    }
+    st.parts = parts;
+    st.upload_chunks = upload_chunks;
+    st.upload_epoch = ctx.platform().clock_epoch();
     st.device_fresh = true;
     Ok(())
 }
@@ -423,6 +536,7 @@ where
     }
 
     st.parts = new_parts;
+    st.upload_chunks.clear();
     st.dist = new_dist;
     Ok(())
 }

@@ -1,15 +1,16 @@
 //! Property-based tests of the 2D reduction subsystem: `ReduceRows` /
 //! `ReduceCols` equal sequential host folds **bitwise** for arbitrary
 //! shapes (including degenerate 0/1-extent edges), every matrix
-//! distribution and 1–4 devices, and the index-carrying `ReduceRowsArg`
-//! matches a host argbest scan with lowest-index tie-breaks.
+//! distribution and 1–4 devices, and the index-carrying `ReduceRowsArg` /
+//! `ReduceColsArg` match host argbest scans with lowest-index tie-breaks.
 //!
 //! Runs under the pinned-seed CI job (`PROPTEST_SEED`), so shrunk
 //! degenerate-shape counterexamples reproduce locally.
 
 use proptest::prelude::*;
 use skelcl::{
-    Context, ContextConfig, Matrix, MatrixDistribution, ReduceCols, ReduceRows, ReduceRowsArg,
+    Context, ContextConfig, Matrix, MatrixDistribution, ReduceCols, ReduceColsArg, ReduceRows,
+    ReduceRowsArg,
 };
 use vgpu::DeviceSpec;
 
@@ -169,6 +170,45 @@ proptest! {
         let m = Matrix::from_vec(&c, rows, cols, data);
         m.set_distribution(dist).unwrap();
         let argmin = ReduceRowsArg::new(skelcl::skel_fn!(
+            fn less(x: f32, y: f32) -> bool {
+                x < y
+            }
+        ));
+        let (v, i) = argmin.apply(&m).unwrap();
+        prop_assert_eq!(bits(&v.to_vec().unwrap()), bits(&want_v));
+        prop_assert_eq!(i.to_vec().unwrap(), want_i);
+    }
+
+    // ReduceColsArg == host argbest scan down each column (the row-index
+    // twin: lowest row index must win every tie).
+    #[test]
+    fn reduce_cols_arg_equals_host_scan(
+        rows in 1usize..16,
+        cols in 1usize..14,
+        devices in 1usize..5,
+        dist in dist_strategy(),
+        modulus in 2u32..6,
+        seed in 0u32..1000,
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| (((i as u32).wrapping_mul(37).wrapping_add(seed)) % modulus) as f32)
+            .collect();
+        let mut want_v = Vec::with_capacity(cols);
+        let mut want_i = Vec::with_capacity(cols);
+        for cc in 0..cols {
+            let mut best = 0usize;
+            for r in 0..rows {
+                if data[r * cols + cc] < data[best * cols + cc] {
+                    best = r;
+                }
+            }
+            want_v.push(data[best * cols + cc]);
+            want_i.push(best as u32);
+        }
+        let c = ctx(devices);
+        let m = Matrix::from_vec(&c, rows, cols, data);
+        m.set_distribution(dist).unwrap();
+        let argmin = ReduceColsArg::new(skelcl::skel_fn!(
             fn less(x: f32, y: f32) -> bool {
                 x < y
             }

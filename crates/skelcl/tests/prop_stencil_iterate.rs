@@ -130,7 +130,9 @@ proptest! {
 
     // Exchange-count regression: on 2+ devices with a halo-stale input,
     // iterate(n) performs exactly n halo-exchange events — one batched
-    // exchange per iteration, never one per radius row or per part.
+    // exchange per iteration, never one per radius row or per part — and
+    // the overlapped schedule (exchanges issued asynchronously on the copy
+    // stream) counts exactly the same events as the serial one.
     #[test]
     fn iterate_performs_exactly_n_halo_exchanges(
         rows in 8usize..24,
@@ -141,52 +143,80 @@ proptest! {
     ) {
         let c = ctx(devices);
         let st = cross_stencil(boundary);
-        let m = Matrix::from_vec(&c, rows, cols, test_data(rows, cols, 7));
-        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
-        // Make the input halo-stale, as it is in any real pipeline where
-        // the grid arrives from a previous device-side skeleton.
-        m.ensure_on_devices().unwrap();
-        m.mark_devices_modified();
-        let before = c.halo_exchange_count();
-        st.iterate(&m, n).unwrap();
-        prop_assert_eq!(c.halo_exchange_count() - before, n as u64);
-    }
-}
-
-/// The non-property twin of the exchange-count regression, pinned to the
-/// acceptance criteria's exact configuration so a failure names it plainly.
-#[test]
-fn two_and_four_device_iterates_exchange_once_per_iteration() {
-    for devices in [2usize, 4] {
-        for n in [1usize, 10] {
-            let c = ctx(devices);
-            let st = cross_stencil(Boundary2D::Neumann);
-            let m = Matrix::from_vec(&c, 32, 8, test_data(32, 8, 3));
-            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
-                .unwrap();
+        for overlapped in [true, false] {
+            let m = Matrix::from_vec(&c, rows, cols, test_data(rows, cols, 7));
+            m.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
+            // Make the input halo-stale, as it is in any real pipeline
+            // where the grid arrives from a previous device-side skeleton.
             m.ensure_on_devices().unwrap();
             m.mark_devices_modified();
             let before = c.halo_exchange_count();
-            st.iterate(&m, n).unwrap();
-            assert_eq!(
+            if overlapped {
+                st.iterate(&m, n).unwrap();
+            } else {
+                st.iterate_serial(&m, n).unwrap();
+            }
+            prop_assert_eq!(
                 c.halo_exchange_count() - before,
                 n as u64,
-                "{n} iterations on {devices} devices"
+                "overlapped={}", overlapped
             );
         }
     }
 }
 
+/// The non-property twin of the exchange-count regression, pinned to the
+/// acceptance criteria's exact configuration so a failure names it plainly
+/// — both schedules must count identically.
+#[test]
+fn two_and_four_device_iterates_exchange_once_per_iteration() {
+    for devices in [2usize, 4] {
+        for n in [1usize, 10] {
+            for overlapped in [true, false] {
+                let c = ctx(devices);
+                let st = cross_stencil(Boundary2D::Neumann);
+                let m = Matrix::from_vec(&c, 32, 8, test_data(32, 8, 3));
+                m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+                    .unwrap();
+                m.ensure_on_devices().unwrap();
+                m.mark_devices_modified();
+                let before = c.halo_exchange_count();
+                if overlapped {
+                    st.iterate(&m, n).unwrap();
+                } else {
+                    st.iterate_serial(&m, n).unwrap();
+                }
+                assert_eq!(
+                    c.halo_exchange_count() - before,
+                    n as u64,
+                    "{n} iterations on {devices} devices (overlapped={overlapped})"
+                );
+            }
+        }
+    }
+}
+
 /// A fresh upload seeds coherent halos, so the first iteration's exchange
-/// is a no-op and n iterations cost n − 1 exchange events.
+/// is a no-op and n iterations cost n − 1 exchange events — on either
+/// schedule.
 #[test]
 fn fresh_uploads_save_the_first_exchange() {
-    let c = ctx(4);
-    let st = cross_stencil(Boundary2D::Wrap);
-    let m = Matrix::from_vec(&c, 32, 8, test_data(32, 8, 5));
-    m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
-        .unwrap();
-    let before = c.halo_exchange_count();
-    st.iterate(&m, 6).unwrap();
-    assert_eq!(c.halo_exchange_count() - before, 5);
+    for overlapped in [true, false] {
+        let c = ctx(4);
+        let st = cross_stencil(Boundary2D::Wrap);
+        let m = Matrix::from_vec(&c, 32, 8, test_data(32, 8, 5));
+        m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        let before = c.halo_exchange_count();
+        if overlapped {
+            st.iterate(&m, 6).unwrap();
+        } else {
+            st.iterate_serial(&m, 6).unwrap();
+        }
+        assert_eq!(
+            c.halo_exchange_count() - before,
+            5,
+            "overlapped={overlapped}"
+        );
+    }
 }

@@ -1,9 +1,11 @@
-//! The virtual device: hardware parameters and memory accounting.
+//! The virtual device: hardware parameters, memory accounting, and the
+//! dual-engine command timeline.
 
 use crate::buffer::Buffer;
 use crate::error::{Error, Result};
-use crate::timing::VirtualClock;
+use crate::timing::{EngineKind, VirtualClock};
 use crate::types::{DeviceId, Scalar};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -83,13 +85,72 @@ impl DeviceSpec {
     }
 }
 
+/// One device's command timeline: a virtual clock per execution engine
+/// (compute and copy run independently, like a GPU with a dedicated DMA
+/// engine) plus the in-order stream clocks the device's command queues
+/// register with it.
+///
+/// "The device is done" means *both* engines are done — [`now_s`] is their
+/// maximum — which is what [`crate::Platform::sync_all`] and the legacy
+/// device-serializing commands observe, so code written against the old
+/// single-clock model sees an identical timeline.
+///
+/// [`now_s`]: DeviceTimeline::now_s
+#[derive(Debug, Default)]
+pub struct DeviceTimeline {
+    compute: VirtualClock,
+    copy: VirtualClock,
+    /// In-order queue tails registered by [`crate::CommandQueue`]s, kept so
+    /// [`DeviceTimeline::reset`] rewinds them together with the engines.
+    streams: Mutex<Vec<VirtualClock>>,
+}
+
+impl DeviceTimeline {
+    /// When the device falls idle: the latest engine completion time.
+    pub fn now_s(&self) -> f64 {
+        self.compute.now_s().max(self.copy.now_s())
+    }
+
+    /// The availability clock of one engine.
+    pub fn engine(&self, engine: EngineKind) -> &VirtualClock {
+        match engine {
+            EngineKind::Compute => &self.compute,
+            EngineKind::Copy => &self.copy,
+        }
+    }
+
+    /// Move both engines forward to at least `t_s` (join point).
+    pub fn sync_to(&self, t_s: f64) {
+        self.compute.sync_to(t_s);
+        self.copy.sync_to(t_s);
+    }
+
+    /// Rewind both engines and every registered stream to the epoch.
+    pub fn reset(&self) {
+        self.compute.reset();
+        self.copy.reset();
+        for s in self.streams.lock().iter() {
+            s.reset();
+        }
+    }
+
+    /// Create and register a fresh in-order stream clock (one per
+    /// [`crate::CommandQueue`]): the "queue-ready" term of the scheduling
+    /// rule.
+    pub(crate) fn register_stream(&self) -> VirtualClock {
+        let clock = VirtualClock::new();
+        self.streams.lock().push(clock.clone());
+        clock
+    }
+}
+
 /// One virtual device: spec + memory accounting + its command timeline.
 #[derive(Debug)]
 pub struct Device {
     id: DeviceId,
     spec: DeviceSpec,
     used_bytes: Arc<AtomicUsize>,
-    clock: VirtualClock,
+    clock: DeviceTimeline,
 }
 
 impl Device {
@@ -98,7 +159,7 @@ impl Device {
             id,
             spec,
             used_bytes: Arc::new(AtomicUsize::new(0)),
-            clock: VirtualClock::new(),
+            clock: DeviceTimeline::default(),
         }
     }
 
@@ -110,8 +171,8 @@ impl Device {
         &self.spec
     }
 
-    /// The device's virtual command timeline.
-    pub fn clock(&self) -> &VirtualClock {
+    /// The device's virtual command timeline (per-engine clocks).
+    pub fn clock(&self) -> &DeviceTimeline {
         &self.clock
     }
 

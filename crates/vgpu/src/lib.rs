@@ -23,12 +23,18 @@
 //!
 //! ## Virtual time
 //!
-//! Every device and the host own a virtual clock (seconds, f64). Commands
-//! enqueued on a [`CommandQueue`] advance the device clock by their modeled
-//! duration; `finish()` synchronises the host clock to the device. Two
-//! devices enqueued back-to-back overlap in virtual time even though the
-//! simulation executes them one after the other — this is what makes the
-//! multi-GPU speedup experiments (paper Fig. 2) meaningful on a CPU.
+//! Every device owns a dual-engine timeline (independent compute and copy
+//! clocks, seconds, f64) and the host owns a clock of its own. Commands
+//! enqueued on a [`CommandQueue`] advance their engine's clock by their
+//! modeled duration; `finish()` synchronises the host clock to the device.
+//! Two devices enqueued back-to-back overlap in virtual time even though
+//! the simulation executes them one after the other — this is what makes
+//! the multi-GPU speedup experiments (paper Fig. 2) meaningful on a CPU.
+//! Within one device, the classic enqueue methods serialize against
+//! everything prior (the pre-stream behaviour), while the `_async` methods
+//! plus [`Event`] `wait_for` lists let a transfer run on the copy engine
+//! *under* a kernel on the compute engine — see [`timing`] for the
+//! scheduling rule and [`queue`] for the API.
 //!
 //! The model's constants live in [`timing::DriverProfile`] (one profile per
 //! runtime flavour: OpenCL, CUDA, and SkelCL-over-OpenCL) and
@@ -85,15 +91,15 @@ pub mod types;
 
 pub use buffer::Buffer;
 pub use compiler::{BuildOutcome, CompiledKernel, Program};
-pub use device::{Device, DeviceSpec};
+pub use device::{Device, DeviceSpec, DeviceTimeline};
 pub use error::{Error, Result};
 pub use exec::LaunchStats;
 pub use kernel::{Item, KernelBody, NDRange, WorkGroup};
 pub use local::LocalBuf;
 pub use platform::{Platform, PlatformConfig};
-pub use profiling::StatsSnapshot;
-pub use queue::{CommandQueue, Event};
-pub use timing::DriverProfile;
+pub use profiling::{verify_engine_exclusive, CommandRecord, StatsSnapshot};
+pub use queue::{CommandQueue, Event, EventKind};
+pub use timing::{DriverProfile, EngineKind};
 pub use types::{DeviceId, Scalar};
 
 /// Commonly used items, for glob import in examples and downstream crates.

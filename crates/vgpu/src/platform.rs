@@ -3,12 +3,13 @@
 use crate::compiler::Compiler;
 use crate::device::{Device, DeviceSpec};
 use crate::error::{Error, Result};
-use crate::profiling::{Stats, StatsSnapshot};
-use crate::queue::{CommandQueue, Event, EventKind};
-use crate::timing::{DriverProfile, VirtualClock};
+use crate::profiling::{CommandRecord, Stats, StatsSnapshot};
+use crate::queue::{deps_ready_s, CommandQueue, Event, EventKind};
+use crate::timing::{DriverProfile, EngineKind, VirtualClock};
 use crate::topology::Topology;
 use crate::types::Scalar;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration for [`Platform::new`]. The default is the paper's testbed:
@@ -68,6 +69,11 @@ pub(crate) struct PlatformShared {
     pub(crate) host_clock: VirtualClock,
     pub(crate) stats: Stats,
     pub(crate) compiler: Compiler,
+    /// Bumped by [`Platform::reset_clocks`]: [`crate::Event`] timestamps
+    /// from before a reset belong to a different epoch and must not be
+    /// used as dependencies afterwards (holders compare
+    /// [`Platform::clock_epoch`] to decide).
+    pub(crate) clock_epoch: AtomicU64,
 }
 
 /// A virtual host with its attached devices.
@@ -89,6 +95,7 @@ impl Platform {
                 host_clock: VirtualClock::new(),
                 stats: Stats::default(),
                 compiler: Compiler::new(config.cache_dir),
+                clock_epoch: AtomicU64::new(0),
             }),
         }
     }
@@ -117,10 +124,25 @@ impl Platform {
         &self.shared.devices
     }
 
-    /// Create an in-order queue on device `i` under the given runtime
-    /// flavour.
+    /// Create an in-order queue ("stream") on device `i` under the given
+    /// runtime flavour. Every call creates a *new* stream: commands on one
+    /// queue never reorder, but async commands on two different queues of
+    /// the same device may overlap across its compute and copy engines.
     pub fn queue(&self, i: usize, profile: DriverProfile) -> CommandQueue {
         CommandQueue::new(self.device(i), profile, Arc::clone(&self.shared))
+    }
+
+    /// Start recording the per-engine timeline trace (see
+    /// [`CommandRecord`]); clears any previous trace. Benches and the
+    /// overlap property tests use this to assert that no two commands ever
+    /// occupy the same engine of one device at once.
+    pub fn enable_timeline_trace(&self) {
+        self.shared.stats.enable_trace();
+    }
+
+    /// Take the recorded timeline trace (empty unless tracing is enabled).
+    pub fn take_timeline_trace(&self) -> Vec<CommandRecord> {
+        self.shared.stats.take_trace()
     }
 
     pub fn topology(&self) -> &Topology {
@@ -154,12 +176,24 @@ impl Platform {
         self.shared.host_clock.sync_to(max);
     }
 
-    /// Reset every virtual clock to the epoch (between bench repetitions).
+    /// Reset every virtual clock to the epoch (between bench repetitions):
+    /// host, both engines of every device, and all registered stream
+    /// clocks. Any recorded timeline trace is cleared with them.
     pub fn reset_clocks(&self) {
         self.shared.host_clock.reset();
         for d in &self.shared.devices {
             d.clock().reset();
         }
+        self.shared.stats.clear_trace();
+        self.shared.clock_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current clock epoch: incremented by every
+    /// [`Platform::reset_clocks`]. Holders of [`Event`]s that outlive a
+    /// reset (e.g. recorded upload chunks) compare epochs to discard
+    /// timestamps from before the rewind instead of waiting on them.
+    pub fn clock_epoch(&self) -> u64 {
+        self.shared.clock_epoch.load(Ordering::Relaxed)
     }
 
     pub fn stats_snapshot(&self) -> StatsSnapshot {
@@ -183,7 +217,10 @@ impl Platform {
                 actual: dst.len(),
             });
         }
-        // Real data movement.
+        // Always a staged host crossing, even between two buffers of one
+        // device (`cudaMemcpyPeer` semantics on pre-UVA hardware) — unlike
+        // [`Platform::copy_d2d_range`], which degrades same-device copies
+        // to global-memory-bandwidth local copies.
         for i in 0..src.len() {
             dst.set(i, src.get(i));
         }
@@ -193,16 +230,29 @@ impl Platform {
             .shared
             .topology
             .d2d_transfer_s(bytes, concurrent.max(1));
-        let host = self.host_now_s();
         let src_dev = self.device(src.device().0);
         let dst_dev = self.device(dst.device().0);
-        let begin = host
+        let begin = self
+            .host_now_s()
             .max(src_dev.clock().now_s())
             .max(dst_dev.clock().now_s());
-        let (start_s, end_s) = src_dev.clock().advance_from(begin, dur);
+        let (start_s, end_s) = src_dev
+            .clock()
+            .engine(EngineKind::Copy)
+            .advance_from(begin, dur);
         dst_dev.clock().sync_to(end_s);
+        self.shared
+            .stats
+            .record_command(src_dev.id(), EngineKind::Copy, start_s, end_s);
+        if src.device() != dst.device() {
+            self.shared
+                .stats
+                .record_command(dst_dev.id(), EngineKind::Copy, start_s, end_s);
+        }
         Ok(Event {
             kind: EventKind::CopyD2D,
+            device: src.device(),
+            engine: EngineKind::Copy,
             start_s,
             end_s,
             launch: None,
@@ -227,34 +277,12 @@ impl Platform {
                 actual: dst.device(),
             });
         }
-        if src_off + len > src.len() {
-            return Err(Error::OutOfBounds {
-                index: src_off + len,
-                len: src.len(),
-            });
-        }
-        if dst_off + len > dst.len() {
-            return Err(Error::OutOfBounds {
-                index: dst_off + len,
-                len: dst.len(),
-            });
-        }
-        for i in 0..len {
-            dst.set(dst_off + i, src.get(src_off + i));
-        }
-        let dev = self.device(src.device().0);
-        let bytes = len * std::mem::size_of::<T>();
-        let dur = 2.0 * bytes as f64 / dev.spec().mem_bandwidth_bytes_s;
-        let (start_s, end_s) = dev.clock().advance_from(self.host_now_s(), dur);
-        Ok(Event {
-            kind: EventKind::CopyD2D,
-            start_s,
-            end_s,
-            launch: None,
-        })
+        self.copy_range_impl(src, src_off, dst, dst_off, len, 1, &[], true)
     }
 
     /// Copy a sub-range between buffers on (possibly) different devices.
+    /// Device-serializing: the copy waits for everything previously
+    /// scheduled on both devices (the legacy single-clock rule).
     pub fn copy_d2d_range<T: Scalar>(
         &self,
         src: &crate::Buffer<T>,
@@ -264,10 +292,45 @@ impl Platform {
         len: usize,
         concurrent: usize,
     ) -> Result<Event> {
-        if src.device() == dst.device() {
-            // Same device: no PCIe crossing, just global-memory bandwidth.
-            return self.copy_on_device(src, src_off, dst, dst_off, len);
-        }
+        self.copy_range_impl(src, src_off, dst, dst_off, len, concurrent, &[], true)
+    }
+
+    /// Async sub-range copy: waits only for `wait_for` and the copy engines
+    /// of the two devices, so it runs *under* unrelated kernels — the
+    /// primitive behind the overlapped halo exchange. Callers are
+    /// responsible for passing the events that produced the source region
+    /// (and, if the destination is re-read later, its last readers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_d2d_range_async<T: Scalar>(
+        &self,
+        src: &crate::Buffer<T>,
+        src_off: usize,
+        dst: &crate::Buffer<T>,
+        dst_off: usize,
+        len: usize,
+        concurrent: usize,
+        wait_for: &[Event],
+    ) -> Result<Event> {
+        self.copy_range_impl(src, src_off, dst, dst_off, len, concurrent, wait_for, false)
+    }
+
+    /// Shared implementation of the platform copies: bounds checks, real
+    /// data movement, then scheduling on the copy engine(s) under either
+    /// discipline. Same-device copies cost global-memory bandwidth on one
+    /// copy engine; cross-device copies stage through the host and occupy
+    /// both devices' copy engines for the full duration.
+    #[allow(clippy::too_many_arguments)]
+    fn copy_range_impl<T: Scalar>(
+        &self,
+        src: &crate::Buffer<T>,
+        src_off: usize,
+        dst: &crate::Buffer<T>,
+        dst_off: usize,
+        len: usize,
+        concurrent: usize,
+        deps: &[Event],
+        conservative: bool,
+    ) -> Result<Event> {
         if src_off + len > src.len() {
             return Err(Error::OutOfBounds {
                 index: src_off + len,
@@ -283,22 +346,56 @@ impl Platform {
         for i in 0..len {
             dst.set(dst_off + i, src.get(src_off + i));
         }
-        let bytes = len * std::mem::size_of::<T>();
-        self.shared.stats.add_d2d(bytes);
-        let dur = self
-            .shared
-            .topology
-            .d2d_transfer_s(bytes, concurrent.max(1));
-        let host = self.host_now_s();
         let src_dev = self.device(src.device().0);
-        let dst_dev = self.device(dst.device().0);
-        let begin = host
-            .max(src_dev.clock().now_s())
-            .max(dst_dev.clock().now_s());
-        let (start_s, end_s) = src_dev.clock().advance_from(begin, dur);
-        dst_dev.clock().sync_to(end_s);
+        let bytes = len * std::mem::size_of::<T>();
+        let mut begin = self.host_now_s().max(deps_ready_s(deps));
+        let (dur, dst_dev) = if src.device() == dst.device() {
+            // No PCIe crossing, just global-memory bandwidth (read+write).
+            (
+                2.0 * bytes as f64 / src_dev.spec().mem_bandwidth_bytes_s,
+                None,
+            )
+        } else {
+            self.shared.stats.add_d2d(bytes);
+            (
+                self.shared
+                    .topology
+                    .d2d_transfer_s(bytes, concurrent.max(1)),
+                Some(self.device(dst.device().0)),
+            )
+        };
+        if conservative {
+            begin = begin.max(src_dev.clock().now_s());
+            if let Some(d) = &dst_dev {
+                begin = begin.max(d.clock().now_s());
+            }
+        } else if let Some(d) = &dst_dev {
+            begin = begin.max(d.clock().engine(EngineKind::Copy).now_s());
+        }
+        let (start_s, end_s) = src_dev
+            .clock()
+            .engine(EngineKind::Copy)
+            .advance_from(begin, dur);
+        self.shared
+            .stats
+            .record_command(src_dev.id(), EngineKind::Copy, start_s, end_s);
+        if let Some(d) = &dst_dev {
+            if conservative {
+                // Legacy rule: the destination device as a whole observes
+                // the copy's completion.
+                d.clock().sync_to(end_s);
+            } else {
+                // The copy occupies the destination's copy engine too.
+                d.clock().engine(EngineKind::Copy).sync_to(end_s);
+            }
+            self.shared
+                .stats
+                .record_command(d.id(), EngineKind::Copy, start_s, end_s);
+        }
         Ok(Event {
             kind: EventKind::CopyD2D,
+            device: src.device(),
+            engine: EngineKind::Copy,
             start_s,
             end_s,
             launch: None,

@@ -1,12 +1,68 @@
-//! Platform-wide profiling counters.
+//! Platform-wide profiling counters and the opt-in timeline trace.
 //!
 //! The lazy-copying experiment (E8) and the documentation claims of the
 //! paper ("before every data transfer, the vector implementation checks
 //! whether the data transfer is necessary; only then the data is actually
 //! transferred") are verified against these counters: tests assert on the
 //! *number and volume* of transfers, not just on results.
+//!
+//! The [`CommandRecord`] trace serves the async-overlap subsystem the same
+//! way: with tracing enabled, every scheduled command logs which engine of
+//! which device it occupied for which virtual interval, so tests and the
+//! `fig_overlap` bench can assert that two commands never overlap on the
+//! same engine of one device — and that overlapped schedules really do run
+//! copies under kernels.
 
+use crate::timing::EngineKind;
+use crate::types::DeviceId;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One scheduled command in the timeline trace: the virtual interval it
+/// occupied on one engine of one device. Commands staging through the host
+/// (device-to-device copies) log one record per device they occupy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommandRecord {
+    pub device: DeviceId,
+    pub engine: EngineKind,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+/// Check engine exclusivity over a recorded trace: no two commands may
+/// overlap on the same engine of one device, and every interval must be
+/// well-formed. Returns a description of the first violation, or `None`
+/// when the trace is physical — test suites assert
+/// `verify_engine_exclusive(&trace).is_none()`.
+pub fn verify_engine_exclusive(trace: &[CommandRecord]) -> Option<String> {
+    let mut lanes: std::collections::HashMap<(DeviceId, EngineKind), Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for r in trace {
+        if !(r.start_s >= 0.0 && r.end_s >= r.start_s) {
+            return Some(format!(
+                "malformed interval [{}, {}] on device {:?} {:?}",
+                r.start_s, r.end_s, r.device, r.engine
+            ));
+        }
+        lanes
+            .entry((r.device, r.engine))
+            .or_default()
+            .push((r.start_s, r.end_s));
+    }
+    for ((device, engine), mut spans) in lanes {
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in spans.windows(2) {
+            if w[0].1 > w[1].0 + 1e-12 {
+                return Some(format!(
+                    "device {device:?} {engine:?} engine runs two commands at once: \
+                     [{}, {}] overlaps [{}, {}]",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+    }
+    None
+}
 
 /// Monotonic counters; cheap to bump from any thread.
 #[derive(Debug, Default)]
@@ -24,9 +80,46 @@ pub struct Stats {
     /// loads); lets harnesses separate one-time build cost from steady-state
     /// compute when runs are too short to amortise it.
     pub build_virtual_ns: AtomicU64,
+    /// Timeline trace: `None` until enabled (tracing costs memory, so
+    /// figures and tests opt in per platform).
+    trace: Mutex<Option<Vec<CommandRecord>>>,
 }
 
 impl Stats {
+    /// Start recording per-engine command intervals (clears any prior
+    /// trace).
+    pub fn enable_trace(&self) {
+        *self.trace.lock() = Some(Vec::new());
+    }
+
+    /// Take the recorded trace, leaving tracing enabled with an empty log.
+    /// Returns an empty vec when tracing was never enabled.
+    pub fn take_trace(&self) -> Vec<CommandRecord> {
+        match self.trace.lock().as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drop any recorded commands but keep tracing enabled (called between
+    /// bench repetitions alongside the clock reset).
+    pub fn clear_trace(&self) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.clear();
+        }
+    }
+
+    /// Log one scheduled command; no-op unless tracing is enabled.
+    pub fn record_command(&self, device: DeviceId, engine: EngineKind, start_s: f64, end_s: f64) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.push(CommandRecord {
+                device,
+                engine,
+                start_s,
+                end_s,
+            });
+        }
+    }
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             h2d_transfers: self.h2d_transfers.load(Ordering::Relaxed),

@@ -1,9 +1,30 @@
-//! In-order command queues and events, OpenCL style.
+//! Command queues ("streams"), events, and the two scheduling disciplines.
 //!
 //! A queue belongs to one device and carries one [`DriverProfile`] — the
 //! same virtual hardware behaves as an "OpenCL device", a "CUDA device" or a
 //! "SkelCL device" depending on the profile of the queue driving it, which
 //! is exactly the comparison the paper performs on its single testbed.
+//!
+//! A device can drive **multiple in-order queues** over one shared timeline
+//! with separate compute and copy engines (see [`crate::timing`]): each
+//! [`Platform::queue`](crate::Platform::queue) call creates a fresh stream.
+//! Commands come in two flavours:
+//!
+//! * the classic enqueue methods ([`CommandQueue::enqueue_write`],
+//!   [`CommandQueue::launch`], …) are **device-serializing**: a command
+//!   starts only when *everything* previously scheduled on the device has
+//!   finished, which reproduces the pre-stream single-clock timeline
+//!   exactly — existing code keeps its modeled timings to the bit;
+//! * the `_async` twins ([`CommandQueue::enqueue_write_async`],
+//!   [`CommandQueue::launch_async`], …) take a `wait_for: &[Event]` list and
+//!   start at `max(queue-ready, dependency-ready, engine-availability,
+//!   enqueue time)` — so a transfer on a copy stream genuinely runs under a
+//!   kernel when no dependency links them.
+//!
+//! Either way the *data* moves immediately (the simulator executes commands
+//! eagerly); only the modeled timeline differs. Every command returns an
+//! [`Event`] carrying its `CL_PROFILING_COMMAND_START/END`-style interval,
+//! usable as a dependency for later async commands on any queue.
 
 use crate::buffer::Buffer;
 use crate::compiler::{BuildOutcome, CompiledKernel, Program};
@@ -12,8 +33,8 @@ use crate::error::{Error, Result};
 use crate::exec::{self, LaunchStats};
 use crate::kernel::{KernelBody, NDRange};
 use crate::platform::PlatformShared;
-use crate::timing::DriverProfile;
-use crate::types::Scalar;
+use crate::timing::{ready_s, DriverProfile, EngineKind, VirtualClock};
+use crate::types::{DeviceId, Scalar};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -24,15 +45,28 @@ pub enum EventKind {
     ReadBuffer,
     FillBuffer,
     Kernel,
-    Build { from_cache: bool },
+    Build {
+        from_cache: bool,
+    },
     CopyD2D,
+    /// A zero-duration join point over everything already scheduled on the
+    /// device (`clEnqueueMarker`): the anchor async commands wait on when
+    /// their inputs were produced by device-serializing commands.
+    Marker,
 }
 
 /// A completed command with its virtual-timeline timestamps, like an OpenCL
-/// event queried with `CL_PROFILING_COMMAND_START/END`.
+/// event queried with `CL_PROFILING_COMMAND_START/END`. Pass events to the
+/// `_async` enqueue methods' `wait_for` lists to build cross-stream
+/// dependency graphs.
 #[derive(Debug, Clone)]
 pub struct Event {
     pub kind: EventKind,
+    /// The device whose engine ran the command (for staged D2D copies, the
+    /// source device; both copy engines are occupied either way).
+    pub device: DeviceId,
+    /// Which engine of the device the command occupied.
+    pub engine: EngineKind,
     pub start_s: f64,
     pub end_s: f64,
     /// Present for kernel events: the executor's counters.
@@ -45,12 +79,22 @@ impl Event {
     }
 }
 
-/// An in-order command queue on one device.
+/// The latest completion time among `deps` (0 when empty) — the
+/// "dependency-ready" term of the scheduling rule.
+pub(crate) fn deps_ready_s(deps: &[Event]) -> f64 {
+    ready_s(deps.iter().map(|e| e.end_s))
+}
+
+/// An in-order command queue ("stream") on one device. Cloning yields a
+/// second handle to the *same* stream; [`crate::Platform::queue`] creates a
+/// new independent stream each call.
 #[derive(Clone)]
 pub struct CommandQueue {
     device: Arc<Device>,
     profile: DriverProfile,
     shared: Arc<PlatformShared>,
+    /// This stream's in-order tail: commands on one queue never reorder.
+    tail: VirtualClock,
 }
 
 impl CommandQueue {
@@ -59,10 +103,12 @@ impl CommandQueue {
         profile: DriverProfile,
         shared: Arc<PlatformShared>,
     ) -> Self {
+        let tail = device.clock().register_stream();
         CommandQueue {
             device,
             profile,
             shared,
+            tail,
         }
     }
 
@@ -72,6 +118,69 @@ impl CommandQueue {
 
     pub fn profile(&self) -> &DriverProfile {
         &self.profile
+    }
+
+    /// Schedule one command on `engine`. `conservative` commands are
+    /// device-serializing (they wait for both engines — the legacy
+    /// single-clock rule); async commands wait only for their stream, their
+    /// `deps`, their engine, and the enqueue time.
+    fn schedule(
+        &self,
+        engine: EngineKind,
+        kind: EventKind,
+        duration_s: f64,
+        deps: &[Event],
+        conservative: bool,
+        launch: Option<LaunchStats>,
+    ) -> Event {
+        let mut not_before = self
+            .shared
+            .host_clock
+            .now_s()
+            .max(deps_ready_s(deps))
+            .max(self.tail.now_s());
+        if conservative {
+            not_before = not_before.max(self.device.clock().now_s());
+        }
+        let (start_s, end_s) = self
+            .device
+            .clock()
+            .engine(engine)
+            .advance_from(not_before, duration_s);
+        self.tail.sync_to(end_s);
+        self.shared
+            .stats
+            .record_command(self.device.id(), engine, start_s, end_s);
+        Event {
+            kind,
+            device: self.device.id(),
+            engine,
+            start_s,
+            end_s,
+            launch,
+        }
+    }
+
+    /// A zero-duration join point over everything already scheduled on this
+    /// device (`clEnqueueMarker` semantics): later async commands that pass
+    /// the marker in `wait_for` are ordered after every command — on any
+    /// stream, either engine — enqueued before it.
+    pub fn enqueue_marker(&self) -> Event {
+        let t = self
+            .shared
+            .host_clock
+            .now_s()
+            .max(self.device.clock().now_s())
+            .max(self.tail.now_s());
+        self.tail.sync_to(t);
+        Event {
+            kind: EventKind::Marker,
+            device: self.device.id(),
+            engine: EngineKind::Compute,
+            start_s: t,
+            end_s: t,
+            launch: None,
+        }
     }
 
     fn check_device<T: Scalar>(&self, buf: &Buffer<T>) -> Result<()> {
@@ -97,21 +206,49 @@ impl CommandQueue {
         src: &[T],
         concurrent: usize,
     ) -> Result<Event> {
+        self.write_impl(buf, None, src, concurrent, &[], true)
+    }
+
+    /// Async upload on this stream: starts as soon as the stream, the
+    /// `wait_for` events, and the copy engine allow — possibly *under* a
+    /// kernel running on the compute engine.
+    pub fn enqueue_write_async<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        src: &[T],
+        concurrent: usize,
+        wait_for: &[Event],
+    ) -> Result<Event> {
+        self.write_impl(buf, None, src, concurrent, wait_for, false)
+    }
+
+    /// `offset`: `None` = whole-buffer write (length-checked), `Some(o)` =
+    /// ranged write at element offset `o`.
+    fn write_impl<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        offset: Option<usize>,
+        src: &[T],
+        concurrent: usize,
+        deps: &[Event],
+        conservative: bool,
+    ) -> Result<Event> {
         self.check_device(buf)?;
-        buf.write_from_host(src)?;
+        match offset {
+            None => buf.write_from_host(src)?,
+            Some(o) => buf.write_range_from_host(o, src)?,
+        }
         let bytes = std::mem::size_of_val(src);
         self.shared.stats.add_h2d(bytes);
         let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
-        let (start_s, end_s) = self
-            .device
-            .clock()
-            .advance_from(self.shared.host_clock.now_s(), dur);
-        Ok(Event {
-            kind: EventKind::WriteBuffer,
-            start_s,
-            end_s,
-            launch: None,
-        })
+        Ok(self.schedule(
+            EngineKind::Copy,
+            EventKind::WriteBuffer,
+            dur,
+            deps,
+            conservative,
+            None,
+        ))
     }
 
     /// Download a device buffer into a host slice (`clEnqueueReadBuffer`,
@@ -130,24 +267,42 @@ impl CommandQueue {
         concurrent: usize,
         blocking: bool,
     ) -> Result<Event> {
+        self.read_impl(buf, None, dst, concurrent, blocking, &[], true)
+    }
+
+    /// `offset`: `None` = whole-buffer read (length-checked), `Some(o)` =
+    /// ranged read at element offset `o`.
+    #[allow(clippy::too_many_arguments)]
+    fn read_impl<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        offset: Option<usize>,
+        dst: &mut [T],
+        concurrent: usize,
+        blocking: bool,
+        deps: &[Event],
+        conservative: bool,
+    ) -> Result<Event> {
         self.check_device(buf)?;
-        buf.read_into_host(dst)?;
+        match offset {
+            None => buf.read_into_host(dst)?,
+            Some(o) => buf.read_range_into_host(o, dst)?,
+        }
         let bytes = std::mem::size_of_val(dst);
         self.shared.stats.add_d2h(bytes);
         let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
-        let (start_s, end_s) = self
-            .device
-            .clock()
-            .advance_from(self.shared.host_clock.now_s(), dur);
+        let ev = self.schedule(
+            EngineKind::Copy,
+            EventKind::ReadBuffer,
+            dur,
+            deps,
+            conservative,
+            None,
+        );
         if blocking {
-            self.shared.host_clock.sync_to(end_s);
+            self.shared.host_clock.sync_to(ev.end_s);
         }
-        Ok(Event {
-            kind: EventKind::ReadBuffer,
-            start_s,
-            end_s,
-            launch: None,
-        })
+        Ok(ev)
     }
 
     /// Write a host slice into `[offset, offset + src.len())` of a device
@@ -159,21 +314,21 @@ impl CommandQueue {
         src: &[T],
         concurrent: usize,
     ) -> Result<Event> {
-        self.check_device(buf)?;
-        buf.write_range_from_host(offset, src)?;
-        let bytes = std::mem::size_of_val(src);
-        self.shared.stats.add_h2d(bytes);
-        let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
-        let (start_s, end_s) = self
-            .device
-            .clock()
-            .advance_from(self.shared.host_clock.now_s(), dur);
-        Ok(Event {
-            kind: EventKind::WriteBuffer,
-            start_s,
-            end_s,
-            launch: None,
-        })
+        self.write_impl(buf, Some(offset), src, concurrent, &[], true)
+    }
+
+    /// Async ranged upload: the streamed-upload primitive (row chunks of a
+    /// matrix part go out back to back on a copy stream while earlier
+    /// chunks' dependent kernels already run on the compute engine).
+    pub fn enqueue_write_range_async<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        offset: usize,
+        src: &[T],
+        concurrent: usize,
+        wait_for: &[Event],
+    ) -> Result<Event> {
+        self.write_impl(buf, Some(offset), src, concurrent, wait_for, false)
     }
 
     /// Read a sub-range `[offset, offset + dst.len())` of a device buffer.
@@ -185,24 +340,20 @@ impl CommandQueue {
         concurrent: usize,
         blocking: bool,
     ) -> Result<Event> {
-        self.check_device(buf)?;
-        buf.read_range_into_host(offset, dst)?;
-        let bytes = std::mem::size_of_val(dst);
-        self.shared.stats.add_d2h(bytes);
-        let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
-        let (start_s, end_s) = self
-            .device
-            .clock()
-            .advance_from(self.shared.host_clock.now_s(), dur);
-        if blocking {
-            self.shared.host_clock.sync_to(end_s);
-        }
-        Ok(Event {
-            kind: EventKind::ReadBuffer,
-            start_s,
-            end_s,
-            launch: None,
-        })
+        self.read_impl(buf, Some(offset), dst, concurrent, blocking, &[], true)
+    }
+
+    /// Async ranged download (never blocks the host clock); waits for
+    /// `wait_for` before occupying the copy engine.
+    pub fn enqueue_read_range_async<T: Scalar>(
+        &self,
+        buf: &Buffer<T>,
+        offset: usize,
+        dst: &mut [T],
+        concurrent: usize,
+        wait_for: &[Event],
+    ) -> Result<Event> {
+        self.read_impl(buf, Some(offset), dst, concurrent, false, wait_for, false)
     }
 
     /// Device-side fill (`clEnqueueFillBuffer`): costs global-memory
@@ -211,16 +362,14 @@ impl CommandQueue {
         self.check_device(buf)?;
         buf.fill(v);
         let dur = buf.size_bytes() as f64 / self.device.spec().mem_bandwidth_bytes_s;
-        let (start_s, end_s) = self
-            .device
-            .clock()
-            .advance_from(self.shared.host_clock.now_s(), dur);
-        Ok(Event {
-            kind: EventKind::FillBuffer,
-            start_s,
-            end_s,
-            launch: None,
-        })
+        Ok(self.schedule(
+            EngineKind::Copy,
+            EventKind::FillBuffer,
+            dur,
+            &[],
+            true,
+            None,
+        ))
     }
 
     /// Build a program into an executable kernel under this queue's driver
@@ -261,8 +410,33 @@ impl CommandQueue {
     }
 
     /// Launch a kernel over an ND-range; real execution happens on host
-    /// threads, the modeled duration advances this device's clock.
+    /// threads, the modeled duration advances this device's compute engine.
+    /// Device-serializing: the kernel waits for everything previously
+    /// scheduled on the device (the legacy single-queue rule).
     pub fn launch(&self, kernel: &CompiledKernel, nd: NDRange) -> Result<Event> {
+        self.launch_impl(kernel, nd, &[], true)
+    }
+
+    /// Async launch on this stream: starts at `max(queue-ready,
+    /// dependency-ready, compute-engine availability, enqueue time)` — so
+    /// transfers on a copy stream that this kernel does not depend on keep
+    /// running underneath it.
+    pub fn launch_async(
+        &self,
+        kernel: &CompiledKernel,
+        nd: NDRange,
+        wait_for: &[Event],
+    ) -> Result<Event> {
+        self.launch_impl(kernel, nd, wait_for, false)
+    }
+
+    fn launch_impl(
+        &self,
+        kernel: &CompiledKernel,
+        nd: NDRange,
+        deps: &[Event],
+        conservative: bool,
+    ) -> Result<Event> {
         let stats = exec::execute(
             self.device.spec(),
             &kernel.body,
@@ -274,16 +448,14 @@ impl CommandQueue {
             .kernel_launches
             .fetch_add(1, Ordering::Relaxed);
         let dur = stats.duration_s + self.profile.launch_cost_s(kernel.n_args);
-        let (start_s, end_s) = self
-            .device
-            .clock()
-            .advance_from(self.shared.host_clock.now_s(), dur);
-        Ok(Event {
-            kind: EventKind::Kernel,
-            start_s,
-            end_s,
-            launch: Some(stats),
-        })
+        Ok(self.schedule(
+            EngineKind::Compute,
+            EventKind::Kernel,
+            dur,
+            deps,
+            conservative,
+            Some(stats),
+        ))
     }
 
     /// Wait until every command on this queue is done (`clFinish`): the
@@ -447,6 +619,158 @@ mod tests {
         );
         q.finish();
         assert_eq!(p.host_now_s(), p.device(0).clock().now_s());
+    }
+
+    /// A one-argument no-op kernel body used by the stream tests.
+    fn nop_kernel(q: &CommandQueue, tag: &str) -> CompiledKernel {
+        let program = Program::from_source("nop", format!("__kernel void nop() {{ /* {tag} */ }}"));
+        let body: KernelBody = Arc::new(|wg: &WorkGroup| {
+            wg.for_each_item(|it| it.work(200_000));
+        });
+        q.build_kernel(&program, body).unwrap()
+    }
+
+    #[test]
+    fn async_transfer_overlaps_a_kernel_on_another_stream() {
+        let p = platform(1);
+        let compute = p.queue(0, DriverProfile::opencl());
+        let copy = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![1u8; 1 << 20];
+
+        let kernel = nop_kernel(&compute, "overlap");
+        let k = compute
+            .launch_async(&kernel, NDRange::linear(1 << 16, 64), &[])
+            .unwrap();
+        let w = copy.enqueue_write_async(&buf, &data, 1, &[]).unwrap();
+        assert!(
+            w.start_s < k.end_s && k.start_s < w.end_s,
+            "copy [{}, {}] must run under the kernel [{}, {}]",
+            w.start_s,
+            w.end_s,
+            k.start_s,
+            k.end_s
+        );
+        assert_eq!(w.engine, EngineKind::Copy);
+        assert_eq!(k.engine, EngineKind::Compute);
+    }
+
+    #[test]
+    fn wait_for_orders_across_streams() {
+        let p = platform(1);
+        let compute = p.queue(0, DriverProfile::opencl());
+        let copy = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![2u8; 1 << 20];
+
+        let w = copy.enqueue_write_async(&buf, &data, 1, &[]).unwrap();
+        let kernel = nop_kernel(&compute, "dep");
+        let k = compute
+            .launch_async(&kernel, NDRange::linear(64, 64), std::slice::from_ref(&w))
+            .unwrap();
+        assert!(
+            k.start_s >= w.end_s,
+            "dependent kernel ({}) must wait for the upload ({})",
+            k.start_s,
+            w.end_s
+        );
+    }
+
+    #[test]
+    fn one_stream_stays_in_order_even_async() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![3u8; 1 << 20];
+        let kernel = nop_kernel(&q, "inorder");
+        let k = q
+            .launch_async(&kernel, NDRange::linear(1 << 16, 64), &[])
+            .unwrap();
+        // Same stream: the write may not pass the kernel, despite running
+        // on the other engine and having no event dependency.
+        let w = q.enqueue_write_async(&buf, &data, 1, &[]).unwrap();
+        assert!(w.start_s >= k.end_s, "in-order queue must not reorder");
+    }
+
+    #[test]
+    fn same_engine_commands_serialize() {
+        let p = platform(1);
+        let a = p.queue(0, DriverProfile::opencl());
+        let b = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![4u8; 1 << 20];
+        let w1 = a.enqueue_write_async(&buf, &data, 1, &[]).unwrap();
+        let w2 = b.enqueue_write_async(&buf, &data, 1, &[]).unwrap();
+        assert!(
+            w2.start_s >= w1.end_s,
+            "two transfers share one copy engine"
+        );
+    }
+
+    #[test]
+    fn marker_joins_both_engines() {
+        let p = platform(1);
+        let compute = p.queue(0, DriverProfile::opencl());
+        let copy = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![5u8; 1 << 20];
+        let kernel = nop_kernel(&compute, "marker");
+        let k = compute
+            .launch_async(&kernel, NDRange::linear(1 << 16, 64), &[])
+            .unwrap();
+        let w = copy.enqueue_write_async(&buf, &data, 1, &[]).unwrap();
+        let m = copy.enqueue_marker();
+        assert_eq!(m.kind, EventKind::Marker);
+        assert_eq!(m.duration_s(), 0.0);
+        assert!(m.end_s >= k.end_s && m.end_s >= w.end_s);
+    }
+
+    #[test]
+    fn legacy_commands_serialize_against_async_work() {
+        let p = platform(1);
+        let compute = p.queue(0, DriverProfile::opencl());
+        let copy = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        let data = vec![6u8; 1 << 20];
+        let kernel = nop_kernel(&compute, "legacy");
+        let k = compute
+            .launch_async(&kernel, NDRange::linear(1 << 16, 64), &[])
+            .unwrap();
+        // A device-serializing write waits for the in-flight kernel even
+        // though the copy engine itself is idle.
+        let w = copy.enqueue_write(&buf, &data).unwrap();
+        assert!(w.start_s >= k.end_s, "legacy commands keep the old rule");
+    }
+
+    #[test]
+    fn reset_clocks_rewinds_stream_tails() {
+        let p = platform(1);
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1 << 20).unwrap();
+        q.enqueue_write(&buf, &vec![7u8; 1 << 20]).unwrap();
+        p.reset_clocks();
+        // A fresh command must start at the epoch again — including the
+        // queue's own in-order tail, not just the engine clocks.
+        let w = q.enqueue_write(&buf, &vec![8u8; 1 << 20]).unwrap();
+        assert_eq!(w.start_s, 0.0);
+    }
+
+    #[test]
+    fn timeline_trace_records_engines() {
+        let p = platform(1);
+        p.enable_timeline_trace();
+        let q = p.queue(0, DriverProfile::opencl());
+        let buf = p.device(0).alloc::<u8>(1024).unwrap();
+        q.enqueue_write(&buf, &vec![9u8; 1024]).unwrap();
+        let kernel = nop_kernel(&q, "trace");
+        q.launch(&kernel, NDRange::linear(64, 64)).unwrap();
+        let trace = p.take_timeline_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].engine, EngineKind::Copy);
+        assert_eq!(trace[1].engine, EngineKind::Compute);
+        assert!(trace[1].start_s >= trace[0].end_s);
+        // The trace was taken; the next snapshot starts empty.
+        assert!(p.take_timeline_trace().is_empty());
     }
 
     #[test]

@@ -1,9 +1,25 @@
-//! Virtual-time cost model: driver profiles, roofline kernel costs, clocks.
+//! Virtual-time cost model: driver profiles, roofline kernel costs, clocks,
+//! and the per-device execution engines commands are scheduled on.
 //!
 //! All modeled durations are `f64` seconds. The constants below are fixed
 //! once for the whole repository — experiments never override them — so that
 //! every figure is produced by the *same* machine model, like the paper's
 //! single Tesla S1070 testbed.
+//!
+//! ## Scheduling rule
+//!
+//! Each device exposes two independent [`EngineKind`]s — a *compute* engine
+//! executing kernels and a *copy* (DMA) engine executing transfers — over
+//! one shared device timeline, like the dual-engine GPUs the paper targets.
+//! A command submitted on an in-order queue ("stream") starts at
+//!
+//! ```text
+//! start = max(queue-ready, dependency-ready, engine-availability, enqueue time)
+//! ```
+//!
+//! so a D2H/H2D transfer can genuinely run *under* a kernel when their
+//! stream and event dependencies allow it, while two kernels (or two
+//! transfers) on the same device always serialize on their engine.
 //!
 //! ## Where the constants come from
 //!
@@ -24,6 +40,26 @@ use std::sync::Arc;
 /// Number of lanes executing in lock-step; warp divergence is modeled at
 /// this granularity (NVIDIA terminology, matching the Tesla hardware).
 pub const WARP_SIZE: usize = 32;
+
+/// Which execution engine of a device a command occupies. The modeled
+/// hardware (like the real Tesla parts and every modern GPU) has a
+/// dedicated DMA engine, so transfers and kernels only contend when they
+/// target the *same* engine; commands on different engines of one device
+/// may overlap in virtual time if their dependencies allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Kernel execution.
+    Compute,
+    /// Host↔device and device↔device transfers (the DMA engine).
+    Copy,
+}
+
+/// The latest completion time of a set of prerequisite timestamps — the
+/// "dependency-ready" term of the scheduling rule. An empty set is ready at
+/// the epoch.
+pub fn ready_s(deps: impl IntoIterator<Item = f64>) -> f64 {
+    deps.into_iter().fold(0.0, f64::max)
+}
 
 /// Extra cycles charged per local-memory bank conflict (serialised access).
 pub const BANK_CONFLICT_CYCLES: f64 = 2.0;
