@@ -290,22 +290,39 @@ mod tests {
         let (q, p, dim) = (16, 24, 6);
         let qm = Matrix::from_slice(&c, q, dim, &crate::test_points(q, dim, 11));
         let pm = Matrix::from_slice(&c, p, dim, &crate::test_points(p, dim, 12));
-        let before = c.platform().stats_snapshot();
+        // The d2h accounting is read through the context's unified metrics
+        // view (the platform counters surface there as `vgpu.*`).
+        let d2h = |c: &skelcl::Context| {
+            let m = c.metrics_snapshot();
+            (
+                m["vgpu.d2h_transfers"].as_counter().unwrap(),
+                m["vgpu.d2h_bytes"].as_counter().unwrap(),
+            )
+        };
+        let (before_transfers, before_bytes) = d2h(&c);
         let (dist, idx) = nearest_neighbors_device(&qm, &pm, AllPairsStrategy::default()).unwrap();
-        let delta = c.platform().stats_snapshot() - before;
-        assert_eq!(delta.d2h_transfers, 0, "no device→host transfers at all");
+        let (after_transfers, after_bytes) = d2h(&c);
         assert_eq!(
-            delta.d2h_bytes, 0,
+            after_transfers - before_transfers,
+            0,
+            "no device→host transfers at all"
+        );
+        assert_eq!(
+            after_bytes - before_bytes,
+            0,
             "no device→host bytes for the distance matrix"
         );
         // The only d2h is the caller's final download of the tiny results.
-        let before = c.platform().stats_snapshot();
+        let (before_transfers, before_bytes) = d2h(&c);
         let _ = dist.to_vec().unwrap();
         let _ = idx.to_vec().unwrap();
-        let delta = c.platform().stats_snapshot() - before;
-        assert!(delta.d2h_transfers > 0, "the result download is real");
+        let (after_transfers, after_bytes) = d2h(&c);
         assert!(
-            delta.d2h_bytes < (q * p * 4 / 2) as u64,
+            after_transfers > before_transfers,
+            "the result download is real"
+        );
+        assert!(
+            after_bytes - before_bytes < (q * p * 4 / 2) as u64,
             "results are vastly smaller than the q×p matrix"
         );
     }

@@ -11,9 +11,10 @@
 //! skeleton created from it.
 
 use crate::error::{Error, Result};
+use crate::metrics::{Counter, MetricValue, MetricsRegistry};
+use crate::trace::{SpanCollector, SpanGuard, SpanRecord};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use vgpu::{
     CommandQueue, CompiledKernel, Device, DriverProfile, KernelBody, Platform, PlatformConfig,
@@ -84,9 +85,19 @@ struct ContextInner {
     work_group: usize,
     /// program hash → built kernel (body is a placeholder; launches rebind).
     programs: Mutex<HashMap<u64, CompiledKernel>>,
+    /// Typed counter/gauge/histogram registry (see [`crate::metrics`]).
+    metrics: MetricsRegistry,
     /// Halo-exchange events performed under this context (see
-    /// [`Context::halo_exchange_count`]).
-    halo_exchanges: AtomicU64,
+    /// [`Context::halo_exchange_count`]); lives in the metrics registry as
+    /// `skelcl.halo_exchanges`.
+    halo_exchanges: Counter,
+    /// In-memory program-registry hits/misses (`skelcl.program_cache.hits`
+    /// / `.misses`) — the first cache layer; the disk layer's hits show up
+    /// as `cache_loads` in the platform stats.
+    program_cache_hits: Counter,
+    program_cache_misses: Counter,
+    /// Skeleton-level span collector (see [`crate::trace`]).
+    spans: SpanCollector,
 }
 
 /// A SkelCL session: devices + queues + program registry.
@@ -125,6 +136,10 @@ impl Context {
         let copy_queues = (0..platform.n_devices())
             .map(|i| platform.queue(i, profile))
             .collect();
+        let metrics = MetricsRegistry::default();
+        let halo_exchanges = metrics.counter("skelcl.halo_exchanges");
+        let program_cache_hits = metrics.counter("skelcl.program_cache.hits");
+        let program_cache_misses = metrics.counter("skelcl.program_cache.misses");
         Context {
             inner: Arc::new(ContextInner {
                 platform,
@@ -133,7 +148,11 @@ impl Context {
                 profile,
                 work_group,
                 programs: Mutex::new(HashMap::new()),
-                halo_exchanges: AtomicU64::new(0),
+                metrics,
+                halo_exchanges,
+                program_cache_hits,
+                program_cache_misses,
+                spans: SpanCollector::default(),
             }),
         }
     }
@@ -197,9 +216,11 @@ impl Context {
         {
             let programs = self.inner.programs.lock();
             if let Some(k) = programs.get(&hash) {
+                self.inner.program_cache_hits.inc();
                 return Ok(k.clone());
             }
         }
+        self.inner.program_cache_misses.inc();
         // One-time code generation cost (string templating) on the host.
         self.inner.platform.charge_host(CODEGEN_COST_S);
         let placeholder: KernelBody = Arc::new(|_wg: &WorkGroup| {
@@ -224,13 +245,92 @@ impl Context {
     /// counting hook behind the `Stencil2D::iterate` exchange-regression
     /// tests.
     pub fn halo_exchange_count(&self) -> u64 {
-        self.inner.halo_exchanges.load(Ordering::Relaxed)
+        self.inner.halo_exchanges.get()
     }
 
     /// Record one halo-exchange event (called by the matrix exchange path
     /// and by `Stencil2D::iterate`'s batched per-iteration exchange).
     pub(crate) fn note_halo_exchange(&self) {
-        self.inner.halo_exchanges.fetch_add(1, Ordering::Relaxed);
+        self.inner.halo_exchanges.inc();
+    }
+
+    /// In-memory program-registry hits so far (kernel reused without
+    /// rebuilding). Cheap wrapper over the `skelcl.program_cache.hits`
+    /// counter in [`Context::metrics`].
+    pub fn program_cache_hits(&self) -> u64 {
+        self.inner.program_cache_hits.get()
+    }
+
+    /// In-memory program-registry misses so far (codegen plus source build
+    /// or disk-cache load was paid).
+    pub fn program_cache_misses(&self) -> u64 {
+        self.inner.program_cache_misses.get()
+    }
+
+    /// The context's typed metrics registry. SkelCL's own counters live
+    /// under `skelcl.*`; anything may register additional metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// One unified view of every metric: the registry's `skelcl.*` entries
+    /// merged with the platform's transfer/kernel/build counters under
+    /// `vgpu.*` names (e.g. `vgpu.h2d_bytes`, `vgpu.kernel_launches`).
+    pub fn metrics_snapshot(&self) -> BTreeMap<String, MetricValue> {
+        let mut snap = self.inner.metrics.snapshot();
+        let s = self.inner.platform.stats_snapshot();
+        for (name, v) in [
+            ("vgpu.h2d_transfers", s.h2d_transfers),
+            ("vgpu.h2d_bytes", s.h2d_bytes),
+            ("vgpu.d2h_transfers", s.d2h_transfers),
+            ("vgpu.d2h_bytes", s.d2h_bytes),
+            ("vgpu.d2d_transfers", s.d2d_transfers),
+            ("vgpu.d2d_bytes", s.d2d_bytes),
+            ("vgpu.kernel_launches", s.kernel_launches),
+            ("vgpu.kernel_cu_cycles", s.kernel_cu_cycles),
+            ("vgpu.kernel_global_bytes", s.kernel_global_bytes),
+            ("vgpu.kernel_busy_ns", s.kernel_busy_ns),
+            ("vgpu.source_builds", s.source_builds),
+            ("vgpu.cache_loads", s.cache_loads),
+            ("vgpu.build_virtual_ns", s.build_virtual_ns),
+        ] {
+            snap.insert(name.to_string(), MetricValue::Counter(v));
+        }
+        snap
+    }
+
+    /// Start collecting skeleton-level spans (see [`crate::trace`]).
+    pub fn enable_spans(&self) {
+        self.inner.spans.enable();
+    }
+
+    /// Whether span collection is on.
+    pub fn spans_enabled(&self) -> bool {
+        self.inner.spans.enabled()
+    }
+
+    /// Take the completed spans recorded so far. Spans from clock epochs
+    /// older than the current one (i.e. opened before the last
+    /// [`vgpu::Platform::reset_clocks`]) are dropped — their timestamps
+    /// refer to a rewound clock.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.take(self.inner.platform.clock_epoch())
+    }
+
+    /// Drop all completed spans but keep collection enabled.
+    pub fn clear_spans(&self) {
+        self.inner.spans.clear();
+    }
+
+    /// Open a named span; it closes (and records itself) when the returned
+    /// guard drops. The skeleton implementations call this around every
+    /// execution; user code may add its own spans the same way.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard::open(self, name)
+    }
+
+    pub(crate) fn span_collector(&self) -> &SpanCollector {
+        &self.inner.spans
     }
 }
 

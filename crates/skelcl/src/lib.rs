@@ -95,6 +95,34 @@
 //! engine ever runs two commands at once (see the `prop_overlap` suite
 //! and the `fig_overlap` bench, which measures the overlap win).
 //!
+//! ## Observability
+//!
+//! Three layers, cheapest first, all off until asked for:
+//!
+//! 1. **Metrics** ([`Context::metrics`], the [`metrics`] module) — a named
+//!    registry of counters/gauges/histograms. The long-standing one-off
+//!    counters (halo exchanges, program-cache hits/misses) are thin
+//!    wrappers over registry counters now; [`Context::metrics_snapshot`]
+//!    merges them with the platform's transfer/kernel/build counters under
+//!    `vgpu.*` names into one sorted map.
+//! 2. **Spans** ([`Context::enable_spans`], the [`trace`] module) — every
+//!    skeleton entry point (`Map::apply`, `Stencil2D::iterate`, uploads,
+//!    halo exchanges, …) records a [`SpanRecord`]: skeleton kind, shape,
+//!    distribution, device count, virtual start/end, and exact counter
+//!    deltas (bytes by direction, kernel launches, cache hits). Spans
+//!    nest — a halo exchange inside `iterate` is a child span — and link
+//!    to the engine-level `vgpu::CommandRecord` trace by index range.
+//! 3. **Reports** (the [`report`] module) — [`chrome_trace_json`] merges
+//!    both layers into a Perfetto-loadable Chrome trace (see
+//!    `examples/trace_export.rs`), [`RunReport`] distills a run into
+//!    per-device engine utilization, copy-under-compute overlap, and a
+//!    roofline verdict (achieved vs. the [`vgpu::timing`] cost model's
+//!    peak rates), and [`text_report`] renders it for humans.
+//!
+//! Clock-epoch hygiene: `vgpu::Platform::reset_clocks` starts a new epoch;
+//! spans that straddle a reset are discarded, while metrics (monotonic
+//! counters) deliberately survive it — see the [`trace`] module docs.
+//!
 //! ## Dot product (the paper's Listing 1)
 //!
 //! ```
@@ -282,8 +310,11 @@ pub mod context;
 pub mod error;
 pub mod matrix;
 pub mod meter;
+pub mod metrics;
+pub mod report;
 pub mod scalar;
 pub mod skeletons;
+pub mod trace;
 pub mod vector;
 
 pub use arguments::{ArgMat, ArgVec, Arguments, KernelEnv};
@@ -292,12 +323,15 @@ pub use context::{Context, ContextConfig, DEFAULT_WORK_GROUP};
 pub use error::{Error, Result};
 pub use matrix::{Matrix, MatrixDistribution};
 pub use meter::work;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use report::{chrome_trace_json, roofline_report, text_report, RooflineReport, RunReport};
 pub use scalar::Scalar;
 pub use skeletons::{AllPairs, AllPairsStrategy};
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
 pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
 pub use skeletons::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
+pub use trace::{verify_span_nesting, SpanGuard, SpanRecord};
 pub use vector::{Distribution, Vector};
 
 /// The element trait vectors are generic over (re-exported from the

@@ -937,6 +937,10 @@ fn exchange_part_halos_impl<T: Scalar>(
     if cols == 0 {
         return Ok((false, events));
     }
+    let mut span = ctx.span("halo.exchange");
+    span.attr("shape", format!("{n_rows}x{cols}"));
+    span.attr("overlapped", deps_by_device.is_some().to_string());
+    span.attr("devices", ctx.n_devices().to_string());
     // Every halo row crosses a device boundary (its owner is a neighbour),
     // so the batch size is roughly two transfers per part.
     let concurrent = (2 * parts.len()).min(2 * ctx.n_devices()).max(1);

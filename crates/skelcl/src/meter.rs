@@ -6,6 +6,13 @@
 //! with data-dependent loops (the Mandelbrot iteration!) call [`work`] to
 //! report the operations they actually executed — that is what makes warp
 //! divergence visible to the cost model.
+//!
+//! Reported work flows into the same per-launch cost the observability
+//! layer reads: a span ([`crate::trace`]) covering the launch sees the
+//! dynamic op count in its `stats.kernel_cu_cycles` delta, and the
+//! roofline report ([`crate::report`]) prices it against peak — so a
+//! `work`-heavy kernel shows up compute-bound exactly as it is charged,
+//! not as its static estimate.
 
 use std::cell::Cell;
 

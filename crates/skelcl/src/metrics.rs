@@ -1,0 +1,281 @@
+//! Typed metrics registry: named counters, gauges, and histograms.
+//!
+//! The observability layer records *what happened* in two complementary
+//! shapes: the [`crate::trace`] spans capture per-skeleton-call context,
+//! while this registry holds cheap named aggregates — halo exchanges,
+//! program-cache hits, per-skeleton call counts — that accumulate for the
+//! lifetime of a [`crate::Context`]. The platform-level transfer and kernel
+//! counters ([`vgpu::StatsSnapshot`]) are merged into
+//! [`crate::Context::metrics_snapshot`] under `vgpu.*` names so one call
+//! yields the whole picture.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! shared state: register once, bump from anywhere, no lock on the hot
+//! path for counters and gauges.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing integer metric.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point metric (utilization %, ratios).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Streaming distribution summary (count/sum/min/max) of observed samples —
+/// e.g. per-span durations. Deliberately bucket-free: the virtual platform
+/// is deterministic, so min/mean/max answer the questions buckets would.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<Mutex<HistogramData>>);
+
+impl Histogram {
+    pub fn observe(&self, v: f64) {
+        let mut d = self.0.lock();
+        if d.count == 0 {
+            d.min = v;
+            d.max = v;
+        } else {
+            d.min = d.min.min(v);
+            d.max = d.max.max(v);
+        }
+        d.count += 1;
+        d.sum += v;
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let d = self.0.lock();
+        HistogramSnapshot {
+            count: d.count,
+            sum: d.sum,
+            min: d.min,
+            max: d.max,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]. `min`/`max` are 0 when empty.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric's current value, as returned by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The counter value, or `None` for other metric kinds.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value, or `None` for other metric kinds.
+    pub fn as_gauge(&self) -> Option<f64> {
+        match self {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Named metric registry. Registration is get-or-create: asking twice for
+/// the same name returns handles to the same underlying metric; asking for
+/// an existing name with a *different* kind panics (a programming error,
+/// like registering two Prometheus collectors under one name).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Current value of a registered counter (`None` when absent or not a
+    /// counter).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().get(name) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Current value of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        self.metrics
+            .lock()
+            .iter()
+            .map(|(name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("skelcl.test.calls");
+        let b = reg.counter("skelcl.test.calls");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.counter_value("skelcl.test.calls"), Some(3));
+        assert_eq!(reg.counter_value("absent"), None);
+    }
+
+    #[test]
+    fn gauges_store_last_value() {
+        let reg = MetricsRegistry::default();
+        let g = reg.gauge("util");
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(0.5);
+        assert_eq!(reg.snapshot()["util"], MetricValue::Gauge(0.5));
+    }
+
+    #[test]
+    fn histograms_summarise_samples() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("span.duration_s");
+        h.observe(2.0);
+        h.observe(4.0);
+        h.observe(3.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let reg = MetricsRegistry::default();
+        reg.counter("b.count").inc();
+        reg.gauge("a.gauge").set(1.0);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.keys().cloned().collect();
+        assert_eq!(names, vec!["a.gauge", "b.count"]);
+        assert_eq!(snap["b.count"].as_counter(), Some(1));
+        assert_eq!(snap["a.gauge"].as_gauge(), Some(1.0));
+        assert_eq!(snap["b.count"].as_gauge(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::default();
+        reg.counter("same.name");
+        reg.gauge("same.name");
+    }
+}

@@ -143,6 +143,10 @@ where
             });
         }
         let ctx = a.ctx().clone();
+        let mut span = ctx.span("allpairs.apply");
+        span.attr("shape", format!("{m}x{ka}x{n}"));
+        span.attr("distribution", format!("{:?}", a.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
 
         // A's parts must hold full rows; a column-block A is re-laid out
         // (device-side when fresh) into row blocks.

@@ -106,6 +106,10 @@ where
     /// distribution — its data stays on the devices (lazy copying).
     pub fn apply(&self, input: &Vector<T>) -> Result<Vector<U>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("map.apply");
+        span.attr("len", input.len().to_string());
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program)?;
         let in_parts = input.parts()?;
         let out_parts = alloc_matching_parts::<T, U>(&ctx, &in_parts)?;
@@ -130,6 +134,11 @@ where
     /// degrades to exactly `apply`'s schedule.
     pub fn apply_streamed(&self, input: &Vector<T>, chunk_len: usize) -> Result<Vector<U>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("map.apply_streamed");
+        span.attr("len", input.len().to_string());
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
+        span.attr("chunk_len", chunk_len.to_string());
         let compiled = ctx.get_or_build(&self.program)?;
         let (in_parts, upload_chunks) = input.parts_with_upload_chunks(chunk_len.max(1))?;
         let out_parts = alloc_matching_parts::<T, U>(&ctx, &in_parts)?;
@@ -166,6 +175,13 @@ where
     /// element-wise chains.
     pub fn apply_matrix(&self, input: &Matrix<T>) -> Result<Matrix<U>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("map.apply_matrix");
+        span.attr("shape", {
+            let (r, c) = input.dims();
+            format!("{r}x{c}")
+        });
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program2d)?;
         let (rows, cols) = input.dims();
         let in_parts = input.parts()?;
@@ -248,6 +264,10 @@ where
     /// uploaded per their own distributions before the launch.
     pub fn apply(&self, input: &Vector<T>, args: &Arguments) -> Result<Vector<U>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("map_args.apply");
+        span.attr("len", input.len().to_string());
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program())?;
         args.ensure_on_devices()?;
         let in_parts = input.parts()?;
@@ -328,6 +348,10 @@ where
 
     pub fn apply(&self, input: &Vector<T>, args: &Arguments) -> Result<()> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("map_void.apply");
+        span.attr("len", input.len().to_string());
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program())?;
         args.ensure_on_devices()?;
         let in_parts = input.parts()?;

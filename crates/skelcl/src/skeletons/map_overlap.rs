@@ -87,6 +87,11 @@ where
 
     pub fn apply(&self, input: &Vector<T>) -> Result<Vector<T>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("map_overlap.apply");
+        span.attr("len", input.len().to_string());
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
+        span.attr("radius", self.radius.to_string());
         let compiled = ctx.get_or_build(&self.program)?;
         let parts = input.parts()?;
         let out_parts = alloc_matching_parts::<T, T>(&ctx, &parts)?;

@@ -79,6 +79,10 @@ where
             return Err(Error::Empty("reduce"));
         }
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("reduce.apply");
+        span.attr("len", input.len().to_string());
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program)?;
         let parts = input.parts()?;
 

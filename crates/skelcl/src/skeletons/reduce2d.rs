@@ -384,6 +384,10 @@ where
     pub fn apply(&self, input: &Matrix<T>) -> Result<Vector<T>> {
         let ctx = input.ctx().clone();
         let (rows, cols) = input.dims();
+        let mut span = ctx.span("reduce_rows.apply");
+        span.attr("shape", format!("{rows}x{cols}"));
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         if rows == 0 {
             return Ok(Vector::from_vec(&ctx, Vec::new()));
         }
@@ -448,6 +452,10 @@ where
     pub fn apply(&self, input: &Matrix<T>) -> Result<Vector<T>> {
         let ctx = input.ctx().clone();
         let (rows, cols) = input.dims();
+        let mut span = ctx.span("reduce_cols.apply");
+        span.attr("shape", format!("{rows}x{cols}"));
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         if cols == 0 {
             return Ok(Vector::from_vec(&ctx, Vec::new()));
         }
@@ -576,6 +584,10 @@ where
     pub fn apply(&self, input: &Matrix<T>) -> Result<(Vector<T>, Vector<u32>)> {
         let ctx = input.ctx().clone();
         let (rows, cols) = input.dims();
+        let mut span = ctx.span("reduce_rows_arg.apply");
+        span.attr("shape", format!("{rows}x{cols}"));
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         if cols == 0 {
             return Err(Error::Empty("reduce_rows_arg"));
         }
@@ -692,6 +704,10 @@ where
     pub fn apply(&self, input: &Matrix<T>) -> Result<(Vector<T>, Vector<u32>)> {
         let ctx = input.ctx().clone();
         let (rows, cols) = input.dims();
+        let mut span = ctx.span("reduce_cols_arg.apply");
+        span.attr("shape", format!("{rows}x{cols}"));
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         if rows == 0 {
             return Err(Error::Empty("reduce_cols_arg"));
         }

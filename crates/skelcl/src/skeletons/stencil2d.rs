@@ -327,6 +327,14 @@ where
     /// (lazy copying).
     pub fn apply(&self, input: &Matrix<T>) -> Result<Matrix<U>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("stencil2d.apply");
+        span.attr("shape", {
+            let (r, c) = input.dims();
+            format!("{r}x{c}")
+        });
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
+        span.attr("radius", self.radius.to_string());
         let compiled = ctx.get_or_build(&self.program)?;
         self.ensure_stencil_layout(input)?;
 
@@ -362,6 +370,15 @@ where
     /// schedule.
     pub fn apply_streamed(&self, input: &Matrix<T>, chunk_rows: usize) -> Result<Matrix<U>> {
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("stencil2d.apply_streamed");
+        span.attr("shape", {
+            let (r, c) = input.dims();
+            format!("{r}x{c}")
+        });
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
+        span.attr("radius", self.radius.to_string());
+        span.attr("chunk_rows", chunk_rows.to_string());
         let compiled = ctx.get_or_build(&self.program)?;
         self.ensure_stencil_layout(input)?;
 
@@ -479,6 +496,16 @@ where
             return Ok(input.clone());
         }
         let ctx = input.ctx().clone();
+        let mut span = ctx.span("stencil2d.iterate");
+        span.attr("shape", {
+            let (r, c) = input.dims();
+            format!("{r}x{c}")
+        });
+        span.attr("distribution", format!("{:?}", input.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
+        span.attr("radius", self.radius.to_string());
+        span.attr("iterations", n.to_string());
+        span.attr("schedule", if overlap { "overlapped" } else { "serial" });
         let compiled = ctx.get_or_build(&self.iter_program)?;
         self.ensure_stencil_layout(input)?;
 

@@ -75,6 +75,10 @@ where
             });
         }
         let ctx = lhs.ctx().clone();
+        let mut span = ctx.span("zip.apply");
+        span.attr("len", lhs.len().to_string());
+        span.attr("distribution", format!("{:?}", lhs.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program)?;
 
         // Align distributions: rhs follows lhs (automatic data exchange).
@@ -133,6 +137,13 @@ where
             });
         }
         let ctx = lhs.ctx().clone();
+        let mut span = ctx.span("zip.apply_matrix");
+        span.attr("shape", {
+            let (r, c) = lhs.dims();
+            format!("{r}x{c}")
+        });
+        span.attr("distribution", format!("{:?}", lhs.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program2d)?;
         if rhs.distribution() != lhs.distribution() {
             rhs.set_distribution(lhs.distribution())?;
@@ -226,6 +237,10 @@ where
             });
         }
         let ctx = lhs.ctx().clone();
+        let mut span = ctx.span("zip_args.apply");
+        span.attr("len", lhs.len().to_string());
+        span.attr("distribution", format!("{:?}", lhs.distribution()));
+        span.attr("devices", ctx.n_devices().to_string());
         let compiled = ctx.get_or_build(&self.program())?;
         args.ensure_on_devices()?;
         if rhs.distribution() != lhs.distribution() {

@@ -1,0 +1,317 @@
+//! Skeleton-level spans: structured telemetry for every skeleton execution.
+//!
+//! With spans enabled ([`crate::Context::enable_spans`]), each skeleton
+//! call (`Map::apply`, `Stencil2D::iterate`, …) opens a [`SpanRecord`] on
+//! the context recording *what* ran (skeleton kind, shape, distribution,
+//! device count) and *what it cost* (virtual start/end time, bytes moved by
+//! direction, kernel launches and cache hits, halo exchanges) — the deltas
+//! are taken from the platform's monotonic [`vgpu::StatsSnapshot`]
+//! counters, so a span is exact even when other work ran before it.
+//!
+//! Spans nest: a halo exchange performed inside `Stencil2D::iterate` opens
+//! a child span whose `parent` is the iterate span's id, and the interval
+//! invariant `parent.start ≤ child.start ≤ child.end ≤ parent.end` holds by
+//! construction ([`verify_span_nesting`] pins it). When the platform's
+//! timeline trace is also enabled, each span remembers the half-open range
+//! `[trace_first, trace_first + trace_len)` of [`vgpu::CommandRecord`]s
+//! scheduled while it was open — the link the Chrome exporter
+//! ([`crate::report::chrome_trace_json`]) uses to merge both layers into
+//! one timeline.
+//!
+//! # Clock epochs
+//!
+//! [`vgpu::Platform::reset_clocks`] starts a new clock epoch and rewinds
+//! virtual time, so timestamps recorded before a reset are meaningless
+//! afterwards. Span records carry the epoch they were opened in; a span
+//! that closes in a *different* epoch is silently discarded, and
+//! [`crate::Context::take_spans`] drops records from stale epochs — the
+//! returned spans always belong to the current epoch, like the platform's
+//! own timeline trace (which a reset clears).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vgpu::StatsSnapshot;
+
+use crate::context::Context;
+use parking_lot::Mutex;
+
+/// One completed skeleton-level span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within this context (ids are never reused).
+    pub id: u64,
+    /// Enclosing span's id, when this call ran inside another span.
+    pub parent: Option<u64>,
+    /// Operation name, e.g. `"stencil2d.iterate"` or `"halo.exchange"`.
+    pub name: &'static str,
+    /// Free-form context: shape, distribution, device count, iterations…
+    pub attrs: Vec<(&'static str, String)>,
+    /// Virtual time the span opened (host clock).
+    pub start_s: f64,
+    /// Virtual time the span closed: host clock joined with every device
+    /// engine, i.e. when all work scheduled inside the span completes.
+    pub end_s: f64,
+    /// Clock epoch the span ran in (see module docs).
+    pub epoch: u64,
+    /// Platform counter deltas over the span: transfers and bytes by
+    /// direction, kernel launches, roofline cycle/byte counters, program
+    /// builds vs. binary-cache loads.
+    pub stats: StatsSnapshot,
+    /// Halo-exchange events performed inside the span.
+    pub halo_exchanges: u64,
+    /// In-memory program-registry hits inside the span (kernel reused).
+    pub program_cache_hits: u64,
+    /// In-memory program-registry misses (codegen + build/disk-load paid).
+    pub program_cache_misses: u64,
+    /// Index of the first platform [`vgpu::CommandRecord`] scheduled while
+    /// the span was open (valid when timeline tracing was enabled).
+    pub trace_first: usize,
+    /// Number of timeline records scheduled while the span was open. The
+    /// span's child commands are `trace[trace_first..trace_first + trace_len]`.
+    pub trace_len: usize,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+#[derive(Default)]
+struct CollectorState {
+    records: Vec<SpanRecord>,
+    /// Ids of currently-open spans, outermost first.
+    stack: Vec<u64>,
+}
+
+/// Per-context span collector; disabled (and free) by default.
+#[derive(Default)]
+pub(crate) struct SpanCollector {
+    enabled: AtomicBool,
+    next_id: AtomicU64,
+    state: Mutex<CollectorState>,
+}
+
+impl SpanCollector {
+    pub(crate) fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span: allocate an id, note the innermost open span as parent,
+    /// push onto the open stack.
+    fn open(&self) -> (u64, Option<u64>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+        let parent = st.stack.last().copied();
+        st.stack.push(id);
+        (id, parent)
+    }
+
+    /// Close a span: pop it from the open stack and record it unless the
+    /// clock epoch changed while it was open.
+    fn close(&self, record: SpanRecord, current_epoch: u64) {
+        let mut st = self.state.lock();
+        if let Some(pos) = st.stack.iter().rposition(|&id| id == record.id) {
+            st.stack.remove(pos);
+        }
+        if record.epoch == current_epoch {
+            st.records.push(record);
+        }
+    }
+
+    /// Take completed records, dropping any from stale epochs.
+    pub(crate) fn take(&self, current_epoch: u64) -> Vec<SpanRecord> {
+        let mut records = std::mem::take(&mut self.state.lock().records);
+        records.retain(|r| r.epoch == current_epoch);
+        records
+    }
+
+    pub(crate) fn clear(&self) {
+        self.state.lock().records.clear();
+    }
+}
+
+/// RAII handle for an open span; closes (and records) it on drop. Obtained
+/// from the context by the skeleton implementations; a no-op shell when
+/// spans are disabled.
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    ctx: Context,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    attrs: Vec<(&'static str, String)>,
+    start_s: f64,
+    epoch: u64,
+    before: StatsSnapshot,
+    before_halo: u64,
+    before_hits: u64,
+    before_misses: u64,
+    trace_first: usize,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> SpanGuard {
+        SpanGuard { open: None }
+    }
+
+    pub(crate) fn open(ctx: &Context, name: &'static str) -> SpanGuard {
+        let collector = ctx.span_collector();
+        if !collector.enabled() {
+            return SpanGuard::disabled();
+        }
+        let platform = ctx.platform();
+        let (id, parent) = collector.open();
+        SpanGuard {
+            open: Some(OpenSpan {
+                ctx: ctx.clone(),
+                id,
+                parent,
+                name,
+                attrs: Vec::new(),
+                start_s: platform.host_now_s(),
+                epoch: platform.clock_epoch(),
+                before: platform.stats_snapshot(),
+                before_halo: ctx.halo_exchange_count(),
+                before_hits: ctx.program_cache_hits(),
+                before_misses: ctx.program_cache_misses(),
+                trace_first: platform.timeline_trace_len(),
+            }),
+        }
+    }
+
+    /// Attach one key/value attribute; no-op when spans are disabled.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(open) = self.open.as_mut() {
+            open.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let ctx = open.ctx.clone();
+        let platform = ctx.platform();
+        // When all work scheduled inside the span is done: host clock
+        // joined with every device engine. Reading (not syncing) keeps the
+        // span observer-only — it must not advance any clock.
+        let end_s = platform
+            .devices()
+            .iter()
+            .map(|d| d.clock().now_s())
+            .fold(platform.host_now_s(), f64::max);
+        let trace_now = platform.timeline_trace_len();
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            attrs: open.attrs,
+            start_s: open.start_s,
+            end_s,
+            epoch: open.epoch,
+            stats: platform.stats_snapshot() - open.before,
+            halo_exchanges: ctx.halo_exchange_count() - open.before_halo,
+            program_cache_hits: ctx.program_cache_hits() - open.before_hits,
+            program_cache_misses: ctx.program_cache_misses() - open.before_misses,
+            trace_first: open.trace_first,
+            trace_len: trace_now.saturating_sub(open.trace_first),
+        };
+        ctx.span_collector().close(record, platform.clock_epoch());
+    }
+}
+
+/// Check the span-nesting invariant: every child's interval must sit inside
+/// its parent's (`parent.start ≤ child.start` and `child.end ≤ parent.end`)
+/// and every referenced parent must exist. Returns all violations (one per
+/// line) or `None`.
+pub fn verify_span_nesting(spans: &[SpanRecord]) -> Option<String> {
+    let mut violations = Vec::new();
+    let by_id: std::collections::HashMap<u64, &SpanRecord> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    for s in spans {
+        if s.end_s + 1e-12 < s.start_s {
+            violations.push(format!(
+                "span {} ({}) ends before it starts: [{}, {}]",
+                s.id, s.name, s.start_s, s.end_s
+            ));
+        }
+        let Some(parent_id) = s.parent else { continue };
+        let Some(p) = by_id.get(&parent_id) else {
+            violations.push(format!(
+                "span {} ({}) references missing parent {}",
+                s.id, s.name, parent_id
+            ));
+            continue;
+        };
+        if s.start_s + 1e-12 < p.start_s || s.end_s > p.end_s + 1e-12 {
+            violations.push(format!(
+                "span {} ({}) [{}, {}] escapes parent {} ({}) [{}, {}]",
+                s.id, s.name, s.start_s, s.end_s, p.id, p.name, p.start_s, p.end_s
+            ));
+        }
+    }
+    if violations.is_empty() {
+        None
+    } else {
+        Some(violations.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, start: f64, end: f64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: "test",
+            attrs: Vec::new(),
+            start_s: start,
+            end_s: end,
+            epoch: 0,
+            stats: StatsSnapshot::default(),
+            halo_exchanges: 0,
+            program_cache_hits: 0,
+            program_cache_misses: 0,
+            trace_first: 0,
+            trace_len: 0,
+        }
+    }
+
+    #[test]
+    fn nested_spans_pass() {
+        let spans = vec![
+            span(0, None, 0.0, 10.0),
+            span(1, Some(0), 1.0, 5.0),
+            span(2, Some(0), 5.0, 10.0),
+        ];
+        assert!(verify_span_nesting(&spans).is_none());
+    }
+
+    #[test]
+    fn escaping_child_is_reported() {
+        let spans = vec![span(0, None, 0.0, 4.0), span(1, Some(0), 1.0, 5.0)];
+        let msg = verify_span_nesting(&spans).expect("violation expected");
+        assert!(msg.contains("escapes parent"), "{msg}");
+    }
+
+    #[test]
+    fn missing_parent_and_backwards_interval_are_both_reported() {
+        let spans = vec![span(1, Some(99), 1.0, 5.0), span(2, None, 3.0, 2.0)];
+        let msg = verify_span_nesting(&spans).expect("violations expected");
+        assert_eq!(msg.lines().count(), 2, "{msg}");
+        assert!(msg.contains("missing parent"), "{msg}");
+        assert!(msg.contains("ends before it starts"), "{msg}");
+    }
+}

@@ -384,6 +384,10 @@ fn ensure_on_devices<T: Scalar>(ctx: &Context, st: &mut State<T>) -> Result<()> 
         st.host_fresh,
         "vector has neither fresh host nor fresh device data"
     );
+    let mut span = ctx.span("vector.upload");
+    span.attr("len", st.host.len().to_string());
+    span.attr("distribution", format!("{:?}", st.dist));
+    span.attr("devices", ctx.n_devices().to_string());
     let lay = layout(st.dist, st.host.len(), ctx.n_devices());
     let concurrent = lay.iter().filter(|(_, _, l)| *l > 0).count().max(1);
     let mut parts = Vec::with_capacity(lay.len());
@@ -422,6 +426,11 @@ fn ensure_on_devices_streamed<T: Scalar>(
         "vector has neither fresh host nor fresh device data"
     );
     let chunk_len = chunk_len.max(1);
+    let mut span = ctx.span("vector.upload_streamed");
+    span.attr("len", st.host.len().to_string());
+    span.attr("distribution", format!("{:?}", st.dist));
+    span.attr("chunk_len", chunk_len.to_string());
+    span.attr("devices", ctx.n_devices().to_string());
     let lay = layout(st.dist, st.host.len(), ctx.n_devices());
     let concurrent = lay.iter().filter(|(_, _, l)| *l > 0).count().max(1);
     let mut parts = Vec::with_capacity(lay.len());

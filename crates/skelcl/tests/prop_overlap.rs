@@ -17,7 +17,7 @@ use skelcl::{
     Boundary2D, Context, ContextConfig, Map, Matrix, MatrixDistribution, Stencil2D, Stencil2DView,
     UserFn, Vector,
 };
-use vgpu::{verify_engine_exclusive, CommandRecord, DeviceSpec, EngineKind};
+use vgpu::{verify_engine_exclusive, CommandRecord, DeviceSpec};
 
 fn ctx(n_devices: usize) -> Context {
     Context::new(
@@ -279,17 +279,12 @@ fn overlapped_iterate_runs_copies_under_kernels() {
     st.iterate(&m, 8).unwrap();
     c.sync();
     let trace = c.platform().take_timeline_trace();
-    let overlapping = trace.iter().any(|copy| {
-        copy.engine == EngineKind::Copy
-            && trace.iter().any(|k| {
-                k.engine == EngineKind::Compute
-                    && k.device == copy.device
-                    && copy.start_s < k.end_s
-                    && k.start_s < copy.end_s
-            })
-    });
+    let overlap_s: f64 = vgpu::compute_copy_overlap_s(&trace)
+        .iter()
+        .map(|(_, s)| s)
+        .sum();
     assert!(
-        overlapping,
+        overlap_s > 0.0,
         "no halo copy overlapped a kernel on any device's timeline"
     );
 }

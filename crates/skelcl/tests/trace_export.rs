@@ -1,0 +1,159 @@
+//! Chrome-trace export round trip: a 4-device `Stencil2D::iterate` run is
+//! exported with [`skelcl::report::chrome_trace_json`], parsed back with
+//! the crate's own JSON parser, structurally validated as a Chrome
+//! trace-event document, and the engine intervals reconstructed *from the
+//! JSON* must still satisfy [`vgpu::verify_engine_exclusive`] — the
+//! acceptance gate for the exporter: what Perfetto renders is exactly the
+//! physical timeline the simulator scheduled.
+
+use skelcl::report::{chrome_trace_json, json};
+use skelcl::{
+    verify_span_nesting, Boundary2D, Context, ContextConfig, Matrix, MatrixDistribution, Stencil2D,
+    Stencil2DView, UserFn,
+};
+use vgpu::{CommandRecord, DeviceId, DeviceSpec, EngineKind};
+
+fn export_from_iterate() -> String {
+    let ctx = Context::new(
+        ContextConfig::default()
+            .devices(4)
+            .spec(DeviceSpec::tiny())
+            .work_group(64)
+            .cache_tag("trace-export-test"),
+    );
+    ctx.enable_spans();
+    ctx.platform().enable_timeline_trace();
+
+    let user = UserFn::new(
+        "exmean",
+        "float exmean(__global float* in, int r, int c, uint nr, uint nc) { /* mean */ }",
+        |v: &Stencil2DView<'_, f32>| {
+            0.25 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1))
+        },
+    );
+    let st = Stencil2D::new(user, 1, Boundary2D::Neumann);
+    let m = Matrix::from_vec(&ctx, 48, 16, (0..48 * 16).map(|i| i as f32).collect());
+    m.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+        .unwrap();
+    st.iterate(&m, 4).unwrap().to_vec().unwrap();
+    ctx.sync();
+
+    let spans = ctx.take_spans();
+    let trace = ctx.platform().take_timeline_trace();
+    assert!(!spans.is_empty() && !trace.is_empty());
+    assert_eq!(verify_span_nesting(&spans), None);
+    assert_eq!(vgpu::verify_engine_exclusive(&trace), None);
+    chrome_trace_json(&spans, &trace)
+}
+
+#[test]
+fn exported_chrome_trace_round_trips_and_stays_physical() {
+    let exported = export_from_iterate();
+    let doc = json::parse(&exported).expect("exporter must emit valid JSON");
+
+    let events = doc
+        .get("traceEvents")
+        .expect("top-level traceEvents")
+        .as_arr()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+
+    let mut span_events = 0usize;
+    let mut engine_records: Vec<CommandRecord> = Vec::new();
+    for ev in events {
+        // Structural validation: the fields Chrome/Perfetto require.
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has a ph");
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        let pid = ev.get("pid").and_then(|v| v.as_num()).expect("pid");
+        let tid = ev.get("tid").and_then(|v| v.as_num()).expect("tid");
+        match ph {
+            "M" => continue, // metadata: process/thread names
+            "X" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+        let ts = ev.get("ts").and_then(|v| v.as_num()).expect("ts");
+        let dur = ev.get("dur").and_then(|v| v.as_num()).expect("dur");
+        assert!(ts.is_finite() && ts >= 0.0, "ts must be a finite µs value");
+        assert!(dur.is_finite() && dur >= 0.0, "dur must be non-negative");
+
+        if pid == 0.0 {
+            span_events += 1;
+        } else {
+            // Engine lane: pid = device + 1, tid 0 = compute, 1 = copy.
+            let engine = match tid as usize {
+                0 => EngineKind::Compute,
+                1 => EngineKind::Copy,
+                other => panic!("unexpected engine tid {other}"),
+            };
+            engine_records.push(CommandRecord {
+                device: DeviceId(pid as usize - 1),
+                engine,
+                start_s: ts * 1e-6,
+                end_s: (ts + dur) * 1e-6,
+            });
+        }
+    }
+
+    assert!(span_events > 0, "span layer must be present");
+    assert!(!engine_records.is_empty(), "engine layer must be present");
+    assert!(
+        engine_records.iter().any(|r| r.engine == EngineKind::Copy),
+        "halo copies must appear on the copy lanes"
+    );
+    assert_eq!(
+        engine_records
+            .iter()
+            .map(|r| r.device.0)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+        4,
+        "all four devices must appear in the export"
+    );
+
+    // The acceptance gate: exclusivity still holds on the *exported*
+    // intervals — the µs round trip must not manufacture overlaps.
+    assert_eq!(vgpu::verify_engine_exclusive(&engine_records), None);
+}
+
+#[test]
+fn span_layer_survives_the_round_trip() {
+    let exported = export_from_iterate();
+    let doc = json::parse(&exported).unwrap();
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+    // Reconstruct span intervals from the JSON and re-check nesting using
+    // the exported span_id/parent args.
+    let mut by_id: std::collections::HashMap<u64, (f64, f64)> = Default::default();
+    let mut parents: Vec<(u64, u64)> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for ev in events {
+        if ev.get("ph").and_then(|v| v.as_str()) != Some("X")
+            || ev.get("pid").and_then(|v| v.as_num()) != Some(0.0)
+        {
+            continue;
+        }
+        let args = ev.get("args").expect("span events carry args");
+        let id = args.get("span_id").and_then(|v| v.as_num()).unwrap() as u64;
+        let ts = ev.get("ts").and_then(|v| v.as_num()).unwrap();
+        let dur = ev.get("dur").and_then(|v| v.as_num()).unwrap();
+        by_id.insert(id, (ts, ts + dur));
+        if let Some(p) = args.get("parent").and_then(|v| v.as_num()) {
+            parents.push((id, p as u64));
+        }
+        names.push(ev.get("name").and_then(|v| v.as_str()).unwrap().to_string());
+    }
+    assert!(names.iter().any(|n| n == "stencil2d.iterate"));
+    assert!(names.iter().any(|n| n == "halo.exchange"));
+    assert!(!parents.is_empty(), "halo spans nest under iterate");
+    for (child, parent) in parents {
+        let (cs, ce) = by_id[&child];
+        let (ps, pe) = by_id[&parent];
+        assert!(
+            ps <= cs + 1e-6 && ce <= pe + 1e-6,
+            "exported child span [{cs}, {ce}] escapes parent [{ps}, {pe}]"
+        );
+    }
+}

@@ -97,7 +97,10 @@ pub use exec::LaunchStats;
 pub use kernel::{Item, KernelBody, NDRange, WorkGroup};
 pub use local::LocalBuf;
 pub use platform::{Platform, PlatformConfig};
-pub use profiling::{verify_engine_exclusive, CommandRecord, StatsSnapshot};
+pub use profiling::{
+    compute_copy_overlap_s, engine_usage, trace_window, verify_engine_exclusive,
+    verify_engine_utilization, CommandRecord, EngineUsage, StatsSnapshot,
+};
 pub use queue::{CommandQueue, Event, EventKind};
 pub use timing::{DriverProfile, EngineKind};
 pub use types::{DeviceId, Scalar};

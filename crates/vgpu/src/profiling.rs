@@ -12,6 +12,20 @@
 //! `fig_overlap` bench can assert that two commands never overlap on the
 //! same engine of one device — and that overlapped schedules really do run
 //! copies under kernels.
+//!
+//! On top of the raw trace this module provides the analysis primitives the
+//! observability layer is built from: per-engine busy time and utilization
+//! ([`engine_usage`]), compute/copy overlap per device
+//! ([`compute_copy_overlap_s`]), and the invariant checkers
+//! ([`verify_engine_exclusive`], [`verify_engine_utilization`]).
+//!
+//! # Clock-epoch semantics
+//!
+//! [`crate::Platform::reset_clocks`] starts a new *clock epoch*: all virtual
+//! clocks rewind to zero and the timeline trace is cleared, so the trace
+//! only ever contains records of the current epoch. The monotonic counters
+//! in [`Stats`] deliberately survive a reset — they are lifetime totals, and
+//! harnesses isolate a region by subtracting [`StatsSnapshot`]s instead.
 
 use crate::timing::EngineKind;
 use crate::types::DeviceId;
@@ -29,31 +43,44 @@ pub struct CommandRecord {
     pub end_s: f64,
 }
 
+fn engine_rank(e: EngineKind) -> u8 {
+    match e {
+        EngineKind::Compute => 0,
+        EngineKind::Copy => 1,
+    }
+}
+
 /// Check engine exclusivity over a recorded trace: no two commands may
 /// overlap on the same engine of one device, and every interval must be
-/// well-formed. Returns a description of the first violation, or `None`
-/// when the trace is physical — test suites assert
+/// well-formed. Returns a description of **every** violation (one per line),
+/// or `None` when the trace is physical — test suites assert
 /// `verify_engine_exclusive(&trace).is_none()`.
 pub fn verify_engine_exclusive(trace: &[CommandRecord]) -> Option<String> {
+    let mut violations = Vec::new();
     let mut lanes: std::collections::HashMap<(DeviceId, EngineKind), Vec<(f64, f64)>> =
         std::collections::HashMap::new();
     for r in trace {
         if !(r.start_s >= 0.0 && r.end_s >= r.start_s) {
-            return Some(format!(
+            violations.push(format!(
                 "malformed interval [{}, {}] on device {:?} {:?}",
                 r.start_s, r.end_s, r.device, r.engine
             ));
+            continue;
         }
         lanes
             .entry((r.device, r.engine))
             .or_default()
             .push((r.start_s, r.end_s));
     }
-    for ((device, engine), mut spans) in lanes {
+    let mut keys: Vec<_> = lanes.keys().copied().collect();
+    keys.sort_by_key(|(d, e)| (*d, engine_rank(*e)));
+    for key in keys {
+        let (device, engine) = key;
+        let spans = lanes.get_mut(&key).unwrap();
         spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in spans.windows(2) {
             if w[0].1 > w[1].0 + 1e-12 {
-                return Some(format!(
+                violations.push(format!(
                     "device {device:?} {engine:?} engine runs two commands at once: \
                      [{}, {}] overlaps [{}, {}]",
                     w[0].0, w[0].1, w[1].0, w[1].1
@@ -61,7 +88,168 @@ pub fn verify_engine_exclusive(trace: &[CommandRecord]) -> Option<String> {
             }
         }
     }
-    None
+    if violations.is_empty() {
+        None
+    } else {
+        Some(violations.join("\n"))
+    }
+}
+
+/// Trace-derived occupancy of one engine of one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineUsage {
+    pub device: DeviceId,
+    pub engine: EngineKind,
+    /// Number of commands recorded on this lane.
+    pub commands: usize,
+    /// Total busy seconds (plain sum of interval lengths; equals the union
+    /// length when the trace is engine-exclusive).
+    pub busy_s: f64,
+}
+
+impl EngineUsage {
+    /// Fraction of `window_s` this engine was busy. On an engine-exclusive
+    /// trace whose records fall inside the window this is in `[0, 1]`.
+    pub fn utilization(&self, window_s: f64) -> f64 {
+        if window_s <= 0.0 {
+            if self.busy_s > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.busy_s / window_s
+        }
+    }
+}
+
+/// Summarise a trace into per-(device, engine) busy time, sorted by device
+/// then engine (compute before copy). Lanes with no commands are absent.
+pub fn engine_usage(trace: &[CommandRecord]) -> Vec<EngineUsage> {
+    let mut lanes: std::collections::HashMap<(DeviceId, EngineKind), (usize, f64)> =
+        std::collections::HashMap::new();
+    for r in trace {
+        let e = lanes.entry((r.device, r.engine)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += (r.end_s - r.start_s).max(0.0);
+    }
+    let mut out: Vec<EngineUsage> = lanes
+        .into_iter()
+        .map(|((device, engine), (commands, busy_s))| EngineUsage {
+            device,
+            engine,
+            commands,
+            busy_s,
+        })
+        .collect();
+    out.sort_by_key(|u| (u.device, engine_rank(u.engine)));
+    out
+}
+
+/// The `[min start, max end]` window covered by a trace, or `None` for an
+/// empty trace.
+pub fn trace_window(trace: &[CommandRecord]) -> Option<(f64, f64)> {
+    let mut it = trace.iter();
+    let first = it.next()?;
+    let mut lo = first.start_s;
+    let mut hi = first.end_s;
+    for r in it {
+        lo = lo.min(r.start_s);
+        hi = hi.max(r.end_s);
+    }
+    Some((lo, hi))
+}
+
+/// Merge possibly-overlapping intervals into a disjoint, sorted union.
+fn merge_intervals(mut spans: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two disjoint sorted interval sets.
+fn intersection_len(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Seconds during which *both* engines of a device were busy at once —
+/// the copies-under-kernels overlap the async subsystem exists to create.
+/// Returns one `(device, overlap seconds)` entry per device present in the
+/// trace, sorted by device.
+pub fn compute_copy_overlap_s(trace: &[CommandRecord]) -> Vec<(DeviceId, f64)> {
+    type Lanes = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+    let mut per_dev: std::collections::HashMap<DeviceId, Lanes> = std::collections::HashMap::new();
+    for r in trace {
+        let e = per_dev.entry(r.device).or_default();
+        let lane = match r.engine {
+            EngineKind::Compute => &mut e.0,
+            EngineKind::Copy => &mut e.1,
+        };
+        lane.push((r.start_s, r.end_s));
+    }
+    let mut out: Vec<(DeviceId, f64)> = per_dev
+        .into_iter()
+        .map(|(dev, (compute, copy))| {
+            let c = merge_intervals(compute);
+            let k = merge_intervals(copy);
+            (dev, intersection_len(&c, &k))
+        })
+        .collect();
+    out.sort_by_key(|(d, _)| *d);
+    out
+}
+
+/// Engine-utilization invariant: over a window of `window_s` seconds every
+/// engine's busy time must be a fraction in `[0, 1]` — more than 100 %
+/// means two commands shared one engine (a scheduling bug), and a negative
+/// value means a malformed interval. Returns all violations (one per line)
+/// or `None`. The window must be positive and cover the trace.
+pub fn verify_engine_utilization(trace: &[CommandRecord], window_s: f64) -> Option<String> {
+    let mut violations = Vec::new();
+    if window_s <= 0.0 && !trace.is_empty() {
+        violations.push(format!("non-positive utilization window {window_s}"));
+    }
+    if let Some((lo, hi)) = trace_window(trace) {
+        if lo < -1e-12 || hi > window_s + 1e-9 {
+            violations.push(format!(
+                "trace window [{lo}, {hi}] escapes the measurement window [0, {window_s}]"
+            ));
+        }
+    }
+    for u in engine_usage(trace) {
+        let util = u.utilization(window_s);
+        if !(0.0..=1.0 + 1e-9).contains(&util) {
+            violations.push(format!(
+                "device {:?} {:?} engine utilization {util:.4} outside [0, 1] \
+                 (busy {:.6e} s over {window_s:.6e} s)",
+                u.device, u.engine, u.busy_s
+            ));
+        }
+    }
+    if violations.is_empty() {
+        None
+    } else {
+        Some(violations.join("\n"))
+    }
 }
 
 /// Monotonic counters; cheap to bump from any thread.
@@ -74,6 +262,17 @@ pub struct Stats {
     pub d2d_transfers: AtomicU64,
     pub d2d_bytes: AtomicU64,
     pub kernel_launches: AtomicU64,
+    /// Modeled compute-unit cycles consumed by kernels (sum of each
+    /// launch's critical-path `max_cu_cycles`, rounded); the numerator of
+    /// the roofline compute-intensity report.
+    pub kernel_cu_cycles: AtomicU64,
+    /// Global-memory traffic generated by kernels in bytes — the roofline
+    /// bandwidth numerator (distinct from PCIe transfer bytes above).
+    pub kernel_global_bytes: AtomicU64,
+    /// Virtual nanoseconds of compute-engine occupancy by kernels
+    /// (duration including launch overhead); busy time for queue-wait
+    /// vs. busy accounting when the timeline trace is disabled.
+    pub kernel_busy_ns: AtomicU64,
     pub source_builds: AtomicU64,
     pub cache_loads: AtomicU64,
     /// Virtual nanoseconds spent building programs (compiles + cache
@@ -99,6 +298,23 @@ impl Stats {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
         }
+    }
+
+    /// Copy the recorded trace *without* clearing it — for observers (span
+    /// collectors, reports) that must not steal the records from the owner
+    /// of the trace.
+    pub fn trace_snapshot(&self) -> Vec<CommandRecord> {
+        match self.trace.lock().as_ref() {
+            Some(t) => t.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of commands recorded so far (0 when tracing is disabled).
+    /// Spans remember this watermark on open so they can later slice their
+    /// child commands out of the trace.
+    pub fn trace_len(&self) -> usize {
+        self.trace.lock().as_ref().map_or(0, |t| t.len())
     }
 
     /// Drop any recorded commands but keep tracing enabled (called between
@@ -129,6 +345,9 @@ impl Stats {
             d2d_transfers: self.d2d_transfers.load(Ordering::Relaxed),
             d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            kernel_cu_cycles: self.kernel_cu_cycles.load(Ordering::Relaxed),
+            kernel_global_bytes: self.kernel_global_bytes.load(Ordering::Relaxed),
+            kernel_busy_ns: self.kernel_busy_ns.load(Ordering::Relaxed),
             source_builds: self.source_builds.load(Ordering::Relaxed),
             cache_loads: self.cache_loads.load(Ordering::Relaxed),
             build_virtual_ns: self.build_virtual_ns.load(Ordering::Relaxed),
@@ -149,6 +368,19 @@ impl Stats {
         self.d2d_transfers.fetch_add(1, Ordering::Relaxed);
         self.d2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
+
+    /// Account one kernel launch for the roofline counters: `cu_cycles` of
+    /// modeled compute, `global_bytes` of device-memory traffic, and
+    /// `busy_s` of compute-engine occupancy (kernel + launch overhead).
+    pub fn add_kernel(&self, cu_cycles: f64, global_bytes: u64, busy_s: f64) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.kernel_cu_cycles
+            .fetch_add(cu_cycles.round() as u64, Ordering::Relaxed);
+        self.kernel_global_bytes
+            .fetch_add(global_bytes, Ordering::Relaxed);
+        self.kernel_busy_ns
+            .fetch_add((busy_s * 1e9).round() as u64, Ordering::Relaxed);
+    }
 }
 
 /// A point-in-time copy of the counters; subtract two snapshots to measure
@@ -162,6 +394,9 @@ pub struct StatsSnapshot {
     pub d2d_transfers: u64,
     pub d2d_bytes: u64,
     pub kernel_launches: u64,
+    pub kernel_cu_cycles: u64,
+    pub kernel_global_bytes: u64,
+    pub kernel_busy_ns: u64,
     pub source_builds: u64,
     pub cache_loads: u64,
     pub build_virtual_ns: u64,
@@ -178,6 +413,9 @@ impl std::ops::Sub for StatsSnapshot {
             d2d_transfers: self.d2d_transfers - rhs.d2d_transfers,
             d2d_bytes: self.d2d_bytes - rhs.d2d_bytes,
             kernel_launches: self.kernel_launches - rhs.kernel_launches,
+            kernel_cu_cycles: self.kernel_cu_cycles - rhs.kernel_cu_cycles,
+            kernel_global_bytes: self.kernel_global_bytes - rhs.kernel_global_bytes,
+            kernel_busy_ns: self.kernel_busy_ns - rhs.kernel_busy_ns,
             source_builds: self.source_builds - rhs.source_builds,
             cache_loads: self.cache_loads - rhs.cache_loads,
             build_virtual_ns: self.build_virtual_ns - rhs.build_virtual_ns,
@@ -228,5 +466,121 @@ mod tests {
         assert_eq!(delta.h2d_transfers, 1);
         assert_eq!(delta.h2d_bytes, 1);
         assert_eq!(delta.d2h_bytes, 2);
+    }
+
+    #[test]
+    fn kernel_counters_accumulate_roofline_inputs() {
+        let s = Stats::default();
+        s.add_kernel(1000.0, 4096, 1e-3);
+        s.add_kernel(500.4, 1024, 2e-3);
+        let snap = s.snapshot();
+        assert_eq!(snap.kernel_launches, 2);
+        assert_eq!(snap.kernel_cu_cycles, 1500);
+        assert_eq!(snap.kernel_global_bytes, 5120);
+        assert_eq!(snap.kernel_busy_ns, 3_000_000);
+    }
+
+    fn rec(dev: usize, engine: EngineKind, start: f64, end: f64) -> CommandRecord {
+        CommandRecord {
+            device: DeviceId(dev),
+            engine,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn verify_reports_every_violating_pair() {
+        let trace = vec![
+            rec(0, EngineKind::Compute, 0.0, 2.0),
+            rec(0, EngineKind::Compute, 1.0, 3.0),
+            rec(1, EngineKind::Copy, 0.0, 1.0),
+            rec(1, EngineKind::Copy, 0.5, 2.0),
+            rec(2, EngineKind::Compute, 5.0, 4.0), // malformed
+        ];
+        let msg = verify_engine_exclusive(&trace).expect("violations expected");
+        assert_eq!(
+            msg.lines().count(),
+            3,
+            "all three violations reported:\n{msg}"
+        );
+        assert!(msg.contains("gpu0") || msg.contains("DeviceId(0)"), "{msg}");
+        assert!(msg.contains("malformed"), "{msg}");
+    }
+
+    #[test]
+    fn exclusive_trace_passes_both_invariants() {
+        let trace = vec![
+            rec(0, EngineKind::Compute, 0.0, 1.0),
+            rec(0, EngineKind::Compute, 1.0, 2.0),
+            rec(0, EngineKind::Copy, 0.5, 1.5),
+        ];
+        assert!(verify_engine_exclusive(&trace).is_none());
+        assert!(verify_engine_utilization(&trace, 2.0).is_none());
+    }
+
+    #[test]
+    fn engine_usage_sums_busy_time_per_lane() {
+        let trace = vec![
+            rec(0, EngineKind::Compute, 0.0, 1.0),
+            rec(0, EngineKind::Compute, 2.0, 3.0),
+            rec(0, EngineKind::Copy, 0.0, 0.5),
+            rec(1, EngineKind::Compute, 0.0, 4.0),
+        ];
+        let usage = engine_usage(&trace);
+        assert_eq!(usage.len(), 3);
+        assert_eq!(usage[0].device, DeviceId(0));
+        assert_eq!(usage[0].engine, EngineKind::Compute);
+        assert!((usage[0].busy_s - 2.0).abs() < 1e-12);
+        assert_eq!(usage[0].commands, 2);
+        assert!((usage[1].busy_s - 0.5).abs() < 1e-12);
+        assert!((usage[2].busy_s - 4.0).abs() < 1e-12);
+        assert!((usage[0].utilization(4.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_over_one_is_a_violation() {
+        // Two overlapping commands pack 4 busy seconds into a 3 s window.
+        let trace = vec![
+            rec(0, EngineKind::Compute, 0.0, 2.0),
+            rec(0, EngineKind::Compute, 1.0, 3.0),
+        ];
+        let msg = verify_engine_utilization(&trace, 3.0).expect("violation expected");
+        assert!(msg.contains("outside [0, 1]"), "{msg}");
+    }
+
+    #[test]
+    fn trace_escaping_the_window_is_a_violation() {
+        let trace = vec![rec(0, EngineKind::Compute, 0.0, 5.0)];
+        let msg = verify_engine_utilization(&trace, 2.0).expect("violation expected");
+        assert!(msg.contains("escapes"), "{msg}");
+    }
+
+    #[test]
+    fn overlap_measures_concurrent_engine_time() {
+        let trace = vec![
+            rec(0, EngineKind::Compute, 0.0, 2.0),
+            rec(0, EngineKind::Copy, 1.0, 3.0),
+            rec(0, EngineKind::Copy, 5.0, 6.0),
+            rec(1, EngineKind::Compute, 0.0, 1.0),
+        ];
+        let overlap = compute_copy_overlap_s(&trace);
+        assert_eq!(overlap.len(), 2);
+        assert_eq!(overlap[0].0, DeviceId(0));
+        assert!((overlap[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(overlap[1].1, 0.0);
+    }
+
+    #[test]
+    fn trace_snapshot_does_not_steal_records() {
+        let s = Stats::default();
+        s.enable_trace();
+        s.record_command(DeviceId(0), EngineKind::Compute, 0.0, 1.0);
+        assert_eq!(s.trace_len(), 1);
+        let snap = s.trace_snapshot();
+        assert_eq!(snap.len(), 1);
+        // The owner still gets the full trace afterwards.
+        assert_eq!(s.take_trace().len(), 1);
+        assert_eq!(s.trace_len(), 0);
     }
 }

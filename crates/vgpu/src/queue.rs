@@ -443,11 +443,10 @@ impl CommandQueue {
             nd,
             self.profile.compute_efficiency,
         )?;
+        let dur = stats.duration_s + self.profile.launch_cost_s(kernel.n_args);
         self.shared
             .stats
-            .kernel_launches
-            .fetch_add(1, Ordering::Relaxed);
-        let dur = stats.duration_s + self.profile.launch_cost_s(kernel.n_args);
+            .add_kernel(stats.max_cu_cycles, stats.global_bytes, dur);
         Ok(self.schedule(
             EngineKind::Compute,
             EventKind::Kernel,
