@@ -878,6 +878,231 @@ pub fn osem_bench_params() -> OsemParams {
     }
 }
 
+// ---------------------------------------------------------------------------
+// fig_executor: multi-tenant serving throughput, coalescing and fairness
+// ---------------------------------------------------------------------------
+
+use skelcl_executor::{Executor, ExecutorConfig, Job, JobHandle, JobOutput, SchedulingMode};
+
+/// The deterministic per-client job stream of the executor figure: client
+/// `t` always submits the same `a·x + b` kernel (its own generated
+/// program) over its own `vlen`-element vector, varied per job index `j`.
+pub fn executor_client_job(t: usize, j: usize, vlen: usize) -> Job {
+    let seed = (t as u32).wrapping_mul(131).wrapping_add(j as u32);
+    let data = (0..vlen)
+        .map(|i| {
+            ((((i as u32).wrapping_mul(2654435761).wrapping_add(seed)) % 4000) as f32) / 16.0
+                - 125.0
+        })
+        .collect();
+    Job::Axpb {
+        a: 0.5 + t as f32 * 0.25,
+        b: t as f32 * 0.125,
+        data,
+    }
+}
+
+/// One measured executor run for the throughput leg of `fig_executor`.
+pub struct ExecutorLeg {
+    /// Modeled seconds from first dispatch to last device idle, builds
+    /// excluded (programs are warmed before the measured window).
+    pub makespan_s: f64,
+    /// Jobs served per modeled second.
+    pub jobs_per_s: f64,
+    /// End-to-end (queueing + service) latency distribution.
+    pub latency: skelcl::HistogramSnapshot,
+    /// Every job's output, in submission order — legs are compared
+    /// bitwise against each other and against serial execution.
+    pub outputs: Vec<JobOutput>,
+    /// Launches issued inside the measured window.
+    pub batches: u64,
+}
+
+/// Run `tenants × jobs_per_tenant` synthetic clients through a fresh
+/// executor and measure the virtual makespan: queues fill while the
+/// dispatcher is paused, then the whole backlog races through at once.
+/// `coalesced` toggles batch fusion (`max_batch` 16 vs 1) — everything
+/// else, including the job stream, is identical between the two settings.
+pub fn run_executor_throughput_leg(
+    devices: usize,
+    tenants: usize,
+    jobs_per_tenant: usize,
+    coalesced: bool,
+) -> ExecutorLeg {
+    let vlen = 512usize;
+    let label = if coalesced {
+        "fig_executor/coalesced"
+    } else {
+        "fig_executor/uncoalesced"
+    };
+    let platform = Platform::new(
+        PlatformConfig::default()
+            .devices(devices)
+            .cache_tag("fig-executor"),
+    );
+    let exec = Executor::from_platform(
+        platform,
+        ExecutorConfig::default()
+            .devices(devices)
+            .max_batch(if coalesced { 16 } else { 1 })
+            .queue_depth(jobs_per_tenant)
+            .paused(),
+    );
+    let ids: Vec<_> = (0..tenants)
+        .map(|t| exec.add_tenant(format!("client{t:02}"), 1))
+        .collect();
+
+    // Warm every client's generated program so the coalescing comparison
+    // prices launches and queueing, not one-time codegen.
+    let warm: Vec<_> = ids
+        .iter()
+        .enumerate()
+        .map(|(t, &id)| exec.submit(id, executor_client_job(t, 0, vlen)).unwrap())
+        .collect();
+    exec.drain();
+    for h in warm {
+        h.wait().unwrap();
+    }
+
+    exec.pause();
+    let platform = exec.context().platform();
+    platform.enable_timeline_trace();
+    platform.reset_clocks();
+    let before = platform.stats_snapshot();
+    let batches_before = exec
+        .metrics()
+        .counter_value("executor.batches")
+        .unwrap_or(0);
+    let mut handles: Vec<JobHandle> = Vec::with_capacity(tenants * jobs_per_tenant);
+    for j in 0..jobs_per_tenant {
+        for (t, &id) in ids.iter().enumerate() {
+            handles.push(exec.submit(id, executor_client_job(t, j, vlen)).unwrap());
+        }
+    }
+    exec.drain();
+    platform.sync_all();
+
+    let delta = platform.stats_snapshot() - before;
+    let window_s = platform.host_now_s();
+    let trace = platform.take_timeline_trace();
+    let hist = skelcl::Histogram::default();
+    let outputs: Vec<JobOutput> = handles
+        .into_iter()
+        .map(|h| {
+            let (out, report) = h.wait().unwrap();
+            hist.observe(report.latency_s());
+            out
+        })
+        .collect();
+    let makespan_s = window_s - delta.build_virtual_ns as f64 * 1e-9;
+    let report = RunReport::collect(
+        label,
+        platform,
+        DriverProfile::skelcl().compute_efficiency,
+        delta,
+        &trace,
+        window_s,
+    )
+    .with_latency(hist.snapshot());
+    println!("{}", report.summary_line());
+    ExecutorLeg {
+        makespan_s,
+        jobs_per_s: outputs.len() as f64 / makespan_s,
+        latency: hist.snapshot(),
+        outputs,
+        batches: exec
+            .metrics()
+            .counter_value("executor.batches")
+            .unwrap_or(0)
+            - batches_before,
+    }
+}
+
+/// One measured run of the fairness leg: a saturating tenant floods one
+/// device while three polite tenants each trickle small jobs.
+pub struct FairnessLeg {
+    /// p99 end-to-end latency over the polite tenants' jobs.
+    pub polite_p99_s: f64,
+    /// p99 end-to-end latency over the hog's jobs.
+    pub hog_p99_s: f64,
+    /// Jobs completed by each side (all submissions must finish).
+    pub polite_done: usize,
+    pub hog_done: usize,
+}
+
+/// Fairness leg of `fig_executor` on one shared device: the hog pre-loads
+/// `256` large jobs, then three polite tenants submit `16` small jobs
+/// each — the worst arrival order for a FIFO dispatcher. Under weighted
+/// round-robin the polite tenants' p99 must stay bounded by a handful of
+/// hog service times; under FIFO they wait out the whole flood.
+pub fn run_executor_fairness_leg(mode: SchedulingMode) -> FairnessLeg {
+    let (hog_jobs, polite_tenants, polite_jobs) = (256usize, 3usize, 16usize);
+    let platform = Platform::new(
+        PlatformConfig::default()
+            .devices(1)
+            .cache_tag("fig-executor"),
+    );
+    let exec = Executor::from_platform(
+        platform,
+        ExecutorConfig::default()
+            .devices(1)
+            .max_batch(1)
+            .queue_depth(hog_jobs)
+            .scheduling(mode)
+            .paused(),
+    );
+    let hog = exec.add_tenant("hog", 1);
+    let polite: Vec<_> = (0..polite_tenants)
+        .map(|i| exec.add_tenant(format!("polite{i}"), 1))
+        .collect();
+    let rowsum = |seed: usize, len: usize| Job::RowSum {
+        data: (0..len)
+            .map(|i| {
+                ((((i + seed * 31) as u32).wrapping_mul(2654435761)) % 4000) as f32 / 16.0 - 125.0
+            })
+            .collect(),
+    };
+
+    let w = exec.submit(hog, rowsum(0, 2048)).unwrap();
+    exec.drain();
+    w.wait().unwrap();
+    exec.pause();
+    exec.context().platform().reset_clocks();
+
+    let hog_handles: Vec<_> = (0..hog_jobs)
+        .map(|j| exec.submit(hog, rowsum(j, 2048)).unwrap())
+        .collect();
+    let polite_handles: Vec<_> = polite
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &id)| {
+            (0..polite_jobs)
+                .map(move |j| (id, i * polite_jobs + j))
+                .collect::<Vec<_>>()
+        })
+        .map(|(id, seed)| exec.submit(id, rowsum(seed, 256)).unwrap())
+        .collect();
+    exec.drain();
+
+    let quantile = |handles: Vec<JobHandle>| {
+        let hist = skelcl::Histogram::default();
+        let n = handles.len();
+        for h in handles {
+            let (_, report) = h.wait().unwrap();
+            hist.observe(report.latency_s());
+        }
+        (hist.quantile(0.99), n)
+    };
+    let (hog_p99_s, hog_done) = quantile(hog_handles);
+    let (polite_p99_s, polite_done) = quantile(polite_handles);
+    FairnessLeg {
+        polite_p99_s,
+        hog_p99_s,
+        polite_done,
+        hog_done,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,202 @@
+//! Property suite of the multi-tenant executor: for all job mixes, tenant
+//! counts, device counts, scheduling modes and batch limits,
+//!
+//! * results delivered through the concurrent service are **bit-identical**
+//!   to running each tenant's jobs serially on a private context,
+//! * the shared virtual timeline stays physical under contention (no two
+//!   commands overlap on one engine of one device),
+//! * and each tenant's jobs are dispatched in its submission order.
+//!
+//! Runs under the pinned-seed CI job (`PROPTEST_SEED`).
+
+use proptest::prelude::*;
+use skelcl::{Context, ContextConfig};
+use skelcl_executor::{
+    run_job, Executor, ExecutorConfig, Job, JobHandle, JobOutput, SchedulingMode,
+};
+use vgpu::{verify_engine_exclusive, DeviceSpec};
+
+fn test_data(n: usize, seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            ((((i as u32).wrapping_mul(2654435761).wrapping_add(seed)) % 2000) as f32) / 8.0 - 125.0
+        })
+        .collect()
+}
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    prop_oneof![
+        (1usize..32, 0u32..1000, -4i32..5, -4i32..5).prop_map(|(n, seed, a, b)| Job::Axpb {
+            a: a as f32 * 0.75,
+            b: b as f32 * 0.5,
+            data: test_data(n, seed),
+        }),
+        (1usize..48, 0u32..1000).prop_map(|(n, seed)| Job::RowSum {
+            data: test_data(n, seed),
+        }),
+        (2usize..8, 2usize..8, 0usize..3, 0u32..1000).prop_map(|(rows, cols, iters, seed)| {
+            Job::Jacobi {
+                rows,
+                cols,
+                iters,
+                data: test_data(rows * cols, seed),
+            }
+        }),
+        (1usize..6, 1usize..6, 1usize..6, 0u32..1000).prop_map(|(m, k, n, seed)| Job::MatMul {
+            m,
+            k,
+            n,
+            a: test_data(m * k, seed),
+            b: test_data(k * n, seed.wrapping_add(7)),
+        }),
+    ]
+}
+
+fn executor(devices: usize, max_batch: usize, fifo: bool, paused: bool) -> Executor {
+    let mut cfg = ExecutorConfig::default()
+        .devices(devices)
+        .max_batch(max_batch)
+        .scheduling(if fifo {
+            SchedulingMode::Fifo
+        } else {
+            SchedulingMode::WeightedRoundRobin
+        });
+    cfg.spec = DeviceSpec::tiny();
+    if paused {
+        cfg = cfg.paused();
+    }
+    Executor::from_platform(
+        vgpu::Platform::new(
+            vgpu::PlatformConfig::default()
+                .devices(devices)
+                .spec(DeviceSpec::tiny()),
+        ),
+        cfg,
+    )
+}
+
+/// Serial reference: the same job on a private single-tenant context,
+/// homed on the same device the executor would pick.
+fn serial_reference(devices: usize, tenant_index: usize, jobs: &[Job]) -> Vec<JobOutput> {
+    let ctx = Context::new(
+        ContextConfig::default()
+            .devices(devices)
+            .spec(DeviceSpec::tiny()),
+    );
+    jobs.iter()
+        .map(|j| run_job(&ctx, tenant_index % devices, j).unwrap().0)
+        .collect()
+}
+
+fn bits(out: &JobOutput) -> Vec<u32> {
+    match out {
+        JobOutput::Scalar(s) => vec![s.to_bits()],
+        JobOutput::Vector(v) => v.iter().map(|x| x.to_bits()).collect(),
+        JobOutput::Matrix { data, .. } => data.iter().map(|x| x.to_bits()).collect(),
+    }
+}
+
+/// Submit every tenant's jobs from its own client thread, racing each
+/// other and the dispatcher; wait for all handles.
+fn submit_concurrently(
+    exec: &Executor,
+    tenant_jobs: &[Vec<Job>],
+) -> Vec<Vec<(JobOutput, skelcl_executor::JobReport)>> {
+    let ids: Vec<_> = tenant_jobs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| exec.add_tenant(format!("t{i}"), 1 + i % 3))
+        .collect();
+    std::thread::scope(|s| {
+        let clients: Vec<_> = ids
+            .iter()
+            .zip(tenant_jobs)
+            .map(|(&id, jobs)| {
+                s.spawn(move || {
+                    jobs.iter()
+                        .map(|j| exec.submit(id, j.clone()).unwrap())
+                        .collect::<Vec<JobHandle>>()
+                })
+            })
+            .collect();
+        let handles: Vec<Vec<JobHandle>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        // `drain` resumes a paused dispatcher, so pre-loaded-queue runs
+        // release here with every queue already full.
+        exec.drain();
+        handles
+            .into_iter()
+            .map(|hs| hs.into_iter().map(|h| h.wait().unwrap()).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Outputs through the racing multi-tenant service == serial per-tenant
+    // runs, bit for bit, for every mix / mode / batch limit / device count.
+    #[test]
+    fn concurrent_submissions_are_bit_identical_to_serial(
+        devices in 1usize..4,
+        max_batch in 1usize..6,
+        fifo in any::<bool>(),
+        tenant_jobs in prop::collection::vec(
+            prop::collection::vec(job_strategy(), 1..6),
+            1..4,
+        ),
+    ) {
+        let exec = executor(devices, max_batch, fifo, false);
+        let served = submit_concurrently(&exec, &tenant_jobs);
+        for (ti, jobs) in tenant_jobs.iter().enumerate() {
+            let expect = serial_reference(devices, ti, jobs);
+            for (ji, (want, (got, _))) in expect.iter().zip(&served[ti]).enumerate() {
+                prop_assert_eq!(
+                    bits(got),
+                    bits(want),
+                    "tenant {} job {} diverged from serial run",
+                    ti,
+                    ji
+                );
+            }
+        }
+    }
+
+    // Under contention the shared timeline stays physical, and each
+    // tenant's jobs start in its submission order (per-tenant FIFO).
+    #[test]
+    fn contended_timeline_is_physical_and_per_tenant_ordered(
+        devices in 1usize..4,
+        max_batch in 1usize..6,
+        fifo in any::<bool>(),
+        tenant_jobs in prop::collection::vec(
+            prop::collection::vec(job_strategy(), 1..5),
+            2..4,
+        ),
+    ) {
+        let exec = executor(devices, max_batch, fifo, true);
+        exec.context().platform().enable_timeline_trace();
+        // Queues fill while paused, then the dispatcher races a full
+        // backlog across every tenant at once.
+        let served = submit_concurrently(&exec, &tenant_jobs);
+        let trace = exec.context().platform().take_timeline_trace();
+        prop_assert!(!trace.is_empty(), "contended run must schedule device work");
+        if let Some(violation) = verify_engine_exclusive(&trace) {
+            return Err(TestCaseError::fail(format!(
+                "engine exclusivity violated under contention:\n{violation}"
+            )));
+        }
+        for (ti, reports) in served.iter().enumerate() {
+            for window in reports.windows(2) {
+                let (a, b) = (&window[0].1, &window[1].1);
+                prop_assert!(
+                    a.start_s <= b.start_s,
+                    "tenant {} dispatched out of submission order ({} then {})",
+                    ti,
+                    a.start_s,
+                    b.start_s
+                );
+                prop_assert!(a.ready_s >= a.start_s);
+            }
+        }
+    }
+}

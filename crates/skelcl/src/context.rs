@@ -9,6 +9,16 @@
 //! paper's kernel cache; the second, on-disk layer lives in
 //! [`vgpu::compiler`]) and the configuration shared by every vector and
 //! skeleton created from it.
+//!
+//! For multi-tenant serving (see the `skelcl-executor` crate) a context can
+//! be **forked**: [`Context::fork_streams`] creates a sibling context with
+//! its own per-device main+copy stream pair while sharing the platform, the
+//! [`ProgramRegistry`], the metrics registry, and the span collector — one
+//! stream pair per tenant, device engines shared. The shared program
+//! registry optionally enforces **admission control** (a global capacity and
+//! a per-owner quota with LRU eviction), so one tenant flooding the cache
+//! with throwaway kernels evicts its *own* entries first instead of
+//! thrashing everyone else's.
 
 use crate::error::{Error, Result};
 use crate::metrics::{Counter, MetricValue, MetricsRegistry};
@@ -75,6 +85,158 @@ impl ContextConfig {
     }
 }
 
+/// One resident entry in the [`ProgramRegistry`].
+struct RegistryEntry {
+    kernel: CompiledKernel,
+    /// Owner tag of the context that built this entry (tenant name; `""`
+    /// for un-forked contexts).
+    owner: String,
+    /// LRU clock value of the most recent hit or insert.
+    last_use: u64,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    entries: HashMap<u64, RegistryEntry>,
+    /// Monotonic LRU clock, bumped on every lookup/insert.
+    tick: u64,
+}
+
+/// The in-memory compiled-program cache, shareable between contexts (every
+/// [`Context::fork_streams`] sibling holds the same `Arc<ProgramRegistry>`).
+///
+/// By default the registry is unbounded — matching SkelCL, which keeps
+/// built kernels alive per process. [`ProgramRegistry::with_limits`] turns
+/// on **admission control** for multi-tenant serving:
+///
+/// - `owner_quota` caps how many resident entries a single owner tag may
+///   hold; an owner at quota evicts its *own* least-recently-used entry, so
+///   a kernel-flooding tenant only thrashes itself.
+/// - `capacity` caps the total resident entries; beyond it the globally
+///   least-recently-used entry is evicted.
+///
+/// Evicted programs are not lost — the on-disk compiler cache still holds
+/// the binary — but the next use pays code generation plus the (cheap)
+/// disk-cache load again.
+#[derive(Default)]
+pub struct ProgramRegistry {
+    /// Total resident-entry cap (`0` = unbounded).
+    capacity: usize,
+    /// Per-owner resident-entry cap (`0` = unbounded).
+    owner_quota: usize,
+    state: Mutex<RegistryState>,
+}
+
+impl ProgramRegistry {
+    /// An unbounded registry (the default for standalone contexts).
+    pub fn unbounded() -> ProgramRegistry {
+        ProgramRegistry::default()
+    }
+
+    /// A registry with admission control: at most `capacity` resident
+    /// programs in total and at most `owner_quota` per owner tag (`0`
+    /// disables the respective limit).
+    pub fn with_limits(capacity: usize, owner_quota: usize) -> ProgramRegistry {
+        ProgramRegistry {
+            capacity,
+            owner_quota,
+            state: Mutex::new(RegistryState::default()),
+        }
+    }
+
+    /// Number of resident compiled programs.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of resident programs built by `owner`.
+    pub fn resident_for(&self, owner: &str) -> usize {
+        self.state
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.owner == owner)
+            .count()
+    }
+
+    /// Look up a built kernel, bumping its LRU clock on hit.
+    fn lookup(&self, hash: u64) -> Option<CompiledKernel> {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        st.entries.get_mut(&hash).map(|e| {
+            e.last_use = tick;
+            e.kernel.clone()
+        })
+    }
+
+    /// Insert a freshly built kernel under `owner`, evicting per the
+    /// admission-control policy. Returns how many entries were evicted.
+    fn insert(&self, owner: &str, hash: u64, kernel: CompiledKernel) -> usize {
+        let mut st = self.state.lock();
+        st.tick += 1;
+        let tick = st.tick;
+        let mut evicted = 0;
+        if self.owner_quota > 0 {
+            while st.entries.values().filter(|e| e.owner == owner).count() >= self.owner_quota {
+                let victim = Self::lru_key(&st, Some(owner));
+                match victim {
+                    Some(k) => {
+                        st.entries.remove(&k);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if self.capacity > 0 {
+            while st.entries.len() >= self.capacity {
+                let victim = Self::lru_key(&st, None);
+                match victim {
+                    Some(k) => {
+                        st.entries.remove(&k);
+                        evicted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        st.entries.insert(
+            hash,
+            RegistryEntry {
+                kernel,
+                owner: owner.to_string(),
+                last_use: tick,
+            },
+        );
+        evicted
+    }
+
+    /// Key of the least-recently-used entry, optionally restricted to one
+    /// owner tag.
+    fn lru_key(st: &RegistryState, owner: Option<&str>) -> Option<u64> {
+        st.entries
+            .iter()
+            .filter(|(_, e)| owner.is_none_or(|o| e.owner == o))
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| *k)
+    }
+}
+
+impl std::fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramRegistry")
+            .field("resident", &self.len())
+            .field("capacity", &self.capacity)
+            .field("owner_quota", &self.owner_quota)
+            .finish()
+    }
+}
+
 struct ContextInner {
     platform: Platform,
     queues: Vec<CommandQueue>,
@@ -83,10 +245,15 @@ struct ContextInner {
     copy_queues: Vec<CommandQueue>,
     profile: DriverProfile,
     work_group: usize,
-    /// program hash → built kernel (body is a placeholder; launches rebind).
-    programs: Mutex<HashMap<u64, CompiledKernel>>,
+    /// Owner tag stamped on program-registry entries built through this
+    /// context (`""` for un-forked contexts, the tenant name for forks).
+    owner: String,
+    /// Compiled-program registry (body is a placeholder; launches rebind).
+    /// Shared between [`Context::fork_streams`] siblings.
+    programs: Arc<ProgramRegistry>,
     /// Typed counter/gauge/histogram registry (see [`crate::metrics`]).
-    metrics: MetricsRegistry,
+    /// Shared between forked siblings.
+    metrics: Arc<MetricsRegistry>,
     /// Halo-exchange events performed under this context (see
     /// [`Context::halo_exchange_count`]); lives in the metrics registry as
     /// `skelcl.halo_exchanges`.
@@ -96,8 +263,11 @@ struct ContextInner {
     /// as `cache_loads` in the platform stats.
     program_cache_hits: Counter,
     program_cache_misses: Counter,
-    /// Skeleton-level span collector (see [`crate::trace`]).
-    spans: SpanCollector,
+    /// Admission-control evictions (`skelcl.program_cache.evictions`).
+    program_cache_evictions: Counter,
+    /// Skeleton-level span collector (see [`crate::trace`]). Shared between
+    /// forked siblings so tenant skeleton spans land in one stream.
+    spans: Arc<SpanCollector>,
 }
 
 /// A SkelCL session: devices + queues + program registry.
@@ -129,6 +299,17 @@ impl Context {
     /// Wrap an existing platform (so benchmarks can run SkelCL and the
     /// low-level baselines against the *same* virtual hardware).
     pub fn from_platform(platform: Platform, work_group: usize) -> Context {
+        Context::from_platform_shared(platform, work_group, Arc::new(ProgramRegistry::unbounded()))
+    }
+
+    /// Wrap an existing platform with an explicit (possibly shared,
+    /// possibly admission-controlled) program registry. The executor service
+    /// uses this to bound the compiled-kernel cache across tenants.
+    pub fn from_platform_shared(
+        platform: Platform,
+        work_group: usize,
+        programs: Arc<ProgramRegistry>,
+    ) -> Context {
         let profile = DriverProfile::skelcl();
         let queues = (0..platform.n_devices())
             .map(|i| platform.queue(i, profile))
@@ -136,10 +317,11 @@ impl Context {
         let copy_queues = (0..platform.n_devices())
             .map(|i| platform.queue(i, profile))
             .collect();
-        let metrics = MetricsRegistry::default();
+        let metrics = Arc::new(MetricsRegistry::default());
         let halo_exchanges = metrics.counter("skelcl.halo_exchanges");
         let program_cache_hits = metrics.counter("skelcl.program_cache.hits");
         let program_cache_misses = metrics.counter("skelcl.program_cache.misses");
+        let program_cache_evictions = metrics.counter("skelcl.program_cache.evictions");
         Context {
             inner: Arc::new(ContextInner {
                 platform,
@@ -147,14 +329,64 @@ impl Context {
                 copy_queues,
                 profile,
                 work_group,
-                programs: Mutex::new(HashMap::new()),
+                owner: String::new(),
+                programs,
                 metrics,
                 halo_exchanges,
                 program_cache_hits,
                 program_cache_misses,
-                spans: SpanCollector::default(),
+                program_cache_evictions,
+                spans: Arc::new(SpanCollector::default()),
             }),
         }
+    }
+
+    /// Fork a **sibling context for a tenant**: fresh in-order main+copy
+    /// streams per device (so this tenant's commands are ordered only among
+    /// themselves — the device *engines* stay shared and arbitrate between
+    /// tenants), while the platform, the compiled-program registry, the
+    /// metrics registry, the span collector, and all `skelcl.*` counters
+    /// are shared with `self`. Programs built through the fork are stamped
+    /// with `owner` for the registry's admission control.
+    ///
+    /// Containers and skeletons created from the fork use its streams
+    /// automatically; nothing else changes.
+    pub fn fork_streams(&self, owner: impl Into<String>) -> Context {
+        let platform = self.inner.platform.clone();
+        let queues = (0..platform.n_devices())
+            .map(|i| platform.queue(i, self.inner.profile))
+            .collect();
+        let copy_queues = (0..platform.n_devices())
+            .map(|i| platform.queue(i, self.inner.profile))
+            .collect();
+        Context {
+            inner: Arc::new(ContextInner {
+                platform,
+                queues,
+                copy_queues,
+                profile: self.inner.profile,
+                work_group: self.inner.work_group,
+                owner: owner.into(),
+                programs: self.inner.programs.clone(),
+                metrics: self.inner.metrics.clone(),
+                halo_exchanges: self.inner.halo_exchanges.clone(),
+                program_cache_hits: self.inner.program_cache_hits.clone(),
+                program_cache_misses: self.inner.program_cache_misses.clone(),
+                program_cache_evictions: self.inner.program_cache_evictions.clone(),
+                spans: self.inner.spans.clone(),
+            }),
+        }
+    }
+
+    /// The owner tag stamped on programs built through this context (`""`
+    /// unless this context was created by [`Context::fork_streams`]).
+    pub fn owner(&self) -> &str {
+        &self.inner.owner
+    }
+
+    /// The (possibly shared) compiled-program registry.
+    pub fn program_registry(&self) -> &Arc<ProgramRegistry> {
+        &self.inner.programs
     }
 
     pub fn n_devices(&self) -> usize {
@@ -213,12 +445,9 @@ impl Context {
     /// matching SkelCL, which keeps built kernels alive per process.
     pub fn get_or_build(&self, program: &Program) -> Result<CompiledKernel> {
         let hash = program.hash();
-        {
-            let programs = self.inner.programs.lock();
-            if let Some(k) = programs.get(&hash) {
-                self.inner.program_cache_hits.inc();
-                return Ok(k.clone());
-            }
+        if let Some(k) = self.inner.programs.lookup(hash) {
+            self.inner.program_cache_hits.inc();
+            return Ok(k);
         }
         self.inner.program_cache_misses.inc();
         // One-time code generation cost (string templating) on the host.
@@ -229,13 +458,18 @@ impl Context {
         let kernel = self.inner.queues[0]
             .build_kernel(program, placeholder)
             .map_err(Error::Platform)?;
-        self.inner.programs.lock().insert(hash, kernel.clone());
+        let evicted = self
+            .inner
+            .programs
+            .insert(&self.inner.owner, hash, kernel.clone());
+        self.inner.program_cache_evictions.add(evicted as u64);
         Ok(kernel)
     }
 
-    /// Number of programs built in this context so far.
+    /// Number of programs currently resident in the registry (equals the
+    /// number built so far when the registry is unbounded).
     pub fn programs_built(&self) -> usize {
-        self.inner.programs.lock().len()
+        self.inner.programs.len()
     }
 
     /// Number of halo-exchange events performed so far by matrices and
@@ -265,6 +499,12 @@ impl Context {
     /// or disk-cache load was paid).
     pub fn program_cache_misses(&self) -> u64 {
         self.inner.program_cache_misses.get()
+    }
+
+    /// Programs evicted from the in-memory registry by admission control
+    /// (always 0 for unbounded registries).
+    pub fn program_cache_evictions(&self) -> u64 {
+        self.inner.program_cache_evictions.get()
     }
 
     /// The context's typed metrics registry. SkelCL's own counters live
@@ -406,5 +646,103 @@ mod tests {
     fn default_work_group_matches_paper() {
         let c = Context::init(1);
         assert_eq!(c.work_group(), 256);
+    }
+
+    fn prog(name: &str) -> Program {
+        Program::from_source(name, format!("__kernel void {name}() {{ /* reg */ }}"))
+    }
+
+    #[test]
+    fn fork_shares_programs_metrics_and_platform() {
+        let c = ctx(2);
+        c.platform().compiler().clear_cache().unwrap();
+        let t = c.fork_streams("tenant-a");
+        assert_eq!(t.owner(), "tenant-a");
+        assert_eq!(t.n_devices(), 2);
+        // Fresh streams: the fork's queues are distinct objects...
+        assert!(!std::ptr::eq(c.queue(0), t.queue(0)));
+        // ...but the program registry is shared: a build through the fork is
+        // a hit through the root.
+        let p = prog("fork_shared");
+        t.get_or_build(&p).unwrap();
+        let misses = c.program_cache_misses();
+        c.get_or_build(&p).unwrap();
+        assert_eq!(
+            c.program_cache_misses(),
+            misses,
+            "root must hit fork's build"
+        );
+        assert_eq!(c.programs_built(), t.programs_built());
+        // Shared metrics registry: counters registered through either side
+        // are visible from both.
+        t.metrics().counter("tenant.test").add(7);
+        assert_eq!(c.metrics().counter_value("tenant.test"), Some(7));
+        c.platform().compiler().clear_cache().unwrap();
+    }
+
+    #[test]
+    fn owner_quota_evicts_own_lru_entry_first() {
+        let reg = ProgramRegistry::with_limits(0, 2);
+        let cfg = ContextConfig::default()
+            .spec(vgpu::DeviceSpec::tiny())
+            .cache_tag("skelcl-context-quota");
+        let pc = PlatformConfig::default()
+            .devices(1)
+            .spec(vgpu::DeviceSpec::tiny());
+        let root = Context::from_platform_shared(
+            Platform::new(pc.cache_tag("skelcl-context-quota")),
+            cfg.work_group,
+            Arc::new(reg),
+        );
+        root.platform().compiler().clear_cache().unwrap();
+        let a = root.fork_streams("a");
+        let b = root.fork_streams("b");
+        a.get_or_build(&prog("qa_one")).unwrap();
+        a.get_or_build(&prog("qa_two")).unwrap();
+        b.get_or_build(&prog("qb_one")).unwrap();
+        assert_eq!(root.program_cache_evictions(), 0);
+        // Third program for owner "a" evicts a's LRU entry, not b's.
+        a.get_or_build(&prog("qa_three")).unwrap();
+        assert_eq!(root.program_cache_evictions(), 1);
+        assert_eq!(root.program_registry().resident_for("a"), 2);
+        assert_eq!(root.program_registry().resident_for("b"), 1);
+        // The evicted program rebuilds (a registry miss), evicting again.
+        let misses = root.program_cache_misses();
+        a.get_or_build(&prog("qa_one")).unwrap();
+        assert_eq!(root.program_cache_misses(), misses + 1);
+        assert_eq!(root.program_cache_evictions(), 2);
+        root.platform().compiler().clear_cache().unwrap();
+    }
+
+    #[test]
+    fn capacity_evicts_global_lru() {
+        let root = Context::from_platform_shared(
+            Platform::new(
+                PlatformConfig::default()
+                    .devices(1)
+                    .spec(vgpu::DeviceSpec::tiny())
+                    .cache_tag("skelcl-context-cap"),
+            ),
+            DEFAULT_WORK_GROUP,
+            Arc::new(ProgramRegistry::with_limits(2, 0)),
+        );
+        root.platform().compiler().clear_cache().unwrap();
+        let p1 = prog("cap_one");
+        let p2 = prog("cap_two");
+        root.get_or_build(&p1).unwrap();
+        root.get_or_build(&p2).unwrap();
+        // Touch p1 so p2 becomes the LRU victim.
+        root.get_or_build(&p1).unwrap();
+        root.get_or_build(&prog("cap_three")).unwrap();
+        assert_eq!(root.program_cache_evictions(), 1);
+        assert_eq!(root.programs_built(), 2);
+        // p1 survived; p2 was evicted.
+        let hits = root.program_cache_hits();
+        root.get_or_build(&p1).unwrap();
+        assert_eq!(root.program_cache_hits(), hits + 1);
+        let misses = root.program_cache_misses();
+        root.get_or_build(&p2).unwrap();
+        assert_eq!(root.program_cache_misses(), misses + 1);
+        root.platform().compiler().clear_cache().unwrap();
     }
 }

@@ -123,6 +123,40 @@
 //! spans that straddle a reset are discarded, while metrics (monotonic
 //! counters) deliberately survive it — see the [`trace`] module docs.
 //!
+//! ## Executor service
+//!
+//! The `skelcl-executor` crate turns the library into a multi-tenant
+//! serving layer: many concurrent clients submit typed skeleton jobs
+//! (`Job::{Axpb, RowSum, Jacobi, MatMul}`) against shared devices and get
+//! back futures with per-job latency reports. The pieces it builds on
+//! live here:
+//!
+//! * [`Context::fork_streams`] — a sibling context per tenant with fresh
+//!   in-order main+copy streams per device. Tenants share the platform,
+//!   the device engines, the metrics registry and the span collector, but
+//!   each tenant's commands are ordered only among themselves, so one
+//!   tenant's backlog never orders another's work.
+//! * [`ProgramRegistry`] — the compiled-program cache, shareable across
+//!   contexts and optionally admission-controlled
+//!   ([`ProgramRegistry::with_limits`]): a per-owner quota evicts the
+//!   flooding tenant's *own* LRU programs first, then a global capacity
+//!   bound evicts the global LRU. Evictions surface as the
+//!   `skelcl.program_cache.evictions` counter.
+//! * [`Matrix::read_back_async`] / [`Vector::read_back_async`] — download
+//!   results on the copy stream *without* syncing the host clock, and
+//!   report the virtual completion time. The executor derives end-to-end
+//!   job latency from it, so concurrent tenants' timelines keep
+//!   overlapping where a blocking `to_vec` would serialize them.
+//! * [`Histogram`] quantiles ([`metrics::Histogram::quantile`],
+//!   `HistogramSnapshot::{p50, p90, p99}`) and the [`RunReport`] latency
+//!   line ([`RunReport::with_latency`]) — the `fig_executor` bench reports
+//!   jobs/sec with p50/p99 against the modeled peak.
+//!
+//! On top, the executor adds bounded per-tenant queues with shed-on-full
+//! backpressure, weighted round-robin dispatch, and coalescing of
+//! consecutive same-kernel/same-shape jobs into one fused launch (a
+//! single job *is* a batch of one, so coalescing is bit-transparent).
+//!
 //! ## Dot product (the paper's Listing 1)
 //!
 //! ```
@@ -319,7 +353,7 @@ pub mod vector;
 
 pub use arguments::{ArgMat, ArgVec, Arguments, KernelEnv};
 pub use codegen::UserFn;
-pub use context::{Context, ContextConfig, DEFAULT_WORK_GROUP};
+pub use context::{Context, ContextConfig, ProgramRegistry, DEFAULT_WORK_GROUP};
 pub use error::{Error, Result};
 pub use matrix::{Matrix, MatrixDistribution};
 pub use meter::work;

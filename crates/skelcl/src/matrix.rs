@@ -357,6 +357,90 @@ impl<T: Scalar> Matrix<T> {
         Ok(st.host.clone())
     }
 
+    /// Copy the current contents out like [`Matrix::to_vec`], but **without
+    /// blocking the virtual host clock**: each part's owned region is
+    /// downloaded by asynchronous reads on the device's copy stream, ordered
+    /// after everything already scheduled on that device by a marker.
+    /// Returns the data plus the virtual time at which the last read
+    /// completes — the moment the response is ready. Coherence state is
+    /// untouched (the matrix's own host copy stays stale), so modeled work
+    /// on other devices keeps overlapping instead of serializing behind a
+    /// host-wide sync. The executor service materialises every job result
+    /// through this path.
+    pub fn read_back_async(&self) -> Result<(Vec<T>, f64)> {
+        let st = self.state.lock();
+        if st.host_fresh {
+            return Ok((st.host.clone(), self.ctx.host_now_s()));
+        }
+        assert!(
+            st.device_fresh,
+            "matrix has neither fresh host nor fresh device data"
+        );
+        let cols = st.cols;
+        let mut out = vec![T::default(); st.rows * cols];
+        let mut ready = self.ctx.host_now_s();
+        match st.dist {
+            MatrixDistribution::Single(_) | MatrixDistribution::Copy => {
+                let part = st
+                    .parts
+                    .first()
+                    .ok_or_else(|| Error::NotOnDevice("no device parts to download".into()))?;
+                if !out.is_empty() {
+                    let q = self.ctx.copy_queue(part.device);
+                    let dep = [q.enqueue_marker()];
+                    let ev = q.enqueue_read_range_async(
+                        &part.buffer,
+                        part.halo_above * cols,
+                        &mut out,
+                        1,
+                        &dep,
+                    )?;
+                    ready = ready.max(ev.end_s);
+                }
+            }
+            MatrixDistribution::RowBlock { .. } => {
+                let concurrent = st.parts.iter().filter(|p| p.rows > 0).count().max(1);
+                for p in &st.parts {
+                    if p.rows == 0 || cols == 0 {
+                        continue;
+                    }
+                    let q = self.ctx.copy_queue(p.device);
+                    let dep = [q.enqueue_marker()];
+                    let ev = q.enqueue_read_range_async(
+                        &p.buffer,
+                        p.halo_above * cols,
+                        &mut out[p.row_offset * cols..(p.row_offset + p.rows) * cols],
+                        concurrent,
+                        &dep,
+                    )?;
+                    ready = ready.max(ev.end_s);
+                }
+            }
+            MatrixDistribution::ColBlock => {
+                let concurrent = st.parts.iter().filter(|p| p.cols > 0).count().max(1);
+                for p in &st.parts {
+                    if p.rows == 0 || p.cols == 0 {
+                        continue;
+                    }
+                    let q = self.ctx.copy_queue(p.device);
+                    let dep = [q.enqueue_marker()];
+                    let (c0, c1) = (p.col_offset, p.col_offset + p.cols);
+                    for r in 0..p.rows {
+                        let ev = q.enqueue_read_range_async(
+                            &p.buffer,
+                            r * p.cols,
+                            &mut out[r * cols + c0..r * cols + c1],
+                            concurrent,
+                            &dep,
+                        )?;
+                        ready = ready.max(ev.end_s);
+                    }
+                }
+            }
+        }
+        Ok((out, ready))
+    }
+
     /// The transposed matrix, built host-side (downloads first if the
     /// devices hold the newest data). The result starts life host-fresh
     /// under the context's default distribution; distribute it explicitly
@@ -1100,6 +1184,47 @@ mod tests {
         assert!(!m.host_fresh());
         assert_eq!(m.to_vec().unwrap(), data(11, 7));
         assert!(m.host_fresh());
+    }
+
+    #[test]
+    fn read_back_async_matches_to_vec_without_host_sync() {
+        for (dist, devices) in [
+            (MatrixDistribution::RowBlock { halo: 1 }, 3),
+            (MatrixDistribution::ColBlock, 2),
+            (MatrixDistribution::Copy, 2),
+            (MatrixDistribution::Single(1), 2),
+        ] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, 9, 7, data(9, 7));
+            m.set_distribution(dist).unwrap();
+            m.ensure_on_devices().unwrap();
+            m.mark_devices_modified(); // devices are the truth now
+            let host_before = c.host_now_s();
+            let (got, ready) = m.read_back_async().unwrap();
+            assert_eq!(
+                c.host_now_s(),
+                host_before,
+                "async read-back must not advance the host clock ({dist:?})"
+            );
+            assert!(
+                ready >= host_before,
+                "ready time must not precede the enqueue ({dist:?})"
+            );
+            assert!(!m.host_fresh(), "coherence state must be untouched");
+            assert_eq!(got, data(9, 7), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn read_back_async_on_host_fresh_data_is_free() {
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, 4, 4, data(4, 4));
+        let before = c.platform().stats_snapshot();
+        let (got, ready) = m.read_back_async().unwrap();
+        assert_eq!(got, data(4, 4));
+        assert_eq!(ready, c.host_now_s());
+        let delta = c.platform().stats_snapshot() - before;
+        assert_eq!(delta.total_transfers(), 0);
     }
 
     #[test]

@@ -56,11 +56,18 @@ struct HistogramData {
     sum: f64,
     min: f64,
     max: f64,
+    /// Every observed sample, retained for exact quantiles. The virtual
+    /// platform is deterministic and bounded (10⁴-ish jobs per bench run),
+    /// so exact sample retention is cheaper than getting bucket boundaries
+    /// wrong; at 8 bytes per sample a million-job service costs ~8 MB.
+    samples: Vec<f64>,
 }
 
-/// Streaming distribution summary (count/sum/min/max) of observed samples —
-/// e.g. per-span durations. Deliberately bucket-free: the virtual platform
-/// is deterministic, so min/mean/max answer the questions buckets would.
+/// Distribution summary of observed samples — e.g. per-span durations or
+/// per-job service latencies. Bucket-free: samples are retained exactly and
+/// quantiles (p50/p90/p99) are computed on demand by nearest-rank over the
+/// sorted samples, so a snapshot's `p99` is the real 99th-percentile sample,
+/// not a bucket midpoint.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(Arc<Mutex<HistogramData>>);
 
@@ -76,26 +83,57 @@ impl Histogram {
         }
         d.count += 1;
         d.sum += v;
+        d.samples.push(v);
+    }
+
+    /// Nearest-rank quantile of the samples observed so far: the smallest
+    /// sample `x` such that at least `q·count` samples are ≤ `x`. `q` is
+    /// clamped to `(0, 1]`; an empty histogram yields 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let d = self.0.lock();
+        let mut sorted = d.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        quantile_sorted(&sorted, q)
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         let d = self.0.lock();
+        let mut sorted = d.samples.clone();
+        sorted.sort_by(f64::total_cmp);
         HistogramSnapshot {
             count: d.count,
             sum: d.sum,
             min: d.min,
             max: d.max,
+            p50: quantile_sorted(&sorted, 0.50),
+            p90: quantile_sorted(&sorted, 0.90),
+            p99: quantile_sorted(&sorted, 0.99),
         }
     }
 }
 
-/// Point-in-time copy of a [`Histogram`]. `min`/`max` are 0 when empty.
+/// Nearest-rank quantile over an ascending-sorted slice (0 when empty).
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Point-in-time copy of a [`Histogram`]. `min`/`max`/quantiles are 0 when
+/// empty. `p50`/`p90`/`p99` are exact nearest-rank quantiles of all samples
+/// observed up to the snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
 }
 
 impl HistogramSnapshot {
@@ -256,6 +294,34 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let h = Histogram::default();
+        // 1..=100 observed out of order: pX must be exactly X.
+        for i in (1..=100).rev() {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.quantile(0.50), 50.0);
+        assert_eq!(h.quantile(0.90), 90.0);
+        assert_eq!(h.quantile(0.99), 99.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p90, s.p99), (50.0, 90.0, 99.0));
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::default();
+        h.observe(7.5);
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p90, s.p99), (7.5, 7.5, 7.5));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! its JSON and the [`json`] submodule provides the minimal parser the
 //! round-trip tests (and CI's validity gate) use.
 
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{HistogramSnapshot, MetricsRegistry};
 use crate::trace::SpanRecord;
 use std::fmt::Write as _;
 use vgpu::{
@@ -387,6 +387,10 @@ pub struct RunReport {
     /// disabled for the run).
     pub devices: Vec<DeviceUtilization>,
     pub roofline: RooflineReport,
+    /// Optional request-latency distribution for the window (set by serving
+    /// benches via [`RunReport::with_latency`]; `None` for plain kernel
+    /// figures).
+    pub latency: Option<HistogramSnapshot>,
 }
 
 impl RunReport {
@@ -429,7 +433,16 @@ impl RunReport {
             stats: delta,
             devices,
             roofline: roofline_report(platform, compute_efficiency, delta, window_s),
+            latency: None,
         }
+    }
+
+    /// Attach a request-latency distribution (e.g. the executor's per-job
+    /// latency histogram) so `summary_line`/`Display`/`publish` include
+    /// p50/p99.
+    pub fn with_latency(mut self, latency: HistogramSnapshot) -> RunReport {
+        self.latency = Some(latency);
+        self
     }
 
     /// Seconds of copy-engine work that ran *under* compute, summed over
@@ -469,6 +482,11 @@ impl RunReport {
         metrics
             .gauge("skelcl.overlap.efficiency")
             .set(self.overlap_efficiency());
+        if let Some(lat) = &self.latency {
+            metrics.gauge("skelcl.latency.p50_s").set(lat.p50);
+            metrics.gauge("skelcl.latency.p90_s").set(lat.p90);
+            metrics.gauge("skelcl.latency.p99_s").set(lat.p99);
+        }
     }
 
     /// One-line summary for bench output: utilization per device and the
@@ -488,6 +506,9 @@ impl RunReport {
                 );
             }
             let _ = write!(out, " | overlap {:.0}%", 100.0 * self.overlap_efficiency());
+        }
+        if let Some(lat) = self.latency.filter(|l| l.count > 0) {
+            let _ = write!(out, " | lat p50 {:.2e} s p99 {:.2e} s", lat.p50, lat.p99);
         }
         let _ = write!(
             out,
@@ -544,6 +565,13 @@ impl std::fmt::Display for RunReport {
                 f,
                 "  overlap efficiency: {:.1}% of copy time hidden under compute",
                 100.0 * self.overlap_efficiency()
+            )?;
+        }
+        if let Some(lat) = self.latency.filter(|l| l.count > 0) {
+            writeln!(
+                f,
+                "  latency  : n={} p50 {:.3e} s, p90 {:.3e} s, p99 {:.3e} s, max {:.3e} s",
+                lat.count, lat.p50, lat.p90, lat.p99, lat.max
             )?;
         }
         write!(f, "  {}", self.roofline)
@@ -939,5 +967,37 @@ mod tests {
         assert!(text.contains("gpu0"), "{text}");
         assert!(text.contains("overlap efficiency"), "{text}");
         assert!(report.summary_line().contains("of peak"));
+    }
+
+    #[test]
+    fn latency_histogram_rides_the_summary_and_gauges() {
+        let platform = Platform::new(
+            vgpu::PlatformConfig::default()
+                .devices(1)
+                .spec(vgpu::DeviceSpec::tiny())
+                .cache_tag("report-latency-test"),
+        );
+        let hist = crate::metrics::Histogram::default();
+        for i in 1..=100 {
+            hist.observe(i as f64 * 1e-6);
+        }
+        let report = RunReport::collect("svc", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3)
+            .with_latency(hist.snapshot());
+
+        let line = report.summary_line();
+        assert!(line.contains("lat p50"), "{line}");
+        assert!(line.contains("p99"), "{line}");
+        let text = text_report(&report);
+        assert!(text.contains("latency  : n=100"), "{text}");
+
+        let metrics = MetricsRegistry::default();
+        report.publish(&metrics);
+        let snap = metrics.snapshot();
+        let p99 = snap["skelcl.latency.p99_s"].as_gauge().unwrap();
+        assert!((p99 - 99e-6).abs() < 1e-12, "p99={p99}");
+
+        // Without latency attached the line stays clean.
+        let plain = RunReport::collect("k", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3);
+        assert!(!plain.summary_line().contains("lat p50"));
     }
 }

@@ -18,6 +18,16 @@
 //! blocks, and `B` is replicated (a `Copy` or column-block `B` is
 //! redistributed automatically, device-to-device when its data is already
 //! device-fresh — no host round trips for intermediates).
+//!
+//! When `B`'s freshest data is on the **host**, the replication is
+//! event-driven: each device's copy of `B` is uploaded as asynchronous
+//! chunked writes on that device's copy stream, and the kernels are
+//! launched with explicit event dependencies (a per-device marker joining
+//! previously scheduled work, plus the device's last replication chunk)
+//! instead of device-serializing. The upload therefore slides *under*
+//! whatever kernels are already in flight on the compute engine — e.g.
+//! other tenants' kernels when AllPairs jobs run inside the executor
+//! service — while the math stays bit-identical to the blocking path.
 
 use crate::codegen::{self, UserFn};
 use crate::error::{Error, Result};
@@ -26,7 +36,12 @@ use crate::meter;
 use crate::skeletons::range_2d;
 use std::marker::PhantomData;
 use std::sync::Arc;
-use vgpu::{KernelBody, NDRange, Program, Scalar as Element};
+use vgpu::{Event, KernelBody, NDRange, Program, Scalar as Element};
+
+/// Row granularity of the streamed B-replication upload: small enough that
+/// the first chunks land while later ones are still crossing PCIe, large
+/// enough that per-transfer latency stays amortised.
+const B_REPLICATION_CHUNK_ROWS: usize = 64;
 
 /// Which parallelisation [`AllPairs::apply`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,25 +168,39 @@ where
         if !a.distribution().is_full_width() {
             a.set_distribution(MatrixDistribution::row_block())?;
         }
-        // Every device computing rows of C needs all of B. If some device
-        // holding A rows lacks a full copy of B, replicate it — a
-        // device-fresh ColBlock/Single/RowBlock B is gathered by
-        // device-to-device exchange, never through the host.
+        // Every device computing rows of C needs all of B.
         let a_parts = a.parts_with_fresh_halos()?;
         let full_b_on = |parts: &[crate::matrix::MatrixPart<T>], device: usize| {
             parts
                 .iter()
                 .any(|p| p.device == device && p.rows == kb && p.cols == n)
         };
-        let mut b_parts = b.parts()?;
-        if a_parts
-            .iter()
-            .filter(|p| p.rows > 0)
-            .any(|p| !full_b_on(&b_parts, p.device))
-        {
+        // Host-fresh B: replicate it event-driven — markers join each
+        // device's already-scheduled work (A's upload, in-flight kernels),
+        // then the per-device copies stream as async chunked writes on the
+        // copy streams, and each kernel below waits on exactly (marker,
+        // last replication chunk) instead of serializing on the device.
+        // Device-fresh B: gathered by device-to-device exchange as before,
+        // never through the host, with classic device-serializing launches.
+        let (b_parts, b_chunks, b_markers) = if !b.device_fresh() {
             b.set_distribution(MatrixDistribution::Copy)?;
-            b_parts = b.parts()?;
-        }
+            let markers: Vec<Event> = (0..ctx.n_devices())
+                .map(|d| ctx.queue(d).enqueue_marker())
+                .collect();
+            let (parts, chunks) = b.parts_with_upload_chunks(B_REPLICATION_CHUNK_ROWS)?;
+            (parts, chunks, Some(markers))
+        } else {
+            let mut b_parts = b.parts()?;
+            if a_parts
+                .iter()
+                .filter(|p| p.rows > 0)
+                .any(|p| !full_b_on(&b_parts, p.device))
+            {
+                b.set_distribution(MatrixDistribution::Copy)?;
+                b_parts = b.parts()?;
+            }
+            (b_parts, Vec::new(), None)
+        };
 
         let (compiled, tile) = match self.strategy {
             AllPairsStrategy::Naive => (ctx.get_or_build(&self.program())?, 0),
@@ -205,10 +234,11 @@ where
             if ap.rows == 0 || n == 0 {
                 continue;
             }
-            let bp = b_parts
+            let bi = b_parts
                 .iter()
-                .find(|p| p.device == ap.device && p.rows == kb && p.cols == n)
+                .position(|p| p.device == ap.device && p.rows == kb && p.cols == n)
                 .expect("B was just replicated to every computing device");
+            let bp = &b_parts[bi];
             // Kernel-body snapshots of the device-resident operands: the
             // inner loop runs k times per output element, so per-access
             // counted reads would dominate wall time; traffic and work are
@@ -271,7 +301,19 @@ where
                 None => range_2d(&ctx, n, span_rows),
                 Some((tile, _)) => NDRange::two_d((n, span_rows), (tile, tile)),
             };
-            ctx.queue(ap.device).launch(&compiled.with_body(body), nd)?;
+            match &b_markers {
+                Some(markers) => {
+                    let mut deps = vec![markers[ap.device].clone()];
+                    if let Some(chunk) = b_chunks.get(bi).and_then(|c| c.last()) {
+                        deps.push(chunk.event.clone());
+                    }
+                    ctx.queue(ap.device)
+                        .launch_async(&compiled.with_body(body), nd, &deps)?;
+                }
+                None => {
+                    ctx.queue(ap.device).launch(&compiled.with_body(body), nd)?;
+                }
+            }
         }
 
         Ok(Matrix::from_device_parts(
@@ -474,6 +516,49 @@ mod tests {
         let b = Matrix::from_vec(&c, 0, 3, vec![]);
         let got = matmul_skel().apply(&a, &b).unwrap().to_vec().unwrap();
         assert_eq!(got, vec![0.0f32; 12]);
+    }
+
+    #[test]
+    fn host_fresh_b_replication_overlaps_prior_kernels() {
+        let c = ctx(1);
+        let (m, k, n) = (48, 64, 48);
+        let (da, db) = (test_data(m, k, 13), test_data(k, n, 14));
+        let s = matmul_skel();
+        let a = Matrix::from_vec(&c, m, k, da.clone());
+        a.ensure_on_devices().unwrap();
+        // Warm the program cache so the timed window is pure scheduling.
+        s.apply(&a, &Matrix::from_vec(&c, k, n, db.clone()))
+            .unwrap();
+        c.sync();
+        c.platform().reset_clocks();
+        c.platform().enable_timeline_trace();
+
+        // An in-flight kernel on the compute engine: classic launches do
+        // not block the host, so the streamed replication below has a
+        // window to slide under.
+        let b_resident = Matrix::from_vec(&c, k, n, db.clone());
+        b_resident.ensure_on_devices().unwrap();
+        s.apply(&a, &b_resident).unwrap();
+
+        // Host-fresh B: replication must ride the copy stream *under* the
+        // kernel above instead of serializing behind it.
+        let b_fresh = Matrix::from_vec(&c, k, n, db.clone());
+        let got = s.apply(&a, &b_fresh).unwrap();
+        c.sync();
+        let trace = c.platform().take_timeline_trace();
+        let overlap: f64 = vgpu::compute_copy_overlap_s(&trace)
+            .into_iter()
+            .map(|(_, s)| s)
+            .sum();
+        assert!(
+            overlap > 0.0,
+            "streamed B replication must overlap the in-flight kernel"
+        );
+        assert_eq!(
+            got.to_vec().unwrap(),
+            reference_matmul(&da, &db, m, k, n),
+            "event-driven replication must stay bit-identical"
+        );
     }
 
     #[test]

@@ -220,6 +220,60 @@ impl<T: Scalar> Vector<T> {
         Ok(st.host.clone())
     }
 
+    /// Copy the current contents out like [`Vector::to_vec`], but **without
+    /// blocking the virtual host clock**: each part is downloaded by an
+    /// asynchronous read on the device's copy stream, ordered after
+    /// everything already scheduled on that device by a marker. Returns the
+    /// data plus the virtual time at which the last read completes — the
+    /// moment the response is ready. Coherence state is untouched; see
+    /// [`Matrix::read_back_async`](crate::Matrix::read_back_async) for the
+    /// serving rationale.
+    pub fn read_back_async(&self) -> Result<(Vec<T>, f64)> {
+        let st = self.state.lock();
+        if st.host_fresh {
+            return Ok((st.host.clone(), self.ctx.host_now_s()));
+        }
+        assert!(
+            st.device_fresh,
+            "vector has neither fresh host nor fresh device data"
+        );
+        let mut out = vec![T::default(); st.host.len()];
+        let mut ready = self.ctx.host_now_s();
+        match st.dist {
+            Distribution::Single(_) | Distribution::Copy => {
+                let part = st
+                    .parts
+                    .first()
+                    .ok_or_else(|| Error::NotOnDevice("no device parts to download".into()))?;
+                if part.len > 0 {
+                    let q = self.ctx.copy_queue(part.device);
+                    let dep = [q.enqueue_marker()];
+                    let ev = q.enqueue_read_range_async(&part.buffer, 0, &mut out, 1, &dep)?;
+                    ready = ready.max(ev.end_s);
+                }
+            }
+            Distribution::Block => {
+                let concurrent = st.parts.iter().filter(|p| p.len > 0).count().max(1);
+                for p in &st.parts {
+                    if p.len == 0 {
+                        continue;
+                    }
+                    let q = self.ctx.copy_queue(p.device);
+                    let dep = [q.enqueue_marker()];
+                    let ev = q.enqueue_read_range_async(
+                        &p.buffer,
+                        0,
+                        &mut out[p.offset..p.offset + p.len],
+                        concurrent,
+                        &dep,
+                    )?;
+                    ready = ready.max(ev.end_s);
+                }
+            }
+        }
+        Ok((out, ready))
+    }
+
     /// Declare that a kernel modified this vector on the devices by side
     /// effect (the paper's `dataOnDevicesModified()`, needed after the OSEM
     /// error-image kernel which "produces no result, but updates the error
@@ -742,6 +796,31 @@ mod tests {
         assert!(!v.device_fresh());
         let delta = c.platform().stats_snapshot() - before;
         assert_eq!(delta.total_transfers(), 0, "creation must not transfer");
+    }
+
+    #[test]
+    fn read_back_async_matches_to_vec_without_host_sync() {
+        for (dist, devices) in [
+            (Distribution::Block, 3),
+            (Distribution::Copy, 2),
+            (Distribution::Single(1), 2),
+        ] {
+            let c = ctx(devices);
+            let v = Vector::from_vec(&c, data(40));
+            v.set_distribution(dist).unwrap();
+            v.ensure_on_devices().unwrap();
+            v.mark_devices_modified(); // devices are the truth now
+            let host_before = c.host_now_s();
+            let (got, ready) = v.read_back_async().unwrap();
+            assert_eq!(
+                c.host_now_s(),
+                host_before,
+                "async read-back must not advance the host clock ({dist:?})"
+            );
+            assert!(ready >= host_before, "{dist:?}");
+            assert!(!v.host_fresh(), "coherence state must be untouched");
+            assert_eq!(got, data(40), "{dist:?}");
+        }
     }
 
     #[test]

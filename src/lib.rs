@@ -8,10 +8,12 @@
 //! * [`skelcl`] — the skeleton library itself (the paper's contribution).
 //! * [`skelcl_baselines`] — hand-written OpenCL-style / CUDA-style baselines.
 //! * [`skelcl_mandel`] / [`skelcl_osem`] — the paper's two applications.
+//! * [`skelcl_executor`] — the multi-tenant executor service layer.
 //! * [`skelcl_loc`] — program-size (LoC) accounting.
 
 pub use skelcl;
 pub use skelcl_baselines as baselines;
+pub use skelcl_executor as executor;
 pub use skelcl_loc as loc;
 pub use skelcl_mandel as mandel;
 pub use skelcl_osem as osem;
