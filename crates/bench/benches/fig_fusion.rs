@@ -1,0 +1,61 @@
+//! Pipeline-fusion figure: the lazy-`Pipeline` canny label chain
+//! (gauss → sobel → non-maximum suppression → double threshold), fused
+//! into three stencil launches with zero intermediate matrices, vs the
+//! unfused six-skeleton chain with five materialised intermediates —
+//! swept over image sizes and 1 → 4 virtual devices. Reports virtual
+//! (modeled) seconds with `RunReport` % of modeled-peak lines; both paths
+//! are bit-identical (imgproc tests + `prop_fusion`). The fused chain must
+//! win by at least 1.3× everywhere (asserted below — the fusion
+//! acceptance bar).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skelcl_bench::{canny_virtual_s, VirtualSweep};
+
+fn bench_fusion(c: &mut Criterion) {
+    let sweep = VirtualSweep::new();
+    let mut group = VirtualSweep::group(c, "fig_fusion_virtual");
+    for (rows, cols) in [(256usize, 256usize), (384, 384), (512, 512)] {
+        for devices in [1usize, 2, 4] {
+            for (name, fused) in [("unfused", false), ("fused", true)] {
+                sweep.bench(
+                    &mut group,
+                    format!("canny_{name}_{rows}x{cols}"),
+                    devices,
+                    (rows, devices, name),
+                    move || canny_virtual_s(rows, cols, devices, fused),
+                );
+            }
+        }
+    }
+    group.finish();
+
+    // The acceptance relation the figure exists to show: fusing the
+    // elementwise stages into the stencil kernels and eliding every
+    // intermediate matrix beats the launch-per-skeleton chain by ≥ 1.3×
+    // at every swept size and device count.
+    for (rows, cols) in [(256usize, 256usize), (384, 384), (512, 512)] {
+        for devices in [1usize, 2, 4] {
+            let unfused = sweep.get((rows, devices, "unfused"));
+            let fused = sweep.get((rows, devices, "fused"));
+            let speedup = unfused / fused;
+            assert!(
+                speedup >= 1.3,
+                "fused canny ({fused}s) must beat the unfused chain ({unfused}s) \
+                 by >= 1.3x at {rows}x{cols} on {devices} device(s), got {speedup:.3}x"
+            );
+            println!(
+                "fig_fusion check: {rows}x{cols} x{devices} device(s): unfused {unfused:.6}s, \
+                 fused {fused:.6}s ({speedup:.3}x)"
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time samples have zero variance, which breaks the plotting
+    // backend; plots add nothing here anyway.
+    config = Criterion::default().without_plots();
+    targets = bench_fusion
+}
+criterion_main!(benches);

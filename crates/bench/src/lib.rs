@@ -624,6 +624,46 @@ pub fn stencil_iterate_virtual_s(
     )
 }
 
+/// Fig-fusion helper: virtual time of the canny label pipeline (gauss →
+/// sobel → non-maximum suppression → double threshold) over a
+/// `rows × cols` row-block image across `devices` devices. With `fused`
+/// the lazy [`skelcl::Pipeline`] runs: the whole chain compiles into
+/// three fused stencil launches with zero intermediate matrices; otherwise
+/// the unfused chain runs — six skeleton launches (gauss, sobel x, sobel y,
+/// gradient zip, nms, threshold map) with five materialised intermediates.
+/// Both paths are bit-identical (imgproc tests + `prop_fusion`); the
+/// figure isolates the launch-count and traffic difference. The host-side
+/// hysteresis flood fill is identical in both variants and excluded, as is
+/// upload and program warm-up.
+pub fn canny_virtual_s(rows: usize, cols: usize, devices: usize, fused: bool) -> f64 {
+    use skelcl::{Boundary2D, Matrix, MatrixDistribution};
+    use skelcl_imgproc::skelcl_impl::{canny_labels, canny_labels_unfused};
+
+    const LO: f32 = 30.0;
+    const HI: f32 = 90.0;
+    let platform = figure_platform(devices);
+    let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    let img = Matrix::from_vec(&ctx, rows, cols, skelcl_imgproc::test_image(rows, cols));
+    img.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+        .expect("dist");
+    img.ensure_on_devices().expect("upload");
+    // Warm both generated program sets so neither path pays build cost.
+    canny_labels(&img, Boundary2D::Neumann, LO, HI).expect("warm fused");
+    canny_labels_unfused(&img, Boundary2D::Neumann, LO, HI).expect("warm unfused");
+    let variant = if fused { "fused" } else { "unfused" };
+    time_virtual_reported(
+        &platform,
+        &format!("fig_fusion canny {rows}x{cols} {variant} x{devices}"),
+        || {
+            if fused {
+                canny_labels(&img, Boundary2D::Neumann, LO, HI).expect("canny fused");
+            } else {
+                canny_labels_unfused(&img, Boundary2D::Neumann, LO, HI).expect("canny unfused");
+            }
+        },
+    )
+}
+
 /// Fig-overlap helper: virtual time of `n` Jacobi heat-relaxation rounds
 /// over a `rows × cols` row-block plate across `devices` devices, under
 /// either iterate schedule. With `overlapped` the default

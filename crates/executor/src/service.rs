@@ -494,6 +494,14 @@ fn take_batch(shared: &Shared, st: &mut SchedState) -> BatchPlan {
     }
     if shared.cfg.scheduling == SchedulingMode::WeightedRoundRobin {
         st.rr_turns_left = st.rr_turns_left.saturating_sub(1);
+        if st.tenants[ti].queue.is_empty() {
+            // The tenant drained mid-quantum. Forfeit the leftover turns:
+            // the cursor parks here while the service idles, and without
+            // this the stale `rr_turns_left` would shortchange the
+            // tenant's *next* visit (it resumed the old quantum instead of
+            // starting a fresh `weight`-sized one).
+            st.rr_turns_left = 0;
+        }
         if st.rr_turns_left == 0 {
             st.rr_cursor = (ti + 1) % st.tenants.len().max(1);
         }
@@ -784,6 +792,75 @@ mod tests {
                 Some(4)
             );
         }
+    }
+
+    #[test]
+    fn wrr_quantum_does_not_go_stale_across_idle_periods() {
+        // Regression test: a tenant that drained its queue *mid-quantum*
+        // used to keep the leftover `rr_turns_left`, so its next burst —
+        // possibly much later — resumed the old, partially-spent quantum
+        // instead of a fresh `weight`-sized one, and a light tenant's job
+        // split the heavy tenant's burst in half. With the fix, draining
+        // mid-quantum forfeits the remainder and advances the cursor, so
+        // the heavy tenant's next visit is one uninterrupted weight-4 run.
+        let exec = Executor::new(ExecutorConfig::default().devices(1).max_batch(1).paused());
+        let heavy = exec.add_tenant("heavy", 4);
+        let light = exec.add_tenant("light", 1);
+
+        // Round 1: the heavy tenant drains after 2 of its 4 turns.
+        let warmup: Vec<_> = (0..2)
+            .map(|i| {
+                exec.submit(
+                    heavy,
+                    Job::RowSum {
+                        data: ramp(64, i as f32),
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        exec.drain();
+        for h in warmup {
+            h.wait().unwrap();
+        }
+
+        // Round 2: heavy floods 4 jobs, light submits 1. As in
+        // `wrr_interleaves_tenants_fifo_serves_arrival_order`, one device
+        // plus no coalescing means `ready_s` ordering is the schedule.
+        exec.pause();
+        let heavy_handles: Vec<_> = (0..4)
+            .map(|i| {
+                exec.submit(
+                    heavy,
+                    Job::RowSum {
+                        data: ramp(64, 10.0 + i as f32),
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let light_handle = exec
+            .submit(
+                light,
+                Job::RowSum {
+                    data: ramp(64, 99.0),
+                },
+            )
+            .unwrap();
+        exec.drain();
+
+        let heavy_ready: Vec<f64> = heavy_handles
+            .into_iter()
+            .map(|h| h.wait().unwrap().1.ready_s)
+            .collect();
+        let light_ready = light_handle.wait().unwrap().1.ready_s;
+        let split = heavy_ready.iter().filter(|&&r| r < light_ready).count();
+        assert!(
+            split == 0 || split == heavy_ready.len(),
+            "the light job must not split the heavy tenant's quantum: \
+             {split} of {} heavy jobs ran before it (stale rr_turns_left)",
+            heavy_ready.len()
+        );
     }
 
     #[test]

@@ -1,19 +1,119 @@
 //! # skelcl-imgproc — image-processing workloads over `Matrix`/`Stencil2D`
 //!
-//! The canny-style pipeline of SkelCL's benchmark suite (Gaussian blur →
-//! Sobel gradient), implemented twice:
+//! The canny pipeline of SkelCL's benchmark suite (Gaussian blur → Sobel
+//! gradient → non-maximum suppression → hysteresis thresholding),
+//! implemented twice:
 //!
 //! * [`seq`] — a plain sequential host reference,
-//! * [`skelcl_impl`] — matrices + 2D stencils + an element-wise Zip, all
-//!   device-resident with lazy transfers and automatic halo exchange.
+//! * [`skelcl_impl`] — matrices + 2D stencils + element-wise stages, all
+//!   device-resident with lazy transfers and automatic halo exchange; the
+//!   full detector runs both *fused* (a lazy [`Pipeline`](skelcl::Pipeline)
+//!   collapsing the stage chain into three kernel launches) and *unfused*
+//!   (one skeleton per stage — the baseline `fig_fusion` measures against).
 //!
 //! Both paths evaluate every pixel through the *same* per-pixel functions
-//! ([`gaussian3_at`], [`sobel_x_at`], [`sobel_y_at`], [`magnitude`]), so
-//! their floating-point evaluation order is identical and results are
-//! **bit-identical** — on one device, on many devices, and sequentially.
+//! ([`gaussian3_at`], [`sobel_x_at`], [`sobel_y_at`], [`magnitude`],
+//! [`nms_at`], [`edge_label`], [`hysteresis`]), so their floating-point
+//! evaluation order is identical and results are **bit-identical** — on
+//! one device, on many devices, fused, unfused, and sequentially.
 
 pub mod seq;
 pub mod skelcl_impl;
+
+/// A gradient vector: the Sobel x/y derivative pair at one pixel. Device
+/// buffers hold `Grad` directly (it is a vgpu scalar), so the gradient
+/// field never splits into two matrices.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Grad {
+    pub gx: f32,
+    pub gy: f32,
+}
+
+vgpu::impl_scalar!(Grad);
+
+/// tan(22.5°): the slope that separates the four quantized gradient
+/// directions of non-maximum suppression.
+const TAN_22_5: f32 = 0.414_213_56;
+
+/// Non-maximum suppression of the pixel at the getter's origin: keep the
+/// gradient magnitude only where it peaks along the (quantized) gradient
+/// direction; elsewhere the edge response is thinned to 0. The comparison
+/// is `>=` against the first neighbour and `>` against the second, so
+/// plateau pixels survive exactly once per direction.
+#[inline]
+pub fn nms_at(get: impl Fn(isize, isize) -> Grad) -> f32 {
+    let g = get(0, 0);
+    let m = magnitude(g.gx, g.gy);
+    let (ax, ay) = (g.gx.abs(), g.gy.abs());
+    let ((r1, c1), (r2, c2)) = if ay <= TAN_22_5 * ax {
+        // Mostly-horizontal gradient: compare along the row.
+        ((0, -1), (0, 1))
+    } else if ax <= TAN_22_5 * ay {
+        // Mostly-vertical gradient: compare along the column.
+        ((-1, 0), (1, 0))
+    } else if g.gx * g.gy > 0.0 {
+        ((-1, -1), (1, 1))
+    } else {
+        ((-1, 1), (1, -1))
+    };
+    let n1 = get(r1, c1);
+    let n2 = get(r2, c2);
+    let m1 = magnitude(n1.gx, n1.gy);
+    let m2 = magnitude(n2.gx, n2.gy);
+    if m >= m1 && m > m2 {
+        m
+    } else {
+        0.0
+    }
+}
+
+/// Double-threshold classification of a suppressed magnitude:
+/// `2.0` = strong edge (`m >= hi`), `1.0` = weak candidate (`m >= lo`),
+/// `0.0` = suppressed.
+#[inline]
+pub fn edge_label(m: f32, lo: f32, hi: f32) -> f32 {
+    if m >= hi {
+        2.0
+    } else if m >= lo {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Hysteresis thresholding over a label image ([`edge_label`] output):
+/// every strong pixel is an edge, and weak pixels join iff they connect to
+/// a strong pixel through an 8-connected chain of weak pixels. A host-side
+/// flood fill — the reachable set is order-independent, so the result is
+/// deterministic regardless of traversal order.
+pub fn hysteresis(labels: &[f32], rows: usize, cols: usize) -> Vec<u8> {
+    assert_eq!(labels.len(), rows * cols);
+    let mut edges = vec![0u8; rows * cols];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= 2.0 {
+            edges[i] = 1;
+            stack.push(i);
+        }
+    }
+    while let Some(i) = stack.pop() {
+        let (r, c) = ((i / cols) as isize, (i % cols) as isize);
+        for dr in -1isize..=1 {
+            for dc in -1isize..=1 {
+                let (nr, nc) = (r + dr, c + dc);
+                if nr < 0 || nr >= rows as isize || nc < 0 || nc >= cols as isize {
+                    continue;
+                }
+                let j = nr as usize * cols + nc as usize;
+                if edges[j] == 0 && labels[j] >= 1.0 {
+                    edges[j] = 1;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    edges
+}
 
 /// 3×3 binomial Gaussian blur of the pixel at the getter's origin.
 /// `get(dr, dc)` resolves the neighbour under the caller's boundary rule.

@@ -3,24 +3,28 @@
 //! Shares the per-pixel functions with the SkelCL implementation so the two
 //! agree bit-for-bit; only the iteration and boundary plumbing live here.
 
-use crate::{gaussian3_at, magnitude, sobel_x_at, sobel_y_at};
+use crate::{
+    edge_label, gaussian3_at, hysteresis, magnitude, nms_at, sobel_x_at, sobel_y_at, Grad,
+};
 use skelcl::Boundary2D;
 
-/// Apply one radius-1 stencil `f` over the whole image under `boundary`.
-fn stencil<F: Fn(&dyn Fn(isize, isize) -> f32) -> f32>(
-    img: &[f32],
+/// Apply one radius-1 stencil `f` over a whole field under `boundary`.
+/// Out-of-bounds reads resolve like the device-side stencil views: clamp
+/// (Neumann), wrap, or the element type's default (Zero).
+fn stencil<T: Copy + Default, O, F: Fn(&dyn Fn(isize, isize) -> T) -> O>(
+    img: &[T],
     rows: usize,
     cols: usize,
     boundary: Boundary2D,
     f: F,
-) -> Vec<f32> {
-    let at = |r: isize, c: isize| -> f32 {
+) -> Vec<O> {
+    let at = |r: isize, c: isize| -> T {
         let (r, c) = match boundary {
             Boundary2D::Neumann => (r.clamp(0, rows as isize - 1), c.clamp(0, cols as isize - 1)),
             Boundary2D::Wrap => (r.rem_euclid(rows as isize), c.rem_euclid(cols as isize)),
             Boundary2D::Zero => {
                 if r < 0 || r >= rows as isize || c < 0 || c >= cols as isize {
-                    return 0.0;
+                    return T::default();
                 }
                 (r, c)
             }
@@ -52,6 +56,46 @@ pub fn sobel(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec
 pub fn blur_sobel(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<f32> {
     let blurred = gaussian(img, rows, cols, boundary);
     sobel(&blurred, rows, cols, boundary)
+}
+
+/// The Sobel gradient *field* of an image: one [`Grad`] per pixel, both
+/// derivatives from the same neighbourhood pass.
+pub fn gradient_field(img: &[f32], rows: usize, cols: usize, boundary: Boundary2D) -> Vec<Grad> {
+    stencil(img, rows, cols, boundary, |get| Grad {
+        gx: sobel_x_at(get),
+        gy: sobel_y_at(get),
+    })
+}
+
+/// Canny label image: blur → gradient field → non-maximum suppression →
+/// double threshold, each stage a radius-1 stencil or per-pixel map under
+/// `boundary`. Values are [`edge_label`] classes (0/1/2 as `f32`).
+pub fn canny_labels(
+    img: &[f32],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary2D,
+    lo: f32,
+    hi: f32,
+) -> Vec<f32> {
+    let blurred = gaussian(img, rows, cols, boundary);
+    let grads = gradient_field(&blurred, rows, cols, boundary);
+    let suppressed = stencil(&grads, rows, cols, boundary, |get| nms_at(get));
+    suppressed.iter().map(|&m| edge_label(m, lo, hi)).collect()
+}
+
+/// The full canny edge detector: [`canny_labels`] followed by
+/// [`hysteresis`] flood fill. Returns the binary edge map (1 = edge).
+pub fn canny(
+    img: &[f32],
+    rows: usize,
+    cols: usize,
+    boundary: Boundary2D,
+    lo: f32,
+    hi: f32,
+) -> Vec<u8> {
+    let labels = canny_labels(img, rows, cols, boundary, lo, hi);
+    hysteresis(&labels, rows, cols)
 }
 
 /// Per-row total gradient energy: ascending-column left fold from 0 of the
@@ -116,6 +160,30 @@ mod tests {
         let seam: f32 = (0..rows).map(|r| out[r * cols + cols / 2 - 1]).sum();
         let flat: f32 = (0..rows).map(|r| out[r * cols]).sum();
         assert!(seam > flat, "edge response {seam} must beat flat {flat}");
+    }
+
+    #[test]
+    fn canny_of_a_flat_image_is_empty() {
+        let img = vec![7.0f32; 9 * 9];
+        let edges = canny(&img, 9, 9, Boundary2D::Neumann, 10.0, 30.0);
+        assert!(edges.iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn weak_edges_survive_only_when_chained_to_a_strong_pixel() {
+        // A label field exercised directly: one strong pixel with a weak
+        // 8-connected chain, plus an isolated weak pixel elsewhere.
+        let (rows, cols) = (5, 7);
+        let mut labels = vec![0.0f32; rows * cols];
+        labels[cols + 1] = 2.0; // strong seed
+        labels[2 * cols + 2] = 1.0; // diagonal weak neighbour
+        labels[2 * cols + 3] = 1.0; // chained weak
+        labels[4 * cols + 6] = 1.0; // isolated weak
+        let edges = crate::hysteresis(&labels, rows, cols);
+        assert_eq!(edges[cols + 1], 1);
+        assert_eq!(edges[2 * cols + 2], 1);
+        assert_eq!(edges[2 * cols + 3], 1);
+        assert_eq!(edges[4 * cols + 6], 0, "isolated weak pixels are culled");
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! `RowBlock` distribution the stencils pull their cross-device
 //! neighbourhoods through the matrix halo machinery.
 
-use crate::{gaussian3_at, magnitude, sobel_x_at, sobel_y_at};
+use crate::{
+    edge_label, gaussian3_at, hysteresis, magnitude, nms_at, sobel_x_at, sobel_y_at, Grad,
+};
 use skelcl::{
-    Boundary2D, Matrix, ReduceRows, ReduceRowsArg, Result, Stencil2D, Stencil2DView, UserFn,
-    Vector, Zip,
+    Boundary2D, Map, Matrix, PipeView, Pipeline, PipelineExpr, ReduceRows, ReduceRowsArg, Result,
+    Stencil2D, Stencil2DView, UserFn, Vector, Zip,
 };
 
 /// The Gaussian blur skeleton.
@@ -17,17 +19,9 @@ pub fn gaussian_skeleton(
     boundary: Boundary2D,
 ) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
     // >>> kernel
-    let user = UserFn::new(
-        "gauss3",
-        "float gauss3(__global float* in, int r, int c, uint nr, uint nc) {\n\
-         #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
-             return (AT(-1,-1) + 2.0f*AT(-1,0) + AT(-1,1)\n\
-                   + 2.0f*AT(0,-1) + 4.0f*AT(0,0) + 2.0f*AT(0,1)\n\
-                   + AT(1,-1) + 2.0f*AT(1,0) + AT(1,1)) * (1.0f/16.0f);\n\
-         #undef AT\n\
-         }",
-        |v: &Stencil2DView<'_, f32>| gaussian3_at(|dr, dc| v.get(dr, dc)),
-    );
+    let user = UserFn::new("gauss3", GAUSS3_SRC, |v: &Stencil2DView<'_, f32>| {
+        gaussian3_at(|dr, dc| v.get(dr, dc))
+    });
     // <<< kernel
     Stencil2D::new(user, 1, boundary)
 }
@@ -37,16 +31,9 @@ pub fn sobel_x_skeleton(
     boundary: Boundary2D,
 ) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
     // >>> kernel
-    let user = UserFn::new(
-        "sobel_x",
-        "float sobel_x(__global float* in, int r, int c, uint nr, uint nc) {\n\
-         #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
-             return (AT(-1,1) + 2.0f*AT(0,1) + AT(1,1))\n\
-                  - (AT(-1,-1) + 2.0f*AT(0,-1) + AT(1,-1));\n\
-         #undef AT\n\
-         }",
-        |v: &Stencil2DView<'_, f32>| sobel_x_at(|dr, dc| v.get(dr, dc)),
-    );
+    let user = UserFn::new("sobel_x", SOBEL_X_SRC, |v: &Stencil2DView<'_, f32>| {
+        sobel_x_at(|dr, dc| v.get(dr, dc))
+    });
     // <<< kernel
     Stencil2D::new(user, 1, boundary)
 }
@@ -56,16 +43,9 @@ pub fn sobel_y_skeleton(
     boundary: Boundary2D,
 ) -> Stencil2D<f32, f32, impl Fn(&Stencil2DView<'_, f32>) -> f32 + Clone> {
     // >>> kernel
-    let user = UserFn::new(
-        "sobel_y",
-        "float sobel_y(__global float* in, int r, int c, uint nr, uint nc) {\n\
-         #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
-             return (AT(1,-1) + 2.0f*AT(1,0) + AT(1,1))\n\
-                  - (AT(-1,-1) + 2.0f*AT(-1,0) + AT(-1,1));\n\
-         #undef AT\n\
-         }",
-        |v: &Stencil2DView<'_, f32>| sobel_y_at(|dr, dc| v.get(dr, dc)),
-    );
+    let user = UserFn::new("sobel_y", SOBEL_Y_SRC, |v: &Stencil2DView<'_, f32>| {
+        sobel_y_at(|dr, dc| v.get(dr, dc))
+    });
     // <<< kernel
     Stencil2D::new(user, 1, boundary)
 }
@@ -82,6 +62,90 @@ pub fn magnitude_skeleton() -> Zip<f32, f32, f32, impl Fn(f32, f32) -> f32 + Clo
     Zip::new(user)
 }
 
+// --- canny stage user functions -------------------------------------------
+//
+// The fused pipeline and the unfused skeleton chain share the OpenCL
+// sources and the Rust twins below differ only in view type
+// (`PipeView` vs `Stencil2DView`), so both call the same shared per-pixel
+// functions and agree bit for bit.
+
+const GAUSS3_SRC: &str = "float gauss3(__global float* in, int r, int c, uint nr, uint nc) {\n\
+     #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+         return (AT(-1,-1) + 2.0f*AT(-1,0) + AT(-1,1)\n\
+               + 2.0f*AT(0,-1) + 4.0f*AT(0,0) + 2.0f*AT(0,1)\n\
+               + AT(1,-1) + 2.0f*AT(1,0) + AT(1,1)) * (1.0f/16.0f);\n\
+     #undef AT\n\
+     }";
+
+const SOBEL_X_SRC: &str = "float sobel_x(__global float* in, int r, int c, uint nr, uint nc) {\n\
+     #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+         return (AT(-1,1) + 2.0f*AT(0,1) + AT(1,1))\n\
+              - (AT(-1,-1) + 2.0f*AT(0,-1) + AT(1,-1));\n\
+     #undef AT\n\
+     }";
+
+const SOBEL_Y_SRC: &str = "float sobel_y(__global float* in, int r, int c, uint nr, uint nc) {\n\
+     #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+         return (AT(1,-1) + 2.0f*AT(1,0) + AT(1,1))\n\
+              - (AT(-1,-1) + 2.0f*AT(-1,0) + AT(-1,1));\n\
+     #undef AT\n\
+     }";
+
+const GRAD_PACK_SRC: &str =
+    "Grad grad_pack(float gx, float gy) { Grad g; g.gx = gx; g.gy = gy; return g; }";
+
+const NMS_SRC: &str = "float nms(__global Grad* in, int r, int c, uint nr, uint nc) {\n\
+     #define AT(dr, dc) stencil_at(in, r, c, nr, nc, dr, dc)\n\
+         Grad g = AT(0, 0);\n\
+         float m = sqrt(g.gx*g.gx + g.gy*g.gy);\n\
+         float ax = fabs(g.gx), ay = fabs(g.gy);\n\
+         int r1, c1, r2, c2;\n\
+         if (ay <= 0.41421356f * ax)      { r1 = 0; c1 = -1; r2 = 0; c2 = 1; }\n\
+         else if (ax <= 0.41421356f * ay) { r1 = -1; c1 = 0; r2 = 1; c2 = 0; }\n\
+         else if (g.gx * g.gy > 0.0f)     { r1 = -1; c1 = -1; r2 = 1; c2 = 1; }\n\
+         else                             { r1 = -1; c1 = 1; r2 = 1; c2 = -1; }\n\
+         Grad n1 = AT(r1, c1); Grad n2 = AT(r2, c2);\n\
+         float m1 = sqrt(n1.gx*n1.gx + n1.gy*n1.gy);\n\
+         float m2 = sqrt(n2.gx*n2.gx + n2.gy*n2.gy);\n\
+         return (m >= m1 && m > m2) ? m : 0.0f;\n\
+     #undef AT\n\
+     }";
+
+fn grad_pack_fn() -> UserFn<impl Fn(f32, f32) -> Grad + Clone> {
+    // >>> kernel
+    UserFn::new("grad_pack", GRAD_PACK_SRC, |gx, gy| Grad { gx, gy })
+    // <<< kernel
+}
+
+fn edge_label_fn(lo: f32, hi: f32) -> UserFn<impl Fn(f32) -> f32 + Clone> {
+    // The thresholds are baked into the generated source, so every (lo, hi)
+    // pair is a distinct program in the kernel cache.
+    // >>> kernel
+    UserFn::new(
+        "edge_label",
+        format!(
+            "float edge_label(float m) {{\n\
+                 return m >= {hi:?}f ? 2.0f : (m >= {lo:?}f ? 1.0f : 0.0f);\n\
+             }}"
+        ),
+        move |m| edge_label(m, lo, hi),
+    )
+    // <<< kernel
+}
+
+/// The non-maximum-suppression stencil over the gradient field (the
+/// unfused chain's standalone stage).
+pub fn nms_skeleton(
+    boundary: Boundary2D,
+) -> Stencil2D<Grad, f32, impl Fn(&Stencil2DView<'_, Grad>) -> f32 + Clone> {
+    // >>> kernel
+    let user = UserFn::new("nms", NMS_SRC, |v: &Stencil2DView<'_, Grad>| {
+        nms_at(|dr, dc| v.get(dr, dc))
+    });
+    // <<< kernel
+    Stencil2D::new(user, 1, boundary)
+}
+
 /// Run the full pipeline on a device-distributed image. Intermediates stay
 /// on the devices; only the initial upload and the caller's final download
 /// cross the host boundary.
@@ -90,6 +154,75 @@ pub fn blur_sobel(img: &Matrix<f32>, boundary: Boundary2D) -> Result<Matrix<f32>
     let gx = sobel_x_skeleton(boundary).apply(&blurred)?;
     let gy = sobel_y_skeleton(boundary).apply(&blurred)?;
     magnitude_skeleton().apply_matrix(&gx, &gy)
+}
+
+/// Canny label image, **fused**: the whole
+/// gauss → (sobel_x ∥ sobel_y) → nms → edge_label chain is one lazy
+/// [`Pipeline`] that executes as **three** kernel launches — one per
+/// stencil group, with the Sobel pair sharing a single neighbourhood pass
+/// and the threshold map fused into the NMS kernel's writes — and zero
+/// intermediate [`Matrix`] values.
+pub fn canny_labels(
+    img: &Matrix<f32>,
+    boundary: Boundary2D,
+    lo: f32,
+    hi: f32,
+) -> Result<Matrix<f32>> {
+    // >>> kernel
+    let gauss = UserFn::new("gauss3", GAUSS3_SRC, |v: &PipeView<'_, f32>| {
+        gaussian3_at(|dr, dc| v.get(dr, dc))
+    });
+    let sx = UserFn::new("sobel_x", SOBEL_X_SRC, |v: &PipeView<'_, f32>| {
+        sobel_x_at(|dr, dc| v.get(dr, dc))
+    });
+    let sy = UserFn::new("sobel_y", SOBEL_Y_SRC, |v: &PipeView<'_, f32>| {
+        sobel_y_at(|dr, dc| v.get(dr, dc))
+    });
+    let nms = UserFn::new("nms", NMS_SRC, |v: &PipeView<'_, Grad>| {
+        nms_at(|dr, dc| v.get(dr, dc))
+    });
+    // <<< kernel
+    Pipeline::start::<f32>()
+        .stencil(gauss, 1, boundary)
+        .stencil_pair(sx, sy, grad_pack_fn(), 1, boundary)
+        .stencil(nms, 1, boundary)
+        .map(edge_label_fn(lo, hi))
+        .run(img)
+}
+
+/// Canny label image, **unfused**: the same math as [`canny_labels`] but
+/// one skeleton call per stage — six launches, five intermediate matrices
+/// (blurred, gx, gy, gradient field, suppressed). The `fig_fusion`
+/// baseline; bit-identical to the fused pipeline.
+pub fn canny_labels_unfused(
+    img: &Matrix<f32>,
+    boundary: Boundary2D,
+    lo: f32,
+    hi: f32,
+) -> Result<Matrix<f32>> {
+    let blurred = gaussian_skeleton(boundary).apply(img)?;
+    let gx = sobel_x_skeleton(boundary).apply(&blurred)?;
+    let gy = sobel_y_skeleton(boundary).apply(&blurred)?;
+    let grads = Zip::new(grad_pack_fn()).apply_matrix(&gx, &gy)?;
+    let suppressed = nms_skeleton(boundary).apply(&grads)?;
+    Map::new(edge_label_fn(lo, hi)).apply_matrix(&suppressed)
+}
+
+/// The full canny edge detector, fused: [`canny_labels`] on the devices,
+/// then the host-side [`hysteresis`] flood fill (an irregular graph
+/// traversal that does not map to a data-parallel skeleton). Bit-identical
+/// to [`crate::seq::canny`] on any device count.
+pub fn canny(img: &Matrix<f32>, boundary: Boundary2D, lo: f32, hi: f32) -> Result<Vec<u8>> {
+    let (rows, cols) = img.dims();
+    let labels = canny_labels(img, boundary, lo, hi)?.to_vec()?;
+    Ok(hysteresis(&labels, rows, cols))
+}
+
+/// The full canny edge detector over the unfused skeleton chain.
+pub fn canny_unfused(img: &Matrix<f32>, boundary: Boundary2D, lo: f32, hi: f32) -> Result<Vec<u8>> {
+    let (rows, cols) = img.dims();
+    let labels = canny_labels_unfused(img, boundary, lo, hi)?.to_vec()?;
+    Ok(hysteresis(&labels, rows, cols))
 }
 
 /// Per-row total gradient energy: the Gaussian → Sobel pipeline composed
@@ -223,6 +356,99 @@ mod tests {
             );
             assert_eq!(col.to_vec().unwrap(), want_col, "{devices} devices");
         }
+    }
+
+    const CANNY_LO: f32 = 30.0;
+    const CANNY_HI: f32 = 90.0;
+
+    #[test]
+    fn fused_canny_matches_the_sequential_reference_bit_for_bit() {
+        let (rows, cols) = (29, 18);
+        let img = crate::test_image(rows, cols);
+        for boundary in [Boundary2D::Neumann, Boundary2D::Wrap, Boundary2D::Zero] {
+            let want = crate::seq::canny(&img, rows, cols, boundary, CANNY_LO, CANNY_HI);
+            for devices in [1usize, 2, 4] {
+                let c = ctx(devices);
+                let m = Matrix::from_vec(&c, rows, cols, img.clone());
+                let got = canny(&m, boundary, CANNY_LO, CANNY_HI).unwrap();
+                assert_eq!(got, want, "{boundary:?}, {devices} devices");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_canny_labels_are_bit_identical() {
+        let (rows, cols) = (25, 21);
+        let img = crate::test_image(rows, cols);
+        for devices in [1usize, 2, 4] {
+            let c = ctx(devices);
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            let fused = canny_labels(&m, Boundary2D::Neumann, CANNY_LO, CANNY_HI)
+                .unwrap()
+                .to_vec()
+                .unwrap();
+            let m = Matrix::from_vec(&c, rows, cols, img.clone());
+            let unfused = canny_labels_unfused(&m, Boundary2D::Neumann, CANNY_LO, CANNY_HI)
+                .unwrap()
+                .to_vec()
+                .unwrap();
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                unfused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{devices} devices"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_canny_is_three_launch_groups_and_stays_on_the_devices() {
+        let (rows, cols) = (32, 16);
+        let c = ctx(2);
+        let img = Matrix::from_vec(&c, rows, cols, crate::test_image(rows, cols));
+        img.set_distribution(MatrixDistribution::RowBlock { halo: 1 })
+            .unwrap();
+        img.ensure_on_devices().unwrap();
+        let groups_before = c
+            .metrics()
+            .counter_value("skelcl.pipeline.groups")
+            .unwrap_or(0);
+        let before = c.platform().stats_snapshot();
+        let labels = canny_labels(&img, Boundary2D::Neumann, CANNY_LO, CANNY_HI).unwrap();
+        let delta = c.platform().stats_snapshot() - before;
+        let groups = c
+            .metrics()
+            .counter_value("skelcl.pipeline.groups")
+            .unwrap_or(0)
+            - groups_before;
+        assert_eq!(groups, 3, "gauss, sobel pair, nms+label: three launches");
+        assert_eq!(delta.h2d_transfers, 0, "no re-upload");
+        assert_eq!(delta.d2h_transfers, 0, "no intermediate download");
+        drop(labels);
+    }
+
+    #[test]
+    fn canny_finds_the_vertical_seam_and_nothing_in_flat_regions() {
+        // Left half 0, right half 100: hysteresis must keep the seam
+        // column and reject the flat interior.
+        let (rows, cols) = (12, 16);
+        let img: Vec<f32> = (0..rows * cols)
+            .map(|i| if i % cols < cols / 2 { 0.0 } else { 100.0 })
+            .collect();
+        let c = ctx(2);
+        let m = Matrix::from_vec(&c, rows, cols, img.clone());
+        let edges = canny(&m, Boundary2D::Neumann, 20.0, 60.0).unwrap();
+        // The NMS tie-break (`>=` left, `>` right) lands the thinned edge
+        // on one of the two columns straddling the seam.
+        let seam: u32 = (0..rows)
+            .map(|r| (edges[r * cols + cols / 2 - 1] + edges[r * cols + cols / 2]) as u32)
+            .sum();
+        let flat: u32 = (0..rows).map(|r| edges[r * cols + 1] as u32).sum();
+        assert!(seam > 0, "the seam must survive hysteresis");
+        assert_eq!(flat, 0, "flat regions must stay empty");
+        assert_eq!(
+            edges,
+            crate::seq::canny(&img, rows, cols, Boundary2D::Neumann, 20.0, 60.0)
+        );
     }
 
     #[test]

@@ -709,6 +709,333 @@ pub fn map_overlap_program(fn_name: &str, fn_source: &str, t: &str, radius: usiz
     .with_arg_count(3)
 }
 
+// ---------------------------------------------------------------------------
+// Fused pipeline programs (expression-template kernel fusion).
+//
+// A `Pipeline` (see `crate::skeletons::pipeline`) collapses a chain of
+// element-wise stages into the body of a neighbouring stencil / reduce /
+// map kernel. The builders below generate one program for the whole fused
+// group: every stage's user-function source is pasted once and the kernel
+// body chains the calls, so no intermediate buffer ever appears in the
+// emitted code. The joined stage names (and, for stencils, radius and
+// boundary mode) go into the program name — the fused program is cached in
+// the `ProgramRegistry` under that key exactly like any single-skeleton
+// program.
+
+/// One stage of a fused pipeline group, as codegen sees it.
+#[derive(Clone, Debug)]
+pub struct FusedStage {
+    /// `"map"`, `"zip"`, `"stencil"` or `"stencil_pair"` — determines the
+    /// call shape in the emitted chain and the extra kernel arguments
+    /// (each `zip` stage threads one more operand buffer).
+    pub kind: &'static str,
+    /// The user function's name (call site in the chain).
+    pub name: String,
+    /// The user function's source, pasted above the kernel.
+    pub source: String,
+    /// Static per-call cost estimate (summed into the fused kernel's
+    /// per-item issue cost by the pipeline launcher; codegen ignores it).
+    pub static_ops: u64,
+}
+
+impl FusedStage {
+    pub fn new(
+        kind: &'static str,
+        name: impl Into<String>,
+        source: impl Into<String>,
+        static_ops: u64,
+    ) -> Self {
+        FusedStage {
+            kind,
+            name: name.into(),
+            source: source.into(),
+            static_ops,
+        }
+    }
+}
+
+/// The `+`-joined stage names — the structural part of a fused program's
+/// cache key (`a+b+c` differs from `a+c+b`: fusion order matters).
+fn fused_chain_name(stages: &[FusedStage]) -> String {
+    stages
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// Concatenated user-function sources, one paste per stage.
+fn fused_sources(stages: &[FusedStage]) -> String {
+    stages
+        .iter()
+        .map(|s| s.source.as_str())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The nested call chain `s_n(...s_1(s_0(expr))...)` for an element-wise
+/// stage run. Each `zip` stage reads its own operand buffer at the same
+/// index, so it shows up as a two-argument call.
+fn fused_value_chain(stages: &[FusedStage], seed: &str) -> String {
+    let mut expr = seed.to_string();
+    for (i, s) in stages.iter().enumerate() {
+        expr = match s.kind {
+            "zip" => format!("{}({expr}, op{i}[i])", s.name),
+            _ => format!("{}({expr})", s.name),
+        };
+    }
+    expr
+}
+
+/// The extra `__global` operand-buffer parameters a stage list needs: one
+/// per `zip` stage (named `op<stage index>`).
+fn fused_zip_params(stages: &[FusedStage], elem_t: &str) -> (String, usize) {
+    let mut params = String::new();
+    let mut count = 0;
+    for (i, s) in stages.iter().enumerate() {
+        if s.kind == "zip" {
+            params.push_str(&format!(
+                ",\n                                  __global const {elem_t}* restrict op{i}"
+            ));
+            count += 1;
+        }
+    }
+    (params, count)
+}
+
+/// Generate the fused element-wise program: an N-stage `map`/`zip` chain
+/// collapsed into one 2D-NDRange kernel — one launch, zero intermediate
+/// buffers, however long the chain.
+pub fn fused_map2d_program(stages: &[FusedStage], in_t: &str, out_t: &str) -> Program {
+    let chain = fused_value_chain(stages, "in[i]");
+    let (zip_params, n_zips) = fused_zip_params(stages, in_t);
+    let source = format!(
+        "// generated by SkelCL codegen: fused element-wise pipeline ({} stages)\n\
+         {}\n\
+         __kernel void skelcl_fused_map2d(__global const {in_t}* restrict in,\n\
+                                  __global {out_t}* restrict out{zip_params},\n\
+                                  const uint n_rows,\n\
+                                  const uint n_cols) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1);\n\
+             if (row < n_rows && col < n_cols) {{\n\
+                 uint i = row * n_cols + col;\n\
+                 out[i] = {chain};\n\
+             }}\n\
+         }}\n",
+        stages.len(),
+        fused_sources(stages),
+    );
+    Program::from_source(
+        program_name("fused_map2d", &fused_chain_name(stages), &[in_t, out_t]),
+        source,
+    )
+    .with_arg_count(4 + n_zips)
+}
+
+/// Generate a fused stencil program: exactly one `stencil`/`stencil_pair`
+/// stage whose neighbourhood reads run the *pre* element-wise chain and
+/// whose result runs the *post* chain before the single write. `pre`,
+/// `stencil` and `post` together are the launch's stage list; the split is
+/// positional (stages before/after the stencil stage).
+pub fn fused_stencil2d_program(
+    stages: &[FusedStage],
+    in_t: &str,
+    out_t: &str,
+    radius: usize,
+    boundary: &str,
+) -> Program {
+    let si = stages
+        .iter()
+        .position(|s| s.kind.starts_with("stencil"))
+        .expect("a fused stencil group contains a stencil stage");
+    let (pre, rest) = stages.split_at(si);
+    let (stencil, post) = (&rest[0], &rest[1..]);
+    let resolve = stencil_boundary_resolve(boundary, in_t);
+    let read_chain = fused_value_chain(pre, "in[rr * n_cols + cc]");
+    let write_chain = fused_value_chain(
+        post,
+        &format!("{}(in, row, col, n_rows, n_cols)", stencil.name),
+    );
+    let (zip_params, n_zips) = fused_zip_params(stages, in_t);
+    let source = format!(
+        "// generated by SkelCL codegen: fused stencil pipeline, radius {radius}, {boundary} boundary\n\
+         // {} pre-stage(s) fused into the neighbourhood reads, {} post-stage(s) into the write.\n\
+         inline {in_t} stencil_at(__global const {in_t}* in, int row, int col,\n\
+                                  uint n_rows, uint n_cols, int dr, int dc) {{\n\
+             {resolve}\n\
+             return {read_chain};\n\
+         }}\n\
+         {}\n\
+         __kernel void skelcl_fused_stencil2d(__global const {in_t}* restrict in,\n\
+                                  __global {out_t}* restrict out{zip_params},\n\
+                                  const uint n_rows,\n\
+                                  const uint n_cols,\n\
+                                  const uint row_offset) {{\n\
+             uint col = get_global_id(0);\n\
+             uint row = get_global_id(1) + row_offset;\n\
+             if (row < n_rows && col < n_cols) {{\n\
+                 out[row * n_cols + col] = {write_chain};\n\
+             }}\n\
+         }}\n",
+        pre.len(),
+        post.len(),
+        fused_sources(stages),
+    );
+    Program::from_source(
+        program_name(
+            &format!("fused_stencil2d_r{radius}_{boundary}"),
+            &fused_chain_name(stages),
+            &[in_t, out_t],
+        ),
+        source,
+    )
+    .with_arg_count(5 + n_zips)
+}
+
+/// Generate a fused row-reduction program: the element-wise chain runs on
+/// every element *as it is folded*, so the whole map→…→reduce-rows pipeline
+/// is one launch with zero intermediate buffers. The fold is the same
+/// ascending-column left fold as [`reduce_rows_program`], which keeps the
+/// result bit-identical to the unfused chain.
+pub fn fused_reduce_rows_program(
+    stages: &[FusedStage],
+    reduce_name: &str,
+    reduce_source: &str,
+    in_t: &str,
+    out_t: &str,
+) -> Program {
+    let chain = fused_value_chain(stages, "in[row * n_cols + c]");
+    let (zip_params, n_zips) = fused_zip_params(stages, in_t);
+    let full_name = if stages.is_empty() {
+        reduce_name.to_string()
+    } else {
+        format!("{}+{reduce_name}", fused_chain_name(stages))
+    };
+    let source = format!(
+        "// generated by SkelCL codegen: fused reduce-rows pipeline ({} fused stages)\n\
+         {}\n\
+         {reduce_source}\n\
+         __kernel void skelcl_fused_reduce_rows(__global const {in_t}* restrict in,\n\
+                                  __global {out_t}* restrict out{zip_params},\n\
+                                  const uint n_rows,\n\
+                                  const uint n_cols,\n\
+                                  const {out_t} identity) {{\n\
+             uint row = get_global_id(0);\n\
+             if (row < n_rows) {{\n\
+                 {out_t} acc = identity;\n\
+                 for (uint c = 0; c < n_cols; ++c) {{\n\
+                     acc = {reduce_name}(acc, {chain});\n\
+                 }}\n\
+                 out[row] = acc;\n\
+             }}\n\
+         }}\n",
+        stages.len(),
+        fused_sources(stages),
+    );
+    Program::from_source(
+        program_name("fused_reduce_rows", &full_name, &[in_t, out_t]),
+        source,
+    )
+    .with_arg_count(5 + n_zips)
+}
+
+/// Generate the post-fused AllPairs program: [`allpairs_program`] (or its
+/// tiled twin when `tile > 0`) with an element-wise chain applied to each
+/// output element before the single write — `AllPairs::with_post` fuses
+/// e.g. the square root of a pairwise Euclidean distance into the
+/// zip-reduce kernel instead of launching a separate Map over the result.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_allpairs_program(
+    zip_name: &str,
+    zip_source: &str,
+    reduce_name: &str,
+    reduce_source: &str,
+    post: &[FusedStage],
+    in_t: &str,
+    out_t: &str,
+    tile: usize,
+) -> Program {
+    let write_chain = fused_value_chain(post, "acc");
+    let post_sources = fused_sources(post);
+    let full_name = format!("{zip_name}_{reduce_name}+{}", fused_chain_name(post));
+    if tile == 0 {
+        let source = format!(
+            "// generated by SkelCL codegen: AllPairs skeleton (naive, fused post chain)\n\
+             {zip_source}\n\
+             {reduce_source}\n\
+             {post_sources}\n\
+             __kernel void skelcl_fused_allpairs(__global const {in_t}* restrict a,\n\
+                                  __global const {in_t}* restrict b,\n\
+                                  __global {out_t}* restrict c,\n\
+                                  const uint m,\n\
+                                  const uint k,\n\
+                                  const uint n,\n\
+                                  const {out_t} identity) {{\n\
+                 uint col = get_global_id(0);\n\
+                 uint row = get_global_id(1);\n\
+                 if (row < m && col < n) {{\n\
+                     {out_t} acc = identity;\n\
+                     for (uint kk = 0; kk < k; ++kk) {{\n\
+                         acc = {reduce_name}(acc, {zip_name}(a[row * k + kk], b[kk * n + col]));\n\
+                     }}\n\
+                     c[row * n + col] = {write_chain};\n\
+                 }}\n\
+             }}\n"
+        );
+        Program::from_source(
+            program_name("fused_allpairs", &full_name, &[in_t, out_t]),
+            source,
+        )
+        .with_arg_count(7)
+    } else {
+        let source = format!(
+            "// generated by SkelCL codegen: AllPairs skeleton (tiled {tile}x{tile}, fused post chain)\n\
+             #define TILE {tile}\n\
+             {zip_source}\n\
+             {reduce_source}\n\
+             {post_sources}\n\
+             __kernel void skelcl_fused_allpairs_tiled(__global const {in_t}* restrict a,\n\
+                                  __global const {in_t}* restrict b,\n\
+                                  __global {out_t}* restrict c,\n\
+                                  const uint m,\n\
+                                  const uint k,\n\
+                                  const uint n,\n\
+                                  const {out_t} identity,\n\
+                                  __local {in_t}* a_tile,\n\
+                                  __local {in_t}* b_tile) {{\n\
+                 uint col = get_global_id(0);\n\
+                 uint row = get_global_id(1);\n\
+                 uint lx = get_local_id(0);\n\
+                 uint ly = get_local_id(1);\n\
+                 {out_t} acc = identity;\n\
+                 for (uint t = 0; t < (k + TILE - 1) / TILE; ++t) {{\n\
+                     uint ka = t * TILE + lx;\n\
+                     uint kb = t * TILE + ly;\n\
+                     a_tile[ly * TILE + lx] = (row < m && ka < k) ? a[row * k + ka] : identity;\n\
+                     b_tile[ly * TILE + lx] = (col < n && kb < k) ? b[kb * n + col] : identity;\n\
+                     barrier(CLK_LOCAL_MEM_FENCE);\n\
+                     uint span = min((uint)TILE, k - t * TILE);\n\
+                     for (uint kk = 0; kk < span; ++kk) {{\n\
+                         acc = {reduce_name}(acc, {zip_name}(a_tile[ly * TILE + kk], b_tile[kk * TILE + lx]));\n\
+                     }}\n\
+                     barrier(CLK_LOCAL_MEM_FENCE);\n\
+                 }}\n\
+                 if (row < m && col < n) c[row * n + col] = {write_chain};\n\
+             }}\n"
+        );
+        Program::from_source(
+            program_name(
+                &format!("fused_allpairs_tiled{tile}"),
+                &full_name,
+                &[in_t, out_t],
+            ),
+            source,
+        )
+        .with_arg_count(9)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,11 @@
 //!   ping-ponging two device-resident buffers with one batched halo
 //!   exchange per iteration — behind the simulation workloads (heat
 //!   relaxation, game of life — see the `skelcl-iterative` crate),
+//! * the lazy **[`Pipeline`] fusion subsystem**: skeleton calls compose
+//!   into a deferred expression that fuses adjacent element-wise stages
+//!   into their neighbouring stencil/reduce kernels at launch time —
+//!   eliding every intermediate matrix — behind the fused Canny edge
+//!   detector (see *Pipelines and fusion* below),
 //! * and the **async overlap subsystem**: per-device copy streams with
 //!   event-ordered transfers, so the overlapped `iterate` schedule runs
 //!   halo exchanges *under* interior kernels and streamed uploads
@@ -49,6 +54,8 @@
 //! | [`ReduceCols`]  | [`Matrix`] → [`Vector`] | associative `T f(T, T)` + id  | any matrix                                |
 //! | [`ReduceRowsArg`] | [`Matrix`] → value + index [`Vector`]s | strict `bool f(T, T)` | any matrix                  |
 //! | [`ReduceColsArg`] | [`Matrix`] → value + index [`Vector`]s | strict `bool f(T, T)` | any matrix                  |
+//! | [`Pipeline`]    | [`Matrix`]            | lazy `map`/`zip_with`/`stencil` chain, fused per stencil anchor | any matrix |
+//! | Canny (`skelcl-imgproc`) | [`Matrix`] → labels + host hysteresis | gauss → sobel → nms → threshold via [`Pipeline`] (3 fused launches) | `Single`, `Copy`, `RowBlock { halo }` |
 //!
 //! (Plus the composed [`MapReduce`]/[`MapIndex`] fusions and the
 //! with-arguments variants [`MapArgs`], [`MapVoid`], [`ZipArgs`].)
@@ -336,6 +343,77 @@
 //! // B is the leading 3×2 slice of the identity, so C is A's first 2 columns.
 //! assert_eq!(c.to_vec().unwrap()[0..2], [0.0, 1.0]);
 //! ```
+//!
+//! ## Pipelines and fusion (lazy skeleton chains)
+//!
+//! Chained skeleton calls each launch a kernel and materialise a full
+//! intermediate matrix — for a chain of cheap element-wise stages the
+//! intermediates dominate the memory traffic. [`Pipeline`] makes the
+//! chain *lazy*: [`Pipeline::start`] opens a deferred expression, each
+//! [`PipelineExpr::map`] / [`PipelineExpr::zip_with`] /
+//! [`PipelineExpr::stencil`] records a stage without executing anything,
+//! and the terminal [`PipelineExpr::run`] (or
+//! [`PipelineExpr::reduce_rows`]) plans the whole chain at once:
+//! element-wise stages fold into the *reads* of the next stencil (or the
+//! k-fold of a reduction) and into the *writes* of the previous one, so
+//! each stencil anchor becomes exactly one fused launch and no
+//! intermediate matrix ever exists. The fused OpenCL programs come from
+//! dedicated [`codegen`] builders and are cached in the
+//! [`ProgramRegistry`] under a key derived from the exact stage chain —
+//! same chain, same program. Results are **bit-identical** to the unfused
+//! skeleton chain on every device count, boundary mode and distribution
+//! (the `prop_fusion` suite), and the launch count is observable as the
+//! `skelcl.pipeline.groups` counter. The `skelcl-imgproc` Canny detector
+//! is the flagship user: gauss → sobel → non-maximum suppression →
+//! threshold compiles to three fused launches (the `fig_fusion` bench
+//! measures the win over the six-launch unfused chain).
+//!
+//! ```
+//! use skelcl::{
+//!     Boundary2D, Context, ContextConfig, Map, Matrix, PipeView, Pipeline, PipelineExpr,
+//!     Stencil2D, Stencil2DView, UserFn,
+//! };
+//!
+//! let ctx = Context::new(ContextConfig::default().devices(2).cache_tag("doc-pipeline"));
+//! let img = Matrix::from_fn(&ctx, 32, 32, |r, c| (r * c) as f32);
+//!
+//! const CROSS_SRC: &str =
+//!     "float cross4(__global float* in, int r, int c, uint nr, uint nc) {\n\
+//!          return 0.25f * (stencil_at(in,r,c,nr,nc,-1,0) + stencil_at(in,r,c,nr,nc,1,0)\n\
+//!                        + stencil_at(in,r,c,nr,nc,0,-1) + stencil_at(in,r,c,nr,nc,0,1));\n\
+//!      }";
+//!
+//! // scale → blur → square: one fused kernel launch, zero intermediates.
+//! let fused = Pipeline::start::<f32>()
+//!     .map(skelcl::skel_fn!(fn scale(x: f32) -> f32 { x * 0.5 }))
+//!     .stencil(
+//!         UserFn::new("cross4", CROSS_SRC,
+//!             |v: &PipeView<'_, f32>| {
+//!                 0.25 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1))
+//!             }),
+//!         1,
+//!         Boundary2D::Neumann,
+//!     )
+//!     .map(skelcl::skel_fn!(fn square(x: f32) -> f32 { x * x }))
+//!     .run(&img)
+//!     .unwrap();
+//!
+//! // The eager three-skeleton chain: three launches, two intermediates —
+//! // and exactly the same bits.
+//! let blur = Stencil2D::new(
+//!     UserFn::new("cross4", CROSS_SRC, |v: &Stencil2DView<'_, f32>| {
+//!         0.25 * (v.get(-1, 0) + v.get(1, 0) + v.get(0, -1) + v.get(0, 1))
+//!     }),
+//!     1,
+//!     Boundary2D::Neumann,
+//! );
+//! let step1 = Map::new(skelcl::skel_fn!(fn scale(x: f32) -> f32 { x * 0.5 }))
+//!     .apply_matrix(&img).unwrap();
+//! let step2 = blur.apply(&step1).unwrap();
+//! let unfused = Map::new(skelcl::skel_fn!(fn square(x: f32) -> f32 { x * x }))
+//!     .apply_matrix(&step2).unwrap();
+//! assert_eq!(fused.to_vec().unwrap(), unfused.to_vec().unwrap());
+//! ```
 
 pub mod algorithms;
 pub mod arguments;
@@ -364,6 +442,7 @@ pub use skeletons::{AllPairs, AllPairsStrategy};
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
 pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
+pub use skeletons::{PipeView, Pipeline, PipelineExpr};
 pub use skeletons::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
 pub use trace::{verify_span_nesting, SpanGuard, SpanRecord};
 pub use vector::{Distribution, Vector};

@@ -56,11 +56,13 @@ struct HistogramData {
     sum: f64,
     min: f64,
     max: f64,
-    /// Every observed sample, retained for exact quantiles. The virtual
+    /// Every observed finite sample, retained for exact quantiles. The virtual
     /// platform is deterministic and bounded (10⁴-ish jobs per bench run),
     /// so exact sample retention is cheaper than getting bucket boundaries
     /// wrong; at 8 bytes per sample a million-job service costs ~8 MB.
     samples: Vec<f64>,
+    /// Non-finite samples rejected at `observe` (see the NaN policy there).
+    dropped: u64,
 }
 
 /// Distribution summary of observed samples — e.g. per-span durations or
@@ -72,8 +74,18 @@ struct HistogramData {
 pub struct Histogram(Arc<Mutex<HistogramData>>);
 
 impl Histogram {
+    /// Record one sample. Non-finite values (NaN, ±∞) are **rejected**: a
+    /// single NaN would poison `sum`, `mean`, `min`/`max` and — because NaN
+    /// sorts *above* every number under `total_cmp` — silently become the
+    /// histogram's p99/max. A duration or latency that is NaN is always an
+    /// upstream bug, so it is dropped and counted in the `dropped` tally
+    /// instead of corrupting every aggregate downstream.
     pub fn observe(&self, v: f64) {
         let mut d = self.0.lock();
+        if !v.is_finite() {
+            d.dropped += 1;
+            return;
+        }
         if d.count == 0 {
             d.min = v;
             d.max = v;
@@ -84,6 +96,11 @@ impl Histogram {
         d.count += 1;
         d.sum += v;
         d.samples.push(v);
+    }
+
+    /// How many non-finite samples have been rejected by [`observe`](Self::observe).
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().dropped
     }
 
     /// Nearest-rank quantile of the samples observed so far: the smallest
@@ -322,6 +339,40 @@ mod tests {
         h.observe(7.5);
         let s = h.snapshot();
         assert_eq!((s.p50, s.p90, s.p99), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_poisonous() {
+        let h = Histogram::default();
+        h.observe(1.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(3.0);
+        assert_eq!(h.dropped(), 3, "all three non-finite samples rejected");
+        let s = h.snapshot();
+        // Before the reject-at-observe policy, the NaN made sum/mean/max
+        // NaN and (sorting above every number under total_cmp) became the
+        // p99 and the quantile(1.0) answer. Every aggregate must stay
+        // finite and correct now.
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 4.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        assert_eq!((s.p50, s.p90, s.p99), (1.0, 3.0, 3.0));
+        assert_eq!(h.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn all_non_finite_stream_behaves_as_empty() {
+        let h = Histogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::NAN);
+        assert_eq!(h.dropped(), 2);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
     }
 
     #[test]

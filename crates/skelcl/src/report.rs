@@ -751,6 +751,18 @@ pub mod json {
             }
         }
 
+        fn hex4(&mut self) -> Result<u32, String> {
+            let mut code = 0u32;
+            for _ in 0..4 {
+                let d = self
+                    .bump()
+                    .and_then(|b| (b as char).to_digit(16))
+                    .ok_or("bad \\u escape")?;
+                code = code * 16 + d;
+            }
+            Ok(code)
+        }
+
         fn string(&mut self) -> Result<String, String> {
             self.expect(b'"')?;
             let mut out = String::new();
@@ -768,14 +780,28 @@ pub mod json {
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let d = self
-                                    .bump()
-                                    .and_then(|b| (b as char).to_digit(16))
-                                    .ok_or("bad \\u escape")?;
-                                code = code * 16 + d;
-                            }
+                            let unit = self.hex4()?;
+                            // JSON encodes astral code points as a UTF-16
+                            // surrogate pair of consecutive \u escapes;
+                            // combine them. A lone or mismatched surrogate
+                            // degrades to U+FFFD (the second escape, if
+                            // any, is re-parsed on its own).
+                            let code = if (0xd800..=0xdbff).contains(&unit)
+                                && self.peek() == Some(b'\\')
+                                && self.bytes.get(self.pos + 1) == Some(&b'u')
+                            {
+                                let save = self.pos;
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if (0xdc00..=0xdfff).contains(&low) {
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                                } else {
+                                    self.pos = save;
+                                    unit
+                                }
+                            } else {
+                                unit
+                            };
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => return Err(format!("bad escape {other:?}")),
@@ -851,6 +877,64 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         let round = parse(&format!("\"{}\"", json_escape("q\"\\\n\tz\u{1}"))).unwrap();
         assert_eq!(round.as_str(), Some("q\"\\\n\tz\u{1}"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip_adversarially() {
+        // Control characters across the whole C0 range, quoting/escaping
+        // metacharacters, BMP non-ASCII, and non-BMP code points (which
+        // the writer emits as raw UTF-8). Every one must survive
+        // escape → parse unchanged.
+        let adversarial = [
+            "\u{1}\u{2}\u{8}\u{b}\u{c}\u{1f}",   // C0 controls incl. \b \f
+            "quote\" backslash\\ slash/ \r\n\t", // metacharacters
+            "ünïcødé — π ≈ 3.14159",             // BMP non-ASCII
+            "emoji 😀 and math 𝕏 and flag 🇩🇪",   // non-BMP (surrogate pairs in UTF-16)
+            "mixed \u{1f}😀\"\\\u{0007}end",
+        ];
+        for s in adversarial {
+            let round = parse(&format!("\"{}\"", json_escape(s))).unwrap();
+            assert_eq!(round.as_str(), Some(s), "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn parser_combines_utf16_surrogate_pairs() {
+        // Other Chrome-trace producers escape astral characters as
+        // \uXXXX\uXXXX surrogate pairs; the parser must combine them
+        // rather than yield two replacement characters.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("😀"),
+            "U+1F600 from its surrogate pair"
+        );
+        assert_eq!(
+            parse(r#""\uD835\uDD4F""#).unwrap().as_str(),
+            Some("𝕏"),
+            "upper-case hex digits"
+        );
+        // Lone surrogates are not representable: degrade to U+FFFD, and a
+        // following *non*-surrogate escape is decoded on its own.
+        assert_eq!(
+            parse(r#""\ud83d""#).unwrap().as_str(),
+            Some("\u{fffd}"),
+            "lone high surrogate"
+        );
+        assert_eq!(
+            parse(r#""\ud83dx""#).unwrap().as_str(),
+            Some("\u{fffd}x"),
+            "high surrogate followed by a plain character"
+        );
+        assert_eq!(
+            parse(r#""\ud83d\u0041""#).unwrap().as_str(),
+            Some("\u{fffd}A"),
+            "high surrogate followed by a non-surrogate escape"
+        );
+        assert_eq!(
+            parse(r#""\ude00""#).unwrap().as_str(),
+            Some("\u{fffd}"),
+            "unpaired low surrogate"
+        );
     }
 
     fn cmd(dev: usize, engine: EngineKind, start: f64, end: f64) -> CommandRecord {

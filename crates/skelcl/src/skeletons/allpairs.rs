@@ -29,7 +29,7 @@
 //! other tenants' kernels when AllPairs jobs run inside the executor
 //! service — while the math stays bit-identical to the blocking path.
 
-use crate::codegen::{self, UserFn};
+use crate::codegen::{self, FusedStage, UserFn};
 use crate::error::{Error, Result};
 use crate::matrix::{Matrix, MatrixDistribution};
 use crate::meter;
@@ -63,6 +63,11 @@ impl Default for AllPairsStrategy {
     }
 }
 
+/// A post stage fused into the AllPairs write: the stage descriptor used
+/// for codegen plus the type-erased Rust twin applied to each folded value.
+type PostFn<U> = Arc<dyn Fn(U) -> U + Send + Sync>;
+type PostStage<U> = (FusedStage, PostFn<U>);
+
 /// The AllPairs skeleton, customized by a zip function, an associative
 /// reduce function and the reduction's identity element.
 pub struct AllPairs<T: Element, U: Element, Fz, Fr> {
@@ -70,6 +75,7 @@ pub struct AllPairs<T: Element, U: Element, Fz, Fr> {
     reduce: UserFn<Fr>,
     identity: U,
     strategy: AllPairsStrategy,
+    post: Vec<PostStage<U>>,
     _pd: PhantomData<fn(T, T) -> U>,
 }
 
@@ -88,6 +94,7 @@ where
             reduce,
             identity,
             strategy: AllPairsStrategy::default(),
+            post: Vec::new(),
             _pd: PhantomData,
         }
     }
@@ -98,30 +105,71 @@ where
         self
     }
 
+    /// Fuse an element-wise post stage into the write of every output
+    /// element: `C[i][j] = post(fold(...))` in the same kernel, with no
+    /// intermediate matrix. Stages accumulate in call order and become part
+    /// of the generated program (and its cache key). This is how a
+    /// pipeline's trailing `map` chain lands on an AllPairs anchor — e.g.
+    /// a fused `sqrt` turns the zip-reduce of squared differences into
+    /// Euclidean pairwise distances in one launch.
+    pub fn with_post<Fp>(mut self, user: UserFn<Fp>) -> Self
+    where
+        Fp: Fn(U) -> U + Send + Sync + Clone + 'static,
+    {
+        let stage = FusedStage::new("map", user.name(), user.source(), user.static_ops());
+        let f = user.func().clone();
+        self.post.push((stage, Arc::new(f)));
+        self
+    }
+
     pub fn strategy(&self) -> AllPairsStrategy {
         self.strategy
     }
 
     /// The generated naive program (exposed for the cache experiments).
+    /// With fused post stages the fused builder is used, so the post chain
+    /// is part of the program name and the kernel cache key.
     pub fn program(&self) -> Program {
-        codegen::allpairs_program(
-            self.zip.name(),
-            self.zip.source(),
-            self.reduce.name(),
-            self.reduce.source(),
-            T::TYPE_NAME,
-            U::TYPE_NAME,
-        )
+        if self.post.is_empty() {
+            codegen::allpairs_program(
+                self.zip.name(),
+                self.zip.source(),
+                self.reduce.name(),
+                self.reduce.source(),
+                T::TYPE_NAME,
+                U::TYPE_NAME,
+            )
+        } else {
+            self.fused_program(0)
+        }
     }
 
     /// The generated tiled program for a given tile dimension; the tile is
     /// part of the program name and therefore of the kernel cache key.
     pub fn tiled_program(&self, tile: usize) -> Program {
-        codegen::allpairs_tiled_program(
+        if self.post.is_empty() {
+            codegen::allpairs_tiled_program(
+                self.zip.name(),
+                self.zip.source(),
+                self.reduce.name(),
+                self.reduce.source(),
+                T::TYPE_NAME,
+                U::TYPE_NAME,
+                tile,
+            )
+        } else {
+            self.fused_program(tile)
+        }
+    }
+
+    fn fused_program(&self, tile: usize) -> Program {
+        let stages: Vec<FusedStage> = self.post.iter().map(|(s, _)| s.clone()).collect();
+        codegen::fused_allpairs_program(
             self.zip.name(),
             self.zip.source(),
             self.reduce.name(),
             self.reduce.source(),
+            &stages,
             T::TYPE_NAME,
             U::TYPE_NAME,
             tile,
@@ -227,8 +275,12 @@ where
             });
         }
 
-        // Static per-k cost of one zip + one reduce application.
+        // Static per-k cost of one zip + one reduce application, plus the
+        // once-per-element cost of the fused post chain.
         let step_ops = self.zip.static_ops() + self.reduce.static_ops();
+        let post_ops: u64 = self.post.iter().map(|(s, _)| s.static_ops).sum();
+        let post_fns: Arc<Vec<PostFn<U>>> =
+            Arc::new(self.post.iter().map(|(_, f)| f.clone()).collect());
         let elem_bytes = std::mem::size_of::<T>();
         for (ap, op) in a_parts.iter().zip(&out_parts) {
             if ap.rows == 0 || n == 0 {
@@ -248,6 +300,7 @@ where
             let b_base = bp.halo_above * n;
             let zip = self.zip.func().clone();
             let red = self.reduce.func().clone();
+            let post = post_fns.clone();
             let identity = self.identity;
             let dst = op.buffer.clone();
             let span_rows = ap.span_rows();
@@ -290,10 +343,13 @@ where
                         for (kk, &x) in a_row.iter().enumerate() {
                             acc = red(acc, zip(x, b_snap[b_base + kk * n + col]));
                         }
+                        for f in post.iter() {
+                            acc = f(acc);
+                        }
                         acc
                     });
                     it.write(&dst, s * n + col, acc);
-                    it.work(ka as u64 * step_ops + dyn_ops);
+                    it.work(ka as u64 * step_ops + post_ops + dyn_ops);
                     it.traffic_read(per_item_bytes);
                 });
             });
@@ -559,6 +615,62 @@ mod tests {
             reference_matmul(&da, &db, m, k, n),
             "event-driven replication must stay bit-identical"
         );
+    }
+
+    #[test]
+    fn fused_post_stage_matches_separate_map_bitwise() {
+        let sqrt_abs = || {
+            crate::skel_fn!(
+                fn sqrt_abs(x: f32) -> f32 {
+                    x.abs().sqrt()
+                }
+            )
+        };
+        let (m, k, n) = (11, 9, 8);
+        let (da, db) = (test_data(m, k, 15), test_data(k, n, 16));
+        for devices in [1usize, 2, 4] {
+            for strategy in [
+                AllPairsStrategy::Naive,
+                AllPairsStrategy::Tiled { tile: 16 },
+            ] {
+                let c = ctx(devices);
+                let a = Matrix::from_vec(&c, m, k, da.clone());
+                let b = Matrix::from_vec(&c, k, n, db.clone());
+                let fused: Vec<u32> = matmul_skel()
+                    .with_strategy(strategy)
+                    .with_post(sqrt_abs())
+                    .apply(&a, &b)
+                    .unwrap()
+                    .to_vec()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let plain = matmul_skel().with_strategy(strategy).apply(&a, &b).unwrap();
+                let unfused: Vec<u32> = crate::Map::new(sqrt_abs())
+                    .apply_matrix(&plain)
+                    .unwrap()
+                    .to_vec()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(fused, unfused, "{devices} devices, {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_post_stage_changes_the_program_cache_key() {
+        let sq = crate::skel_fn!(
+            fn sq(x: f32) -> f32 {
+                x * x
+            }
+        );
+        let plain = matmul_skel();
+        let fused = matmul_skel().with_post(sq);
+        assert_ne!(plain.program().hash(), fused.program().hash());
+        assert_ne!(plain.tiled_program(8).hash(), fused.tiled_program(8).hash());
     }
 
     #[test]

@@ -14,6 +14,7 @@ mod allpairs;
 mod map;
 mod map_overlap;
 mod map_reduce;
+mod pipeline;
 mod reduce;
 mod reduce2d;
 mod scan;
@@ -24,6 +25,9 @@ pub use allpairs::{AllPairs, AllPairsStrategy};
 pub use map::{Map, MapArgs, MapVoid};
 pub use map_overlap::{Boundary, MapOverlap, StencilView};
 pub use map_reduce::{MapIndex, MapReduce};
+pub use pipeline::{
+    PipeMap, PipeStencil, PipeStencilPair, PipeView, PipeZip, Pipeline, PipelineExpr, Start,
+};
 pub use reduce::{Reduce, ReduceStrategy};
 pub use reduce2d::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
 pub use scan::{Scan, ScanStrategy};

@@ -684,8 +684,9 @@ where
 }
 
 /// Allocate a part set mirroring `parts`' geometry with fresh (element
-/// type `V`) buffers on the same devices.
-fn alloc_mirror_parts<T: Element, V: Element>(
+/// type `V`) buffers on the same devices. Shared with the fused pipeline
+/// launcher, whose stencil groups mirror their input layout the same way.
+pub(crate) fn alloc_mirror_parts<T: Element, V: Element>(
     ctx: &Context,
     parts: &[MatrixPart<T>],
     cols: usize,
@@ -708,7 +709,7 @@ fn alloc_mirror_parts<T: Element, V: Element>(
 
 /// Can a stencil's output start life with coherent halos? Only when there
 /// are none to go stale.
-fn stale_free<T: Element>(parts: &[MatrixPart<T>]) -> bool {
+pub(crate) fn stale_free<T: Element>(parts: &[MatrixPart<T>]) -> bool {
     parts.iter().all(|p| p.halo_above == 0 && p.halo_below == 0)
 }
 
