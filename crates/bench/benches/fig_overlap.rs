@@ -144,6 +144,29 @@ fn bench_overlap(c: &mut Criterion) {
             blocking / streamed
         );
     }
+
+    // The online hazard checker (`SKELCL_CHECK=1`) prices every enqueue
+    // through the incremental happens-before graph; its wall-clock cost on
+    // the heaviest leg (n=100 × 4 devices) must stay under 20%.
+    let wall = || {
+        let t0 = std::time::Instant::now();
+        overlap_iterate_virtual_s(rows, cols, 4, 100, true);
+        t0.elapsed().as_secs_f64()
+    };
+    let unchecked_s = wall().min(wall()).min(wall());
+    std::env::set_var("SKELCL_CHECK", "1");
+    let checked_s = wall().min(wall()).min(wall());
+    std::env::remove_var("SKELCL_CHECK");
+    println!(
+        "fig_overlap check: online hazard checker overhead at n=100 x4 device(s): \
+         {:+.1}% wall-clock (unchecked {unchecked_s:.3}s, checked {checked_s:.3}s)",
+        100.0 * (checked_s / unchecked_s - 1.0)
+    );
+    assert!(
+        checked_s <= unchecked_s * 1.2,
+        "online checker overhead {:.1}% exceeds the 20% wall-clock budget",
+        100.0 * (checked_s / unchecked_s - 1.0)
+    );
 }
 
 criterion_group! {

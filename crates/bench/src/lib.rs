@@ -152,6 +152,38 @@ pub fn time_virtual_reported_with(
     window_s - delta.build_virtual_ns as f64 * 1e-9
 }
 
+/// [`time_virtual_reported`] for context-driven runs: when the context has
+/// the online `skelcheck` hazard checker enabled (`SKELCL_CHECK=1`), the
+/// printed `RunReport` line additionally shows how many enqueue groups the
+/// checker vetted inside the measured window, so figure output proves the
+/// run executed under checking.
+pub fn time_virtual_reported_ctx(ctx: &Context, label: &str, f: impl FnOnce()) -> f64 {
+    let platform = ctx.platform();
+    platform.enable_timeline_trace();
+    platform.reset_clocks();
+    let checked_before = ctx.hazards_checked();
+    let before = platform.stats_snapshot();
+    f();
+    platform.sync_all();
+    let delta = platform.stats_snapshot() - before;
+    let window_s = platform.host_now_s();
+    let trace = platform.take_timeline_trace();
+    let mut report = RunReport::collect(
+        label,
+        platform,
+        DriverProfile::skelcl().compute_efficiency,
+        delta,
+        &trace,
+        window_s,
+    );
+    let checked = ctx.hazards_checked() - checked_before;
+    if checked > 0 {
+        report = report.with_hazards_checked(checked);
+    }
+    println!("{}", report.summary_line());
+    window_s - delta.build_virtual_ns as f64 * 1e-9
+}
+
 /// Fig-overlap metric: copy-engine busy time that runs *concurrently with
 /// the compute engine of the same device*, summed over all devices, during
 /// `n` overlapped `Stencil2D::iterate` rounds (same setup as
@@ -693,8 +725,8 @@ pub fn overlap_iterate_virtual_s(
     let st = skelcl_iterative::skelcl_impl::heat_skeleton();
     st.iterate(&plate, 1).expect("warm");
     let schedule = if overlapped { "overlapped" } else { "serial" };
-    time_virtual_reported(
-        &platform,
+    time_virtual_reported_ctx(
+        &ctx,
         &format!("fig_overlap iterate {rows}x{cols} n={n} {schedule} x{devices}"),
         || {
             if overlapped {
@@ -767,8 +799,8 @@ pub fn overlap_upload_virtual_s(
         .set_distribution(MatrixDistribution::RowBlock { halo: 2 })
         .expect("dist");
     let schedule = if streamed { "streamed" } else { "blocking" };
-    time_virtual_reported(
-        &platform,
+    time_virtual_reported_ctx(
+        &ctx,
         &format!("fig_overlap upload {rows}x{cols} {schedule} x{devices}"),
         || {
             if streamed {
@@ -1008,6 +1040,7 @@ pub fn run_executor_throughput_leg(
     let platform = exec.context().platform();
     platform.enable_timeline_trace();
     platform.reset_clocks();
+    let checked_before = exec.context().hazards_checked();
     let before = platform.stats_snapshot();
     let batches_before = exec
         .metrics()
@@ -1035,7 +1068,7 @@ pub fn run_executor_throughput_leg(
         })
         .collect();
     let makespan_s = window_s - delta.build_virtual_ns as f64 * 1e-9;
-    let report = RunReport::collect(
+    let mut report = RunReport::collect(
         label,
         platform,
         DriverProfile::skelcl().compute_efficiency,
@@ -1044,6 +1077,10 @@ pub fn run_executor_throughput_leg(
         window_s,
     )
     .with_latency(hist.snapshot());
+    let checked = exec.context().hazards_checked() - checked_before;
+    if checked > 0 {
+        report = report.with_hazards_checked(checked);
+    }
     println!("{}", report.summary_line());
     ExecutorLeg {
         makespan_s,

@@ -5,6 +5,8 @@
 //!   to running each tenant's jobs serially on a private context,
 //! * the shared virtual timeline stays physical under contention (no two
 //!   commands overlap on one engine of one device),
+//! * the timeline is race-free: no unordered pair of commands conflicts on
+//!   any buffer bytes (`skelcheck::verify_no_buffer_hazards`),
 //! * and each tenant's jobs are dispatched in its submission order.
 //!
 //! Runs under the pinned-seed CI job (`PROPTEST_SEED`).
@@ -183,6 +185,13 @@ proptest! {
         if let Some(violation) = verify_engine_exclusive(&trace) {
             return Err(TestCaseError::fail(format!(
                 "engine exclusivity violated under contention:\n{violation}"
+            )));
+        }
+        // Cross-tenant buffer reuse must never produce an unordered
+        // conflicting pair anywhere in the contended timeline.
+        if let Some(hazard) = skelcheck::verify_no_buffer_hazards(&trace) {
+            return Err(TestCaseError::fail(format!(
+                "buffer hazard under contention:\n{hazard}"
             )));
         }
         for (ti, reports) in served.iter().enumerate() {

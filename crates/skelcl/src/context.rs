@@ -88,6 +88,9 @@ impl ContextConfig {
 /// One resident entry in the [`ProgramRegistry`].
 struct RegistryEntry {
     kernel: CompiledKernel,
+    /// The program the kernel was built from — kept so checkers (the
+    /// `skelcheck` lint pass) can iterate every source this process built.
+    program: Program,
     /// Owner tag of the context that built this entry (tenant name; `""`
     /// for un-forked contexts).
     owner: String,
@@ -174,9 +177,20 @@ impl ProgramRegistry {
         })
     }
 
+    /// Every resident program's source, for registry-wide analysis
+    /// ([`crate::Context::lint_registry`]).
+    pub fn programs(&self) -> Vec<Program> {
+        self.state
+            .lock()
+            .entries
+            .values()
+            .map(|e| e.program.clone())
+            .collect()
+    }
+
     /// Insert a freshly built kernel under `owner`, evicting per the
     /// admission-control policy. Returns how many entries were evicted.
-    fn insert(&self, owner: &str, hash: u64, kernel: CompiledKernel) -> usize {
+    fn insert(&self, owner: &str, hash: u64, program: &Program, kernel: CompiledKernel) -> usize {
         let mut st = self.state.lock();
         st.tick += 1;
         let tick = st.tick;
@@ -209,6 +223,7 @@ impl ProgramRegistry {
             hash,
             RegistryEntry {
                 kernel,
+                program: program.clone(),
                 owner: owner.to_string(),
                 last_use: tick,
             },
@@ -322,7 +337,7 @@ impl Context {
         let program_cache_hits = metrics.counter("skelcl.program_cache.hits");
         let program_cache_misses = metrics.counter("skelcl.program_cache.misses");
         let program_cache_evictions = metrics.counter("skelcl.program_cache.evictions");
-        Context {
+        let ctx = Context {
             inner: Arc::new(ContextInner {
                 platform,
                 queues,
@@ -338,7 +353,13 @@ impl Context {
                 program_cache_evictions,
                 spans: Arc::new(SpanCollector::default()),
             }),
+        };
+        // Opt-in dynamic checking for debug/CI runs: SKELCL_CHECK=1 (or
+        // "on") arms the online buffer-hazard checker for the whole session.
+        if matches!(std::env::var("SKELCL_CHECK").as_deref(), Ok("1") | Ok("on")) {
+            ctx.enable_online_hazard_check();
         }
+        ctx
     }
 
     /// Fork a **sibling context for a tenant**: fresh in-order main+copy
@@ -438,6 +459,58 @@ impl Context {
         self.inner.platform.sync_all();
     }
 
+    /// Arm skelcheck's **online buffer-hazard checker**: every subsequently
+    /// enqueued command feeds an incremental happens-before analysis, and
+    /// the first RAW/WAR/WAW pair on overlapping bytes of one buffer with
+    /// no ordering edge panics at that exact enqueue — turning a latent
+    /// scheduling race into an immediate test failure. Each checked command
+    /// bumps the `skelcheck.hazards_checked` counter, so run reports show
+    /// the checker was live.
+    ///
+    /// Enabled automatically at context creation when the `SKELCL_CHECK`
+    /// environment variable is `1` or `on`.
+    pub fn enable_online_hazard_check(&self) {
+        let checker = skelcheck::OnlineHazardChecker::new();
+        let counter = self.inner.metrics.counter("skelcheck.hazards_checked");
+        let observe = checker.observer();
+        self.inner.platform.set_command_observer(Some(Arc::new(
+            move |recs: &[vgpu::CommandRecord]| {
+                counter.inc();
+                observe(recs);
+            },
+        )));
+    }
+
+    /// Commands vetted by the online hazard checker so far (0 when the
+    /// checker was never armed).
+    pub fn hazards_checked(&self) -> u64 {
+        self.inner
+            .metrics
+            .counter("skelcheck.hazards_checked")
+            .get()
+    }
+
+    /// Run skelcheck's **kernel lint pass** over every program resident in
+    /// the shared registry, against this context's device local-memory
+    /// budget: divergent barriers, oversized `__local` declarations,
+    /// host/kernel arity mismatches and unguarded thread-indexed global
+    /// accesses. The finding count is added to the `skelcheck.lint_findings`
+    /// counter; a healthy codegen layer yields an empty vector.
+    pub fn lint_registry(&self) -> Vec<skelcheck::LintFinding> {
+        let budget = self.device(0).spec().local_mem_bytes as u64;
+        let mut findings = Vec::new();
+        for p in self.inner.programs.programs() {
+            findings.extend(skelcheck::lint_program(
+                &p.name, &p.source, p.n_args, budget,
+            ));
+        }
+        self.inner
+            .metrics
+            .counter("skelcheck.lint_findings")
+            .add(findings.len() as u64);
+        findings
+    }
+
     /// Build (or fetch from the two-level cache) the kernel for `program`.
     ///
     /// First call per context: pays code generation + source build (or disk
@@ -461,7 +534,7 @@ impl Context {
         let evicted = self
             .inner
             .programs
-            .insert(&self.inner.owner, hash, kernel.clone());
+            .insert(&self.inner.owner, hash, program, kernel.clone());
         self.inner.program_cache_evictions.add(evicted as u64);
         Ok(kernel)
     }

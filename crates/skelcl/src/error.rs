@@ -24,6 +24,11 @@ pub enum Error {
     NotOnDevice(String),
     /// An `Arguments` slot was accessed with the wrong type or index.
     BadArgument(String),
+    /// A kernel body requested an argument slot that does not match what
+    /// the host marshalled (wrong index, wrong type, or wrong buffer
+    /// element) — the launch fails with the original mismatch message
+    /// instead of unwinding through the device pool.
+    KernelArgMismatch(String),
     /// A distribution change is not meaningful (e.g. block-merge from a
     /// non-Copy distribution).
     BadDistribution(String),
@@ -54,6 +59,9 @@ impl fmt::Display for Error {
             }
             Error::NotOnDevice(msg) => write!(f, "not on device: {msg}"),
             Error::BadArgument(msg) => write!(f, "bad argument: {msg}"),
+            Error::KernelArgMismatch(msg) => {
+                write!(f, "kernel/host argument mismatch: {msg}")
+            }
             Error::BadDistribution(msg) => write!(f, "bad distribution: {msg}"),
             Error::Empty(op) => write!(f, "{op} requires a non-empty vector"),
         }
@@ -71,7 +79,15 @@ impl std::error::Error for Error {
 
 impl From<vgpu::Error> for Error {
     fn from(e: vgpu::Error) -> Self {
-        Error::Platform(e)
+        match e {
+            // Argument-marshalling mistakes surface as kernel panics whose
+            // message names the offending argument slot; give them their
+            // own typed variant so callers can match on them.
+            vgpu::Error::KernelPanic(msg) if msg.contains("argument") => {
+                Error::KernelArgMismatch(msg)
+            }
+            other => Error::Platform(other),
+        }
     }
 }
 
@@ -91,6 +107,17 @@ mod tests {
         assert!(matches!(e, Error::Platform(_)));
         assert!(e.to_string().contains("size mismatch"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn kernel_panics_about_arguments_become_typed_mismatches() {
+        let e: Error =
+            vgpu::Error::KernelPanic("argument 2 is a f32 scalar, requested u32".into()).into();
+        assert!(matches!(e, Error::KernelArgMismatch(_)));
+        assert!(e.to_string().contains("argument 2"));
+        // Other kernel panics stay platform errors.
+        let e: Error = vgpu::Error::KernelPanic("index out of bounds".into()).into();
+        assert!(matches!(e, Error::Platform(_)));
     }
 
     #[test]

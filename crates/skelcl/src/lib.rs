@@ -59,6 +59,9 @@
 //!
 //! (Plus the composed [`MapReduce`]/[`MapIndex`] fusions and the
 //! with-arguments variants [`MapArgs`], [`MapVoid`], [`ZipArgs`].)
+//! Every program family in this table — including the fused pipeline
+//! variants — is vetted by the `skelcheck` kernel lint pass in CI; see
+//! *Static analysis* below.
 //! Element-wise skeletons accept every distribution; `Stencil2D` widens a
 //! too-narrow `RowBlock` halo automatically and re-lays out a `ColBlock`
 //! input; `AllPairs` replicates its `B` operand device-to-device when it
@@ -129,6 +132,31 @@
 //! Clock-epoch hygiene: `vgpu::Platform::reset_clocks` starts a new epoch;
 //! spans that straddle a reset are discarded, while metrics (monotonic
 //! counters) deliberately survive it — see the [`trace`] module docs.
+//!
+//! ## Static analysis (the `skelcheck` layer)
+//!
+//! The companion `skelcheck` crate (re-exported here as [`check`]) vets the
+//! two artifacts this library produces that nothing else type-checks:
+//!
+//! * **Command timelines** — [`check::verify_no_buffer_hazards`]
+//!   reconstructs the happens-before relation of a recorded trace (stream
+//!   program order, event dependencies, device serialization, host
+//!   synchronization) and flags RAW/WAR/WAW pairs on overlapping bytes of
+//!   one device buffer with no ordering path: races the virtual timeline
+//!   happened to order this run but nothing forced. The **online mode**
+//!   ([`Context::enable_online_hazard_check`], or `SKELCL_CHECK=1` in the
+//!   environment) installs the same analysis as a command observer and
+//!   panics at the exact enqueue that completes a race; each vetted
+//!   command bumps the `skelcheck.hazards_checked` counter.
+//! * **Generated kernel sources** — [`Context::lint_registry`] runs
+//!   [`check::lint_program`] over every program resident in the
+//!   [`ProgramRegistry`]: barriers under thread-divergent control flow,
+//!   `__local` declarations over the device budget, host/kernel
+//!   argument-count mismatches ([`Error::KernelArgMismatch`] is the
+//!   runtime twin of that lint), and thread-id-indexed global accesses
+//!   outside any bounds guard. Findings land in the
+//!   `skelcheck.lint_findings` counter; a healthy codegen layer lints
+//!   clean (the skeleton table above is covered end-to-end in CI).
 //!
 //! ## Executor service
 //!
@@ -446,6 +474,11 @@ pub use skeletons::{PipeView, Pipeline, PipelineExpr};
 pub use skeletons::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
 pub use trace::{verify_span_nesting, SpanGuard, SpanRecord};
 pub use vector::{Distribution, Vector};
+
+/// The `skelcheck` analysis layer: buffer-hazard detection over command
+/// timelines and the generated-kernel lint pass (see *Static analysis* in
+/// the crate docs).
+pub use skelcheck as check;
 
 /// The element trait vectors are generic over (re-exported from the
 /// platform; the name `Scalar` is taken by the paper's reduce-result type).

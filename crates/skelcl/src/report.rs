@@ -391,6 +391,10 @@ pub struct RunReport {
     /// benches via [`RunReport::with_latency`]; `None` for plain kernel
     /// figures).
     pub latency: Option<HistogramSnapshot>,
+    /// Enqueue groups vetted by the online `skelcheck` hazard checker
+    /// during the window (set via [`RunReport::with_hazards_checked`];
+    /// `None` when the checker was off).
+    pub hazards_checked: Option<u64>,
 }
 
 impl RunReport {
@@ -434,6 +438,7 @@ impl RunReport {
             devices,
             roofline: roofline_report(platform, compute_efficiency, delta, window_s),
             latency: None,
+            hazards_checked: None,
         }
     }
 
@@ -442,6 +447,14 @@ impl RunReport {
     /// p50/p99.
     pub fn with_latency(mut self, latency: HistogramSnapshot) -> RunReport {
         self.latency = Some(latency);
+        self
+    }
+
+    /// Record that the online hazard checker vetted `n` enqueue groups
+    /// during the window (the `skelcheck.hazards_checked` counter delta),
+    /// so figure output shows the run executed under checking.
+    pub fn with_hazards_checked(mut self, n: u64) -> RunReport {
+        self.hazards_checked = Some(n);
         self
     }
 
@@ -510,6 +523,9 @@ impl RunReport {
         if let Some(lat) = self.latency.filter(|l| l.count > 0) {
             let _ = write!(out, " | lat p50 {:.2e} s p99 {:.2e} s", lat.p50, lat.p99);
         }
+        if let Some(n) = self.hazards_checked {
+            let _ = write!(out, " | skelcheck {n} enqueues");
+        }
         let _ = write!(
             out,
             " | {} bound, {:.0}% of peak",
@@ -572,6 +588,12 @@ impl std::fmt::Display for RunReport {
                 f,
                 "  latency  : n={} p50 {:.3e} s, p90 {:.3e} s, p99 {:.3e} s, max {:.3e} s",
                 lat.count, lat.p50, lat.p90, lat.p99, lat.max
+            )?;
+        }
+        if let Some(n) = self.hazards_checked {
+            writeln!(
+                f,
+                "  skelcheck: online hazard checker vetted {n} enqueue group(s)"
             )?;
         }
         write!(f, "  {}", self.roofline)
@@ -938,12 +960,7 @@ mod tests {
     }
 
     fn cmd(dev: usize, engine: EngineKind, start: f64, end: f64) -> CommandRecord {
-        CommandRecord {
-            device: DeviceId(dev),
-            engine,
-            start_s: start,
-            end_s: end,
-        }
+        CommandRecord::interval(DeviceId(dev), engine, start, end)
     }
 
     #[test]
@@ -1083,5 +1100,27 @@ mod tests {
         // Without latency attached the line stays clean.
         let plain = RunReport::collect("k", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3);
         assert!(!plain.summary_line().contains("lat p50"));
+    }
+
+    #[test]
+    fn hazard_checker_activity_rides_the_summary() {
+        let platform = Platform::new(
+            vgpu::PlatformConfig::default()
+                .devices(1)
+                .spec(vgpu::DeviceSpec::tiny())
+                .cache_tag("report-skelcheck-test"),
+        );
+        let report = RunReport::collect("chk", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3)
+            .with_hazards_checked(42);
+        let line = report.summary_line();
+        assert!(line.contains("skelcheck 42 enqueues"), "{line}");
+        assert!(
+            text_report(&report).contains("vetted 42 enqueue group(s)"),
+            "{report}"
+        );
+
+        // With the checker off the line stays clean.
+        let plain = RunReport::collect("k", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3);
+        assert!(!plain.summary_line().contains("skelcheck"));
     }
 }

@@ -614,4 +614,28 @@ mod tests {
         assert_eq!(out.len(), 0);
         assert!(out.to_vec().unwrap().is_empty());
     }
+
+    #[test]
+    fn mismarshalled_argument_is_a_typed_error_not_a_device_panic() {
+        // The host pushes an f32 scalar but the function body requests a
+        // u32: the device-pool panic must surface as the typed
+        // `Error::KernelArgMismatch`, carrying the slot diagnostics, rather
+        // than unwinding through the executor.
+        let c = ctx(1);
+        let bad = UserFn::new(
+            "badarg",
+            "float badarg(float x, uint k) { return x * (float)k; }",
+            |x: f32, env: &KernelEnv<'_>| x * env.scalar::<u32>(0) as f32,
+        );
+        let m = MapArgs::new(bad, 1);
+        let v = Vector::from_vec(&c, vec![1.0f32; 8]);
+        let mut args = Arguments::new();
+        args.push(5.0f32);
+        let err = m.apply(&v, &args).unwrap_err();
+        assert!(
+            matches!(err, crate::Error::KernelArgMismatch(_)),
+            "expected KernelArgMismatch, got {err:?}"
+        );
+        assert!(err.to_string().contains("argument 0"), "{err}");
+    }
 }

@@ -302,8 +302,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds radius")]
-    fn out_of_radius_access_panics() {
+    fn out_of_radius_access_is_a_typed_error() {
         let c = ctx(1);
         let user = UserFn::new(
             "bad",
@@ -312,6 +311,7 @@ mod tests {
         );
         let st = MapOverlap::new(user, 1, Boundary::Clamp);
         let v = Vector::from_vec(&c, vec![1.0f32; 8]);
-        let _ = st.apply(&v);
+        let err = st.apply(&v).expect_err("launch must fail");
+        assert!(err.to_string().contains("exceeds radius"), "{err}");
     }
 }

@@ -958,8 +958,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds radius")]
-    fn out_of_radius_access_panics() {
+    fn out_of_radius_access_is_a_typed_error() {
         let c = ctx(1);
         let user = UserFn::new(
             "bad",
@@ -968,7 +967,8 @@ mod tests {
         );
         let st = Stencil2D::new(user, 1, Boundary2D::Neumann);
         let m = Matrix::from_vec(&c, 4, 4, vec![1.0f32; 16]);
-        let _ = st.apply(&m);
+        let err = st.apply(&m).expect_err("launch must fail");
+        assert!(err.to_string().contains("exceeds radius"), "{err}");
     }
 
     #[test]

@@ -263,6 +263,7 @@ proptest! {
         let c = ctx(devices);
         let data = test_data(rows, cols, seed);
         let m = Matrix::from_vec(&c, rows, cols, data.clone());
+        c.platform().enable_timeline_trace();
         let before = c.metrics().counter_value("skelcl.pipeline.groups").unwrap_or(0);
         let fused = Pipeline::start::<f32>()
             .stencil(cross_pipe(), 1, boundary)
@@ -272,6 +273,14 @@ proptest! {
             .unwrap();
         let after = c.metrics().counter_value("skelcl.pipeline.groups").unwrap_or(0);
         prop_assert_eq!(after - before, 2, "two stencil anchors, two launches");
+
+        // The two fused launch groups hand data from the first anchor to the
+        // second: the recorded timeline must carry that ordering.
+        c.sync();
+        let trace = c.platform().take_timeline_trace();
+        if let Some(hazard) = skelcl::check::verify_no_buffer_hazards(&trace) {
+            panic!("{hazard}");
+        }
 
         let m2 = Matrix::from_vec(&c, rows, cols, data);
         let step1 = cross_stencil(boundary).apply(&m2).unwrap();

@@ -72,10 +72,15 @@ fn bits(v: &[f32]) -> Vec<u32> {
 }
 
 /// No two commands on the same engine of one device may overlap in time
-/// (the shared [`verify_engine_exclusive`] checker, asserted).
-fn assert_no_engine_overlap(trace: &[CommandRecord]) {
+/// (the shared [`verify_engine_exclusive`] checker, asserted), and no two
+/// unordered commands may touch the same buffer bytes conflictingly (the
+/// `skelcheck` happens-before race detector, asserted).
+fn assert_schedule_sound(trace: &[CommandRecord]) {
     if let Some(violation) = verify_engine_exclusive(trace) {
         panic!("{violation}");
+    }
+    if let Some(hazard) = skelcl::check::verify_no_buffer_hazards(trace) {
+        panic!("{hazard}");
     }
 }
 
@@ -196,7 +201,7 @@ proptest! {
         m2.set_distribution(MatrixDistribution::RowBlock { halo: 1 }).unwrap();
         st.apply_streamed(&m2, chunk_rows).unwrap();
         c.sync();
-        assert_no_engine_overlap(&c.platform().take_timeline_trace());
+        assert_schedule_sound(&c.platform().take_timeline_trace());
     }
 }
 
@@ -279,6 +284,9 @@ fn overlapped_iterate_runs_copies_under_kernels() {
     st.iterate(&m, 8).unwrap();
     c.sync();
     let trace = c.platform().take_timeline_trace();
+    // The overlap must also be *safe*: every copy-under-kernel pair is
+    // ordered against its data dependencies.
+    assert_schedule_sound(&trace);
     let overlap_s: f64 = vgpu::compute_copy_overlap_s(&trace)
         .iter()
         .map(|(_, s)| s)

@@ -88,12 +88,12 @@ fn exported_chrome_trace_round_trips_and_stays_physical() {
                 1 => EngineKind::Copy,
                 other => panic!("unexpected engine tid {other}"),
             };
-            engine_records.push(CommandRecord {
-                device: DeviceId(pid as usize - 1),
+            engine_records.push(CommandRecord::interval(
+                DeviceId(pid as usize - 1),
                 engine,
-                start_s: ts * 1e-6,
-                end_s: (ts + dur) * 1e-6,
-            });
+                ts * 1e-6,
+                (ts + dur) * 1e-6,
+            ));
         }
     }
 

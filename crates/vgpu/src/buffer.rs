@@ -8,12 +8,17 @@
 //! with. Bounds are always checked; out-of-bounds access panics rather than
 //! corrupting neighbouring allocations.
 
-use crate::types::{DeviceId, Scalar};
+use crate::types::{BufferId, DeviceId, Scalar};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Process-wide allocation id counter; ids start at 1 so 0 can mean "no
+/// buffer" in diagnostics.
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
+
 struct BufferInner<T> {
+    id: BufferId,
     device: DeviceId,
     data: Box<[UnsafeCell<T>]>,
     /// Shared with the owning device's allocator for dealloc accounting.
@@ -65,12 +70,19 @@ impl<T: Scalar> Buffer<T> {
         let data: Box<[UnsafeCell<T>]> = (0..len).map(|_| UnsafeCell::new(T::default())).collect();
         Buffer {
             inner: Arc::new(BufferInner {
+                id: BufferId(NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed)),
                 device,
                 data,
                 device_used,
                 bytes: len * std::mem::size_of::<T>(),
             }),
         }
+    }
+
+    /// This allocation's process-unique identity — what the timeline trace
+    /// records as the read/write set of each command.
+    pub fn id(&self) -> BufferId {
+        self.inner.id
     }
 
     /// Number of elements.

@@ -34,6 +34,10 @@ pub enum Error {
     BuildFailure(String),
     /// Access outside a buffer's bounds, caught at the API boundary.
     OutOfBounds { index: usize, len: usize },
+    /// The kernel body panicked during simulated execution (argument
+    /// marshalling mismatch, out-of-bounds element access, ...). Carries the
+    /// original panic message so callers can classify the failure.
+    KernelPanic(String),
 }
 
 impl fmt::Display for Error {
@@ -64,6 +68,7 @@ impl fmt::Display for Error {
             Error::OutOfBounds { index, len } => {
                 write!(f, "buffer access out of bounds: index {index}, length {len}")
             }
+            Error::KernelPanic(msg) => write!(f, "kernel panicked: {msg}"),
         }
     }
 }

@@ -9,9 +9,10 @@
 //! bit-reproducible regardless of host thread count.
 
 use crate::device::DeviceSpec;
-use crate::error::Result;
-use crate::kernel::{KernelBody, NDRange, WorkGroup};
+use crate::error::{Error, Result};
+use crate::kernel::{AccessEnvelope, KernelBody, NDRange, WorkGroup};
 use crate::pool;
+use crate::profiling::AccessRange;
 use crate::timing::{kernel_duration_s, KernelCost};
 
 /// Everything a launch produced besides its side effects: the modeled
@@ -48,6 +49,27 @@ struct ChunkAccum {
     barriers: u64,
     atomics: u64,
     items: usize,
+    accesses: Vec<AccessEnvelope>,
+}
+
+/// Per-buffer byte ranges one launch read and wrote (envelopes over every
+/// work-group) — the read/write sets the timeline trace attributes to the
+/// kernel's [`crate::CommandRecord`]. Empty unless tracking was requested.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSummary {
+    pub reads: Vec<AccessRange>,
+    pub writes: Vec<AccessRange>,
+}
+
+/// Human-readable message of a kernel panic payload.
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "kernel body panicked".to_string()
+    }
 }
 
 /// Execute `body` over `nd` on a device described by `spec`, with the
@@ -58,6 +80,20 @@ pub fn execute(
     nd: NDRange,
     compute_efficiency: f64,
 ) -> Result<LaunchStats> {
+    execute_traced(spec, body, nd, compute_efficiency, false).map(|(stats, _)| stats)
+}
+
+/// Like [`execute`], but optionally tracking which byte ranges of which
+/// buffers the kernel touched (`track`), and converting kernel-body panics
+/// (bad argument requests, out-of-bounds accesses) into
+/// [`Error::KernelPanic`] instead of tearing down the caller.
+pub fn execute_traced(
+    spec: &DeviceSpec,
+    body: &KernelBody,
+    nd: NDRange,
+    compute_efficiency: f64,
+    track: bool,
+) -> Result<(LaunchStats, AccessSummary)> {
     nd.validate(spec.max_work_group)?;
     let wall_start = std::time::Instant::now();
 
@@ -67,37 +103,44 @@ pub fn execute(
     let n_cus = spec.compute_units;
     let threads = pool::recommended_threads().min(n_groups);
 
+    // Panics are caught *inside* the worker closure: the pool's join would
+    // otherwise replace the kernel's message with its own.
     let partials = pool::parallel_chunks(n_groups, threads, |range| {
-        let mut acc = ChunkAccum {
-            total_cycles: 0.0,
-            max_group_cycles: 0.0,
-            bytes: 0,
-            conflicts: 0,
-            barriers: 0,
-            atomics: 0,
-            items: 0,
-        };
-        let mut wg = WorkGroup::new(
-            nd,
-            spec.pes_per_cu,
-            spec.local_mem_bytes,
-            spec.local_mem_banks,
-        );
-        for g in range {
-            let gx = g % gx_n;
-            let gy = g / gx_n;
-            wg.reset_for_group(gx, gy);
-            body(&wg);
-            let cost = wg.cost();
-            acc.total_cycles += cost.cycles;
-            acc.max_group_cycles = acc.max_group_cycles.max(cost.cycles);
-            acc.bytes += cost.bytes;
-            acc.conflicts += cost.bank_conflicts;
-            acc.barriers += cost.barriers;
-            acc.atomics += cost.atomics;
-            acc.items += cost.items;
-        }
-        acc
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut acc = ChunkAccum {
+                total_cycles: 0.0,
+                max_group_cycles: 0.0,
+                bytes: 0,
+                conflicts: 0,
+                barriers: 0,
+                atomics: 0,
+                items: 0,
+                accesses: Vec::new(),
+            };
+            let mut wg = WorkGroup::new(
+                nd,
+                spec.pes_per_cu,
+                spec.local_mem_bytes,
+                spec.local_mem_banks,
+                track,
+            );
+            for g in range {
+                let gx = g % gx_n;
+                let gy = g / gx_n;
+                wg.reset_for_group(gx, gy);
+                body(&wg);
+                let cost = wg.cost();
+                acc.total_cycles += cost.cycles;
+                acc.max_group_cycles = acc.max_group_cycles.max(cost.cycles);
+                acc.bytes += cost.bytes;
+                acc.conflicts += cost.bank_conflicts;
+                acc.barriers += cost.barriers;
+                acc.atomics += cost.atomics;
+                acc.items += cost.items;
+            }
+            acc.accesses = wg.take_accesses();
+            acc
+        }))
     });
 
     let mut total_cycles = 0.0f64;
@@ -107,7 +150,12 @@ pub fn execute(
     let mut barriers = 0u64;
     let mut atomics = 0u64;
     let mut items = 0usize;
+    let mut envelopes: Vec<AccessEnvelope> = Vec::new();
     for p in partials {
+        let p = match p {
+            Ok(p) => p,
+            Err(payload) => return Err(Error::KernelPanic(panic_msg(payload))),
+        };
         total_cycles += p.total_cycles;
         max_group_cycles = max_group_cycles.max(p.max_group_cycles);
         bytes += p.bytes;
@@ -115,6 +163,15 @@ pub fn execute(
         barriers += p.barriers;
         atomics += p.atomics;
         items += p.items;
+        for e in p.accesses {
+            match envelopes.iter_mut().find(|m| m.buffer == e.buffer) {
+                Some(m) => {
+                    m.read = join_env(m.read, e.read);
+                    m.write = join_env(m.write, e.write);
+                }
+                None => envelopes.push(e),
+            }
+        }
     }
     // Dynamic-dispatch makespan: perfectly balanced unless a single group
     // dominates (then that group is the critical path).
@@ -130,17 +187,38 @@ pub fn execute(
         spec.mem_bandwidth_bytes_s,
     );
 
-    Ok(LaunchStats {
-        duration_s,
-        max_cu_cycles,
-        global_bytes: bytes,
-        n_groups,
-        n_active_items: items,
-        bank_conflicts: conflicts,
-        barriers,
-        atomics,
-        wall_s: wall_start.elapsed().as_secs_f64(),
-    })
+    let mut access = AccessSummary::default();
+    for e in envelopes {
+        if let Some((lo, hi)) = e.read {
+            access.reads.push(AccessRange::new(e.buffer, lo, hi));
+        }
+        if let Some((lo, hi)) = e.write {
+            access.writes.push(AccessRange::new(e.buffer, lo, hi));
+        }
+    }
+
+    Ok((
+        LaunchStats {
+            duration_s,
+            max_cu_cycles,
+            global_bytes: bytes,
+            n_groups,
+            n_active_items: items,
+            bank_conflicts: conflicts,
+            barriers,
+            atomics,
+            wall_s: wall_start.elapsed().as_secs_f64(),
+        },
+        access,
+    ))
+}
+
+fn join_env(a: Option<(u64, u64)>, b: Option<(u64, u64)>) -> Option<(u64, u64)> {
+    match (a, b) {
+        (Some((al, ah)), Some((bl, bh))) => Some((al.min(bl), ah.max(bh))),
+        (x, None) => x,
+        (None, y) => y,
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +326,48 @@ mod tests {
         assert!(execute(dev.spec(), &body, NDRange::linear(64, 0), 1.0).is_err());
         let too_big = NDRange::linear(1024, dev.spec().max_work_group + 1);
         assert!(execute(dev.spec(), &body, too_big, 1.0).is_err());
+    }
+
+    #[test]
+    fn traced_execution_reports_launch_wide_access_envelopes() {
+        let dev = device();
+        let n = 1024usize;
+        let src = dev.alloc::<f32>(n).unwrap();
+        let dst = dev.alloc::<f32>(n).unwrap();
+        let body: KernelBody = {
+            let (src, dst) = (src.clone(), dst.clone());
+            Arc::new(move |wg: &WorkGroup| {
+                wg.for_each_item(|it| {
+                    if !it.in_bounds() {
+                        return;
+                    }
+                    let i = it.global_id(0);
+                    let v = it.read(&src, i);
+                    it.write(&dst, i, v + 1.0);
+                });
+            })
+        };
+        let (_, access) =
+            execute_traced(dev.spec(), &body, NDRange::linear(n, 64), 1.0, true).unwrap();
+        assert_eq!(access.reads, vec![AccessRange::whole(src.id(), n * 4)]);
+        assert_eq!(access.writes, vec![AccessRange::whole(dst.id(), n * 4)]);
+        // Untracked runs stay free of attribution work.
+        let (_, access) =
+            execute_traced(dev.spec(), &body, NDRange::linear(n, 64), 1.0, false).unwrap();
+        assert!(access.reads.is_empty() && access.writes.is_empty());
+    }
+
+    #[test]
+    fn kernel_panics_become_typed_errors_with_the_original_message() {
+        let dev = device();
+        let body: KernelBody = Arc::new(|wg: &WorkGroup| {
+            wg.for_each_item(|_| panic!("argument 3 is a float scalar, requested uint"));
+        });
+        let err = execute(dev.spec(), &body, NDRange::linear(8, 8), 1.0).unwrap_err();
+        match err {
+            Error::KernelPanic(msg) => assert!(msg.contains("argument 3"), "{msg}"),
+            other => panic!("expected KernelPanic, got {other:?}"),
+        }
     }
 
     #[test]

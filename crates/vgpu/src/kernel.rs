@@ -11,9 +11,18 @@ use crate::buffer::Buffer;
 use crate::error::{Error, Result};
 use crate::local::{BankModel, LocalBuf};
 use crate::timing::{ATOMIC_CYCLES, BANK_CONFLICT_CYCLES, BARRIER_CYCLES, WARP_SIZE};
-use crate::types::Scalar;
-use std::cell::Cell;
+use crate::types::{BufferId, Scalar};
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+
+/// Min/max byte envelope of one launch's accesses to one buffer, split by
+/// direction. Atomics count as both a read and a write.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AccessEnvelope {
+    pub buffer: BufferId,
+    pub read: Option<(u64, u64)>,
+    pub write: Option<(u64, u64)>,
+}
 
 /// The executable semantics of a kernel: called once per work-group.
 ///
@@ -122,6 +131,16 @@ pub struct WorkGroup {
     atomics: Cell<u64>,
     barriers: Cell<u64>,
     bank: BankModel,
+    /// When set, the typed accessors record per-buffer byte envelopes into
+    /// `accesses` — the read/write attribution the hazard checker consumes.
+    track_access: bool,
+    /// Envelopes accumulate across every group this context executes (they
+    /// describe the *launch*, not one group), so `reset_for_group` leaves
+    /// them alone.
+    accesses: RefCell<Vec<AccessEnvelope>>,
+    /// Last-hit index into `accesses`: kernels touch few buffers and touch
+    /// the same one repeatedly, so this makes tracking O(1) per access.
+    access_hint: Cell<usize>,
 }
 
 impl WorkGroup {
@@ -130,6 +149,7 @@ impl WorkGroup {
         pes_per_cu: usize,
         local_mem_limit: usize,
         banks: usize,
+        track_access: bool,
     ) -> Self {
         WorkGroup {
             group: [0, 0],
@@ -143,7 +163,44 @@ impl WorkGroup {
             atomics: Cell::new(0),
             barriers: Cell::new(0),
             bank: BankModel::new(banks),
+            track_access,
+            accesses: RefCell::new(Vec::new()),
+            access_hint: Cell::new(0),
         }
+    }
+
+    fn note_access(&self, buffer: BufferId, lo: u64, hi: u64, is_write: bool) {
+        let mut v = self.accesses.borrow_mut();
+        let hint = self.access_hint.get();
+        let idx = if hint < v.len() && v[hint].buffer == buffer {
+            hint
+        } else if let Some(i) = v.iter().position(|e| e.buffer == buffer) {
+            self.access_hint.set(i);
+            i
+        } else {
+            v.push(AccessEnvelope {
+                buffer,
+                read: None,
+                write: None,
+            });
+            self.access_hint.set(v.len() - 1);
+            v.len() - 1
+        };
+        let slot = if is_write {
+            &mut v[idx].write
+        } else {
+            &mut v[idx].read
+        };
+        *slot = Some(match *slot {
+            None => (lo, hi),
+            Some((a, b)) => (a.min(lo), b.max(hi)),
+        });
+    }
+
+    /// Drain the recorded access envelopes (empty unless tracking was on).
+    pub(crate) fn take_accesses(&mut self) -> Vec<AccessEnvelope> {
+        self.access_hint.set(0);
+        std::mem::take(&mut self.accesses.borrow_mut())
     }
 
     /// Re-aim this context at work-group `(gx, gy)` and clear counters.
@@ -345,10 +402,20 @@ impl<'a> Item<'a> {
         c.set(c.get() + ops);
     }
 
+    #[inline]
+    fn note_elem<T: Scalar>(&self, buf: &Buffer<T>, i: usize, is_write: bool) {
+        if self.wg.track_access {
+            let sz = std::mem::size_of::<T>() as u64;
+            let lo = i as u64 * sz;
+            self.wg.note_access(buf.id(), lo, lo + sz, is_write);
+        }
+    }
+
     /// Counted global-memory load.
     #[inline]
     pub fn read<T: Scalar>(&self, buf: &Buffer<T>, i: usize) -> T {
         self.wg.count_read(std::mem::size_of::<T>());
+        self.note_elem(buf, i, false);
         buf.get(i)
     }
 
@@ -356,6 +423,7 @@ impl<'a> Item<'a> {
     #[inline]
     pub fn write<T: Scalar>(&self, buf: &Buffer<T>, i: usize, v: T) {
         self.wg.count_write(std::mem::size_of::<T>());
+        self.note_elem(buf, i, true);
         buf.set(i, v)
     }
 
@@ -366,6 +434,8 @@ impl<'a> Item<'a> {
         self.wg.atomics.set(self.wg.atomics.get() + 1);
         self.wg.count_read(4);
         self.wg.count_write(4);
+        self.note_elem(buf, i, false);
+        self.note_elem(buf, i, true);
         buf.atomic_add(i, v);
     }
 
@@ -375,6 +445,8 @@ impl<'a> Item<'a> {
         self.wg.atomics.set(self.wg.atomics.get() + 1);
         self.wg.count_read(4);
         self.wg.count_write(4);
+        self.note_elem(buf, i, false);
+        self.note_elem(buf, i, true);
         buf.atomic_add(i, v)
     }
 
@@ -405,7 +477,7 @@ mod tests {
     }
 
     fn mk_wg(nd: NDRange) -> WorkGroup {
-        WorkGroup::new(nd, 8, 16 << 10, 16)
+        WorkGroup::new(nd, 8, 16 << 10, 16, false)
     }
 
     #[test]
@@ -528,9 +600,44 @@ mod tests {
     #[should_panic(expected = "local memory request")]
     fn local_mem_budget_is_enforced() {
         let nd = NDRange::linear(8, 8);
-        let mut wg = WorkGroup::new(nd, 8, 64, 16);
+        let mut wg = WorkGroup::new(nd, 8, 64, 16, false);
         wg.reset_for_group(0, 0);
         let _ = wg.local_buf::<f64>(16); // 128 bytes > 64-byte budget
+    }
+
+    #[test]
+    fn access_envelopes_record_touched_byte_ranges() {
+        let src = mk_buf::<f32>(64);
+        let dst = mk_buf::<f32>(64);
+        let nd = NDRange::linear(8, 8);
+        let mut wg = WorkGroup::new(nd, 8, 16 << 10, 16, true);
+        wg.reset_for_group(0, 0);
+        wg.for_each_item(|it| {
+            let i = it.global_id(0) + 2; // touches elements 2..10
+            let v = it.read(&src, i);
+            it.write(&dst, i, v);
+        });
+        let acc = wg.take_accesses();
+        assert_eq!(acc.len(), 2);
+        let src_env = acc.iter().find(|e| e.buffer == src.id()).unwrap();
+        assert_eq!(src_env.read, Some((8, 40)));
+        assert_eq!(src_env.write, None);
+        let dst_env = acc.iter().find(|e| e.buffer == dst.id()).unwrap();
+        assert_eq!(dst_env.write, Some((8, 40)));
+        // Drained: a second take is empty.
+        assert!(wg.take_accesses().is_empty());
+    }
+
+    #[test]
+    fn untracked_workgroup_records_no_envelopes() {
+        let buf = mk_buf::<f32>(8);
+        let nd = NDRange::linear(8, 8);
+        let mut wg = mk_wg(nd);
+        wg.reset_for_group(0, 0);
+        wg.for_each_item(|it| {
+            it.write(&buf, it.global_id(0), 1.0);
+        });
+        assert!(wg.take_accesses().is_empty());
     }
 
     #[test]

@@ -93,17 +93,18 @@ pub use buffer::Buffer;
 pub use compiler::{BuildOutcome, CompiledKernel, Program};
 pub use device::{Device, DeviceSpec, DeviceTimeline};
 pub use error::{Error, Result};
-pub use exec::LaunchStats;
+pub use exec::{AccessSummary, LaunchStats};
 pub use kernel::{Item, KernelBody, NDRange, WorkGroup};
 pub use local::LocalBuf;
 pub use platform::{Platform, PlatformConfig};
 pub use profiling::{
     compute_copy_overlap_s, engine_usage, trace_window, verify_engine_exclusive,
-    verify_engine_utilization, CommandRecord, EngineUsage, StatsSnapshot,
+    verify_engine_utilization, AccessRange, CmdKind, CommandObserver, CommandRecord, EngineUsage,
+    StatsSnapshot,
 };
 pub use queue::{CommandQueue, Event, EventKind};
 pub use timing::{DriverProfile, EngineKind};
-pub use types::{DeviceId, Scalar};
+pub use types::{BufferId, DeviceId, Scalar};
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {

@@ -3,7 +3,9 @@
 use crate::compiler::Compiler;
 use crate::device::{Device, DeviceSpec};
 use crate::error::{Error, Result};
-use crate::profiling::{CommandRecord, Stats, StatsSnapshot};
+use crate::profiling::{
+    AccessRange, CmdKind, CommandObserver, CommandRecord, Stats, StatsSnapshot,
+};
 use crate::queue::{deps_ready_s, CommandQueue, Event, EventKind};
 use crate::timing::{DriverProfile, EngineKind, VirtualClock};
 use crate::topology::Topology;
@@ -74,6 +76,9 @@ pub(crate) struct PlatformShared {
     /// used as dependencies afterwards (holders compare
     /// [`Platform::clock_epoch`] to decide).
     pub(crate) clock_epoch: AtomicU64,
+    /// Platform-unique id for each created stream (see
+    /// [`CommandQueue::stream_id`]).
+    pub(crate) next_stream: AtomicU64,
 }
 
 /// A virtual host with its attached devices.
@@ -96,6 +101,7 @@ impl Platform {
                 stats: Stats::default(),
                 compiler: Compiler::new(config.cache_dir),
                 clock_epoch: AtomicU64::new(0),
+                next_stream: AtomicU64::new(0),
             }),
         }
     }
@@ -157,6 +163,14 @@ impl Platform {
         self.shared.stats.trace_len()
     }
 
+    /// Install (or remove) a [`CommandObserver`] invoked with every
+    /// scheduled command's record group as it is enqueued — the hook the
+    /// online hazard checker hangs off. Works with or without the timeline
+    /// trace enabled.
+    pub fn set_command_observer(&self, obs: Option<CommandObserver>) {
+        self.shared.stats.set_observer(obs);
+    }
+
     pub fn topology(&self) -> &Topology {
         &self.shared.topology
     }
@@ -186,6 +200,7 @@ impl Platform {
             .map(|d| d.clock().now_s())
             .fold(self.host_now_s(), f64::max);
         self.shared.host_clock.sync_to(max);
+        self.shared.stats.note_host_sync(max);
     }
 
     /// Reset every virtual clock to the epoch (between bench repetitions):
@@ -197,6 +212,7 @@ impl Platform {
             d.clock().reset();
         }
         self.shared.stats.clear_trace();
+        self.shared.stats.reset_host_sync();
         self.shared.clock_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -244,8 +260,8 @@ impl Platform {
             .d2d_transfer_s(bytes, concurrent.max(1));
         let src_dev = self.device(src.device().0);
         let dst_dev = self.device(dst.device().0);
-        let begin = self
-            .host_now_s()
+        let enqueue_host_s = self.host_now_s();
+        let begin = enqueue_host_s
             .max(src_dev.clock().now_s())
             .max(dst_dev.clock().now_s());
         let (start_s, end_s) = src_dev
@@ -253,13 +269,34 @@ impl Platform {
             .engine(EngineKind::Copy)
             .advance_from(begin, dur);
         dst_dev.clock().sync_to(end_s);
-        self.shared
-            .stats
-            .record_command(src_dev.id(), EngineKind::Copy, start_s, end_s);
-        if src.device() != dst.device() {
-            self.shared
-                .stats
-                .record_command(dst_dev.id(), EngineKind::Copy, start_s, end_s);
+        let seq = self.shared.stats.next_seq();
+        if self.shared.stats.sink_active() {
+            let host_sync_s = self.shared.stats.host_synced_s();
+            // Both records share one `seq`: they are two engine occupancies
+            // of a single command. Access attribution lives on the primary
+            // (source-device) record only.
+            let mut group =
+                vec![
+                    CommandRecord::interval(src_dev.id(), EngineKind::Copy, start_s, end_s)
+                        .with_seq(seq)
+                        .with_kind(CmdKind::D2D)
+                        .with_reads(vec![AccessRange::whole(src.id(), bytes)])
+                        .with_writes(vec![AccessRange::whole(dst.id(), bytes)])
+                        .at_enqueue(enqueue_host_s)
+                        .with_host_sync(host_sync_s)
+                        .with_label("d2d"),
+                ];
+            if src.device() != dst.device() {
+                group.push(
+                    CommandRecord::interval(dst_dev.id(), EngineKind::Copy, start_s, end_s)
+                        .with_seq(seq)
+                        .with_kind(CmdKind::D2D)
+                        .at_enqueue(enqueue_host_s)
+                        .with_host_sync(host_sync_s)
+                        .with_label("d2d"),
+                );
+            }
+            self.shared.stats.record_group(&group);
         }
         Ok(Event {
             kind: EventKind::CopyD2D,
@@ -267,6 +304,7 @@ impl Platform {
             engine: EngineKind::Copy,
             start_s,
             end_s,
+            seq,
             launch: None,
         })
     }
@@ -360,7 +398,8 @@ impl Platform {
         }
         let src_dev = self.device(src.device().0);
         let bytes = len * std::mem::size_of::<T>();
-        let mut begin = self.host_now_s().max(deps_ready_s(deps));
+        let enqueue_host_s = self.host_now_s();
+        let mut begin = enqueue_host_s.max(deps_ready_s(deps));
         let (dur, dst_dev) = if src.device() == dst.device() {
             // No PCIe crossing, just global-memory bandwidth (read+write).
             (
@@ -388,9 +427,6 @@ impl Platform {
             .clock()
             .engine(EngineKind::Copy)
             .advance_from(begin, dur);
-        self.shared
-            .stats
-            .record_command(src_dev.id(), EngineKind::Copy, start_s, end_s);
         if let Some(d) = &dst_dev {
             if conservative {
                 // Legacy rule: the destination device as a whole observes
@@ -400,9 +436,49 @@ impl Platform {
                 // The copy occupies the destination's copy engine too.
                 d.clock().engine(EngineKind::Copy).sync_to(end_s);
             }
-            self.shared
-                .stats
-                .record_command(d.id(), EngineKind::Copy, start_s, end_s);
+        }
+        let seq = self.shared.stats.next_seq();
+        if self.shared.stats.sink_active() {
+            let host_sync_s = self.shared.stats.host_synced_s();
+            let elem = std::mem::size_of::<T>() as u64;
+            let src_lo = src_off as u64 * elem;
+            let dst_lo = dst_off as u64 * elem;
+            let mut primary =
+                CommandRecord::interval(src_dev.id(), EngineKind::Copy, start_s, end_s)
+                    .with_seq(seq)
+                    .with_kind(CmdKind::D2D)
+                    .with_deps(deps.iter().map(|e| e.seq).collect())
+                    .with_reads(vec![AccessRange::new(
+                        src.id(),
+                        src_lo,
+                        src_lo + bytes as u64,
+                    )])
+                    .with_writes(vec![AccessRange::new(
+                        dst.id(),
+                        dst_lo,
+                        dst_lo + bytes as u64,
+                    )])
+                    .at_enqueue(enqueue_host_s)
+                    .with_host_sync(host_sync_s)
+                    .with_label("d2d");
+            if !conservative {
+                primary = primary.asynchronous();
+            }
+            let mut group = vec![primary];
+            if let Some(d) = &dst_dev {
+                let mut secondary =
+                    CommandRecord::interval(d.id(), EngineKind::Copy, start_s, end_s)
+                        .with_seq(seq)
+                        .with_kind(CmdKind::D2D)
+                        .at_enqueue(enqueue_host_s)
+                        .with_host_sync(host_sync_s)
+                        .with_label("d2d");
+                if !conservative {
+                    secondary = secondary.asynchronous();
+                }
+                group.push(secondary);
+            }
+            self.shared.stats.record_group(&group);
         }
         Ok(Event {
             kind: EventKind::CopyD2D,
@@ -410,6 +486,7 @@ impl Platform {
             engine: EngineKind::Copy,
             start_s,
             end_s,
+            seq,
             launch: None,
         })
     }

@@ -27,20 +27,214 @@
 //! in [`Stats`] deliberately survive a reset — they are lifetime totals, and
 //! harnesses isolate a region by subtracting [`StatsSnapshot`]s instead.
 
+use crate::queue::EventKind;
 use crate::timing::EngineKind;
-use crate::types::DeviceId;
+use crate::types::{BufferId, DeviceId};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What kind of command a [`CommandRecord`] describes — the trace-level
+/// classification the hazard detector keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdKind {
+    /// Host-to-device transfer (`clEnqueueWriteBuffer`).
+    H2D,
+    /// Device-to-host transfer (`clEnqueueReadBuffer`).
+    D2H,
+    /// Device-side fill (`clEnqueueFillBuffer`).
+    Fill,
+    /// Kernel launch.
+    Kernel,
+    /// Device-to-device copy (one record per device it occupies).
+    D2D,
+    /// Zero-duration device-wide join point (`clEnqueueMarker`).
+    Marker,
+}
+
+impl CmdKind {
+    /// The trace classification of a scheduled event. `Build` events never
+    /// reach the scheduler (compilation is host-side), so they fold into
+    /// `Marker` rather than forcing callers to handle an impossible case.
+    pub fn from_event(kind: EventKind) -> CmdKind {
+        match kind {
+            EventKind::WriteBuffer => CmdKind::H2D,
+            EventKind::ReadBuffer => CmdKind::D2H,
+            EventKind::FillBuffer => CmdKind::Fill,
+            EventKind::Kernel => CmdKind::Kernel,
+            EventKind::CopyD2D => CmdKind::D2D,
+            EventKind::Build { .. } | EventKind::Marker => CmdKind::Marker,
+        }
+    }
+}
+
+/// A byte range `[lo, hi)` of one device allocation that a command reads or
+/// writes. Transfers record their exact range; kernels record the min/max
+/// envelope of addresses each launch actually touched, so disjoint-range
+/// accesses to one buffer (e.g. halo rows vs. owned rows) do not conflict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessRange {
+    pub buffer: BufferId,
+    pub lo: u64,
+    pub hi: u64,
+}
+
+impl AccessRange {
+    pub fn new(buffer: BufferId, lo: u64, hi: u64) -> Self {
+        AccessRange { buffer, lo, hi }
+    }
+
+    /// The whole allocation of `bytes` bytes.
+    pub fn whole(buffer: BufferId, bytes: usize) -> Self {
+        AccessRange {
+            buffer,
+            lo: 0,
+            hi: bytes as u64,
+        }
+    }
+
+    /// Do two ranges touch overlapping bytes of the same allocation?
+    pub fn overlaps(&self, other: &AccessRange) -> bool {
+        self.buffer == other.buffer && self.lo < other.hi && other.lo < self.hi
+    }
+}
 
 /// One scheduled command in the timeline trace: the virtual interval it
-/// occupied on one engine of one device. Commands staging through the host
-/// (device-to-device copies) log one record per device they occupy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// occupied on one engine of one device, plus everything a checker needs to
+/// reconstruct the happens-before order — stream identity, explicit event
+/// dependencies (by `seq`), and the byte ranges of device memory the command
+/// read and wrote. Commands occupying two devices (cross-device copies) log
+/// one record per device under a single shared `seq`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommandRecord {
     pub device: DeviceId,
     pub engine: EngineKind,
     pub start_s: f64,
     pub end_s: f64,
+    /// Process-wide command sequence number (1-based); `0` marks a record
+    /// built outside the scheduler (tests, synthetic traces).
+    pub seq: u64,
+    /// The in-order stream this command was enqueued on, if any (platform
+    /// copies are streamless).
+    pub stream: Option<u64>,
+    pub kind: CmdKind,
+    /// Device-serializing (classic enqueue): ordered after *everything*
+    /// previously scheduled on its device. Async commands are ordered only
+    /// by stream and explicit deps.
+    pub serializing: bool,
+    /// Host-clock time at enqueue.
+    pub enqueue_host_s: f64,
+    /// The host-synchronisation watermark at enqueue: every command that
+    /// *ended* at or before this virtual time is happens-before this one,
+    /// because the host observably waited for it (blocking read, `finish`,
+    /// `sync_all`) before issuing this command.
+    pub host_sync_s: f64,
+    /// `seq`s of the events this command explicitly waited on.
+    pub deps: Vec<u64>,
+    pub reads: Vec<AccessRange>,
+    pub writes: Vec<AccessRange>,
+    /// Human-readable tag (kernel name, "h2d", …) for diagnostics.
+    pub label: String,
+}
+
+impl CommandRecord {
+    /// A record with only the occupancy interval filled in — the pre-PR-9
+    /// schema. Checker-facing fields get neutral defaults: `seq` 0 (outside
+    /// the scheduler), no stream, `serializing` true, empty access sets,
+    /// kind inferred from the engine.
+    pub fn interval(device: DeviceId, engine: EngineKind, start_s: f64, end_s: f64) -> Self {
+        CommandRecord {
+            device,
+            engine,
+            start_s,
+            end_s,
+            seq: 0,
+            stream: None,
+            kind: match engine {
+                EngineKind::Compute => CmdKind::Kernel,
+                EngineKind::Copy => CmdKind::H2D,
+            },
+            serializing: true,
+            enqueue_host_s: 0.0,
+            host_sync_s: 0.0,
+            deps: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            label: String::new(),
+        }
+    }
+
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    pub fn on_stream(mut self, stream: u64) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    pub fn with_kind(mut self, kind: CmdKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Mark the command async (not device-serializing).
+    pub fn asynchronous(mut self) -> Self {
+        self.serializing = false;
+        self
+    }
+
+    pub fn at_enqueue(mut self, host_s: f64) -> Self {
+        self.enqueue_host_s = host_s;
+        self
+    }
+
+    pub fn with_host_sync(mut self, host_sync_s: f64) -> Self {
+        self.host_sync_s = host_sync_s;
+        self
+    }
+
+    pub fn with_deps(mut self, deps: Vec<u64>) -> Self {
+        self.deps = deps;
+        self
+    }
+
+    pub fn with_reads(mut self, reads: Vec<AccessRange>) -> Self {
+        self.reads = reads;
+        self
+    }
+
+    pub fn with_writes(mut self, writes: Vec<AccessRange>) -> Self {
+        self.writes = writes;
+        self
+    }
+
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// A callback invoked under the trace lock with each group of records as it
+/// is scheduled — one slice per command, or one slice covering both records
+/// of a cross-device copy. Groups are delivered in a valid linearization of
+/// the enqueue order, which is what the online hazard checker needs.
+pub type CommandObserver = Arc<dyn Fn(&[CommandRecord]) + Send + Sync>;
+
+/// `Option<CommandObserver>` with `Debug`/`Default` so [`Stats`] can keep
+/// deriving both.
+#[derive(Default)]
+struct ObserverSlot(Option<CommandObserver>);
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "CommandObserver(set)"
+        } else {
+            "CommandObserver(unset)"
+        })
+    }
 }
 
 fn engine_rank(e: EngineKind) -> u8 {
@@ -60,6 +254,11 @@ pub fn verify_engine_exclusive(trace: &[CommandRecord]) -> Option<String> {
     let mut lanes: std::collections::HashMap<(DeviceId, EngineKind), Vec<(f64, f64)>> =
         std::collections::HashMap::new();
     for r in trace {
+        if r.kind == CmdKind::Marker {
+            // Markers are synchronization points, not engine work: they
+            // occupy no engine and may sit inside another command's span.
+            continue;
+        }
         if !(r.start_s >= 0.0 && r.end_s >= r.start_s) {
             violations.push(format!(
                 "malformed interval [{}, {}] on device {:?} {:?}",
@@ -129,6 +328,9 @@ pub fn engine_usage(trace: &[CommandRecord]) -> Vec<EngineUsage> {
     let mut lanes: std::collections::HashMap<(DeviceId, EngineKind), (usize, f64)> =
         std::collections::HashMap::new();
     for r in trace {
+        if r.kind == CmdKind::Marker {
+            continue; // markers occupy no engine
+        }
         let e = lanes.entry((r.device, r.engine)).or_insert((0, 0.0));
         e.0 += 1;
         e.1 += (r.end_s - r.start_s).max(0.0);
@@ -282,9 +484,59 @@ pub struct Stats {
     /// Timeline trace: `None` until enabled (tracing costs memory, so
     /// figures and tests opt in per platform).
     trace: Mutex<Option<Vec<CommandRecord>>>,
+    /// Process-wide command sequence counter (see [`CommandRecord::seq`]).
+    next_seq: AtomicU64,
+    /// High-water mark of virtual times the host has *observably waited
+    /// for*: bumped by blocking reads, `finish`, and `sync_all` — never by
+    /// mere host-clock drift. The happens-before model's host-order edge.
+    host_sync_s: Mutex<f64>,
+    observer: Mutex<ObserverSlot>,
+    /// Fast path: lets `record_group` skip the observer lock entirely when
+    /// no observer is installed.
+    observer_active: AtomicBool,
 }
 
 impl Stats {
+    /// Allocate the next command sequence number (1-based). Every scheduled
+    /// command consumes one, whether or not anything records it, so seq
+    /// values stay comparable across trace enable/disable boundaries.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record that the host has synchronised with the virtual timeline up
+    /// to `t` (blocking read, `finish`, `sync_all`).
+    pub fn note_host_sync(&self, t: f64) {
+        let mut w = self.host_sync_s.lock();
+        if t > *w {
+            *w = t;
+        }
+    }
+
+    /// Current host-synchronisation watermark.
+    pub fn host_synced_s(&self) -> f64 {
+        *self.host_sync_s.lock()
+    }
+
+    /// Rewind the host-sync watermark (a new clock epoch — see
+    /// [`crate::Platform::reset_clocks`]).
+    pub fn reset_host_sync(&self) {
+        *self.host_sync_s.lock() = 0.0;
+    }
+
+    /// Install (or, with `None`, remove) the command observer. The observer
+    /// runs under the trace lock on the enqueuing thread — keep it cheap and
+    /// never call back into trace accessors from inside it.
+    pub fn set_observer(&self, obs: Option<CommandObserver>) {
+        self.observer_active.store(obs.is_some(), Ordering::Relaxed);
+        self.observer.lock().0 = obs;
+    }
+
+    /// Is any record sink live — the trace, an observer, or both? The queue
+    /// layer only builds full records when this is true.
+    pub fn sink_active(&self) -> bool {
+        self.observer_active.load(Ordering::Relaxed) || self.trace.lock().is_some()
+    }
     /// Start recording per-engine command intervals (clears any prior
     /// trace).
     pub fn enable_trace(&self) {
@@ -325,16 +577,32 @@ impl Stats {
         }
     }
 
-    /// Log one scheduled command; no-op unless tracing is enabled.
+    /// Log one scheduled command with only its occupancy interval; no-op
+    /// unless a sink is active. Convenience wrapper over
+    /// [`Stats::record_group`].
     pub fn record_command(&self, device: DeviceId, engine: EngineKind, start_s: f64, end_s: f64) {
-        if let Some(t) = self.trace.lock().as_mut() {
-            t.push(CommandRecord {
-                device,
-                engine,
-                start_s,
-                end_s,
-            });
+        self.record_group(&[CommandRecord::interval(device, engine, start_s, end_s)]);
+    }
+
+    /// Log a group of records that together describe one command (two for a
+    /// cross-device copy, one otherwise). The trace lock is held across both
+    /// the trace append and the observer call, so observers see complete
+    /// groups in a valid linearization of the enqueue order.
+    pub fn record_group(&self, recs: &[CommandRecord]) {
+        if recs.is_empty() {
+            return;
         }
+        let mut guard = self.trace.lock();
+        if let Some(t) = guard.as_mut() {
+            t.extend_from_slice(recs);
+        }
+        if self.observer_active.load(Ordering::Relaxed) {
+            let obs = self.observer.lock().0.clone();
+            if let Some(obs) = obs {
+                obs(recs);
+            }
+        }
+        drop(guard);
     }
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -481,12 +749,7 @@ mod tests {
     }
 
     fn rec(dev: usize, engine: EngineKind, start: f64, end: f64) -> CommandRecord {
-        CommandRecord {
-            device: DeviceId(dev),
-            engine,
-            start_s: start,
-            end_s: end,
-        }
+        CommandRecord::interval(DeviceId(dev), engine, start, end)
     }
 
     #[test]
@@ -569,6 +832,56 @@ mod tests {
         assert_eq!(overlap[0].0, DeviceId(0));
         assert!((overlap[0].1 - 1.0).abs() < 1e-12);
         assert_eq!(overlap[1].1, 0.0);
+    }
+
+    #[test]
+    fn record_group_feeds_observer_and_trace_atomically() {
+        let s = Stats::default();
+        assert!(!s.sink_active());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = Arc::clone(&seen);
+            s.set_observer(Some(Arc::new(move |g: &[CommandRecord]| {
+                seen.lock().push(g.len());
+            })));
+        }
+        assert!(s.sink_active(), "observer alone activates the sink");
+        s.enable_trace();
+        let a = rec(0, EngineKind::Copy, 0.0, 1.0).with_seq(s.next_seq());
+        let b = rec(1, EngineKind::Copy, 0.0, 1.0).with_seq(a.seq);
+        s.record_group(&[a, b]);
+        s.record_command(DeviceId(0), EngineKind::Compute, 1.0, 2.0);
+        assert_eq!(*seen.lock(), vec![2, 1]);
+        assert_eq!(s.trace_len(), 3);
+        s.set_observer(None);
+        s.record_command(DeviceId(0), EngineKind::Compute, 2.0, 3.0);
+        assert_eq!(*seen.lock(), vec![2, 1], "removed observer sees nothing");
+    }
+
+    #[test]
+    fn host_sync_watermark_only_moves_forward_until_reset() {
+        let s = Stats::default();
+        assert_eq!(s.host_synced_s(), 0.0);
+        s.note_host_sync(2.5);
+        s.note_host_sync(1.0);
+        assert_eq!(s.host_synced_s(), 2.5);
+        s.reset_host_sync();
+        assert_eq!(s.host_synced_s(), 0.0);
+    }
+
+    #[test]
+    fn access_range_overlap_requires_same_buffer_and_bytes() {
+        let a = AccessRange::new(crate::BufferId(1), 0, 8);
+        assert!(a.overlaps(&AccessRange::new(crate::BufferId(1), 4, 12)));
+        assert!(!a.overlaps(&AccessRange::new(crate::BufferId(1), 8, 12)));
+        assert!(!a.overlaps(&AccessRange::new(crate::BufferId(2), 0, 8)));
+        assert!(
+            AccessRange::whole(crate::BufferId(3), 16).overlaps(&AccessRange::new(
+                crate::BufferId(3),
+                15,
+                16
+            ))
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::error::{Error, Result};
 use crate::exec::{self, LaunchStats};
 use crate::kernel::{KernelBody, NDRange};
 use crate::platform::PlatformShared;
+use crate::profiling::{AccessRange, CmdKind, CommandRecord};
 use crate::timing::{ready_s, DriverProfile, EngineKind, VirtualClock};
 use crate::types::{DeviceId, Scalar};
 use std::sync::atomic::Ordering;
@@ -69,6 +70,10 @@ pub struct Event {
     pub engine: EngineKind,
     pub start_s: f64,
     pub end_s: f64,
+    /// Process-wide command sequence number — the identity the timeline
+    /// trace records, so checkers can resolve `wait_for` lists back to the
+    /// commands they name.
+    pub seq: u64,
     /// Present for kernel events: the executor's counters.
     pub launch: Option<LaunchStats>,
 }
@@ -95,6 +100,8 @@ pub struct CommandQueue {
     shared: Arc<PlatformShared>,
     /// This stream's in-order tail: commands on one queue never reorder.
     tail: VirtualClock,
+    /// Platform-unique stream identity (clones share it — same stream).
+    stream_id: u64,
 }
 
 impl CommandQueue {
@@ -104,12 +111,19 @@ impl CommandQueue {
         shared: Arc<PlatformShared>,
     ) -> Self {
         let tail = device.clock().register_stream();
+        let stream_id = shared.next_stream.fetch_add(1, Ordering::Relaxed);
         CommandQueue {
             device,
             profile,
             shared,
             tail,
+            stream_id,
         }
+    }
+
+    /// Platform-unique identity of this in-order stream.
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
     }
 
     pub fn device(&self) -> &Arc<Device> {
@@ -123,7 +137,10 @@ impl CommandQueue {
     /// Schedule one command on `engine`. `conservative` commands are
     /// device-serializing (they wait for both engines — the legacy
     /// single-clock rule); async commands wait only for their stream, their
-    /// `deps`, their engine, and the enqueue time.
+    /// `deps`, their engine, and the enqueue time. `reads`/`writes` name the
+    /// device-memory ranges the command touches; they reach the timeline
+    /// trace (and any online checker) when a record sink is active.
+    #[allow(clippy::too_many_arguments)]
     fn schedule(
         &self,
         engine: EngineKind,
@@ -132,11 +149,12 @@ impl CommandQueue {
         deps: &[Event],
         conservative: bool,
         launch: Option<LaunchStats>,
+        reads: Vec<AccessRange>,
+        writes: Vec<AccessRange>,
+        label: &str,
     ) -> Event {
-        let mut not_before = self
-            .shared
-            .host_clock
-            .now_s()
+        let enqueue_host_s = self.shared.host_clock.now_s();
+        let mut not_before = enqueue_host_s
             .max(deps_ready_s(deps))
             .max(self.tail.now_s());
         if conservative {
@@ -148,15 +166,30 @@ impl CommandQueue {
             .engine(engine)
             .advance_from(not_before, duration_s);
         self.tail.sync_to(end_s);
-        self.shared
-            .stats
-            .record_command(self.device.id(), engine, start_s, end_s);
+        let seq = self.shared.stats.next_seq();
+        if self.shared.stats.sink_active() {
+            let mut rec = CommandRecord::interval(self.device.id(), engine, start_s, end_s)
+                .with_seq(seq)
+                .on_stream(self.stream_id)
+                .with_kind(CmdKind::from_event(kind))
+                .with_deps(deps.iter().map(|e| e.seq).collect())
+                .with_reads(reads)
+                .with_writes(writes)
+                .at_enqueue(enqueue_host_s)
+                .with_host_sync(self.shared.stats.host_synced_s())
+                .with_label(label);
+            if !conservative {
+                rec = rec.asynchronous();
+            }
+            self.shared.stats.record_group(std::slice::from_ref(&rec));
+        }
         Event {
             kind,
             device: self.device.id(),
             engine,
             start_s,
             end_s,
+            seq,
             launch,
         }
     }
@@ -166,19 +199,32 @@ impl CommandQueue {
     /// the marker in `wait_for` are ordered after every command — on any
     /// stream, either engine — enqueued before it.
     pub fn enqueue_marker(&self) -> Event {
-        let t = self
-            .shared
-            .host_clock
-            .now_s()
+        let enqueue_host_s = self.shared.host_clock.now_s();
+        let t = enqueue_host_s
             .max(self.device.clock().now_s())
             .max(self.tail.now_s());
         self.tail.sync_to(t);
+        let seq = self.shared.stats.next_seq();
+        if self.shared.stats.sink_active() {
+            // Markers are recorded as serializing zero-width records: the
+            // hazard detector treats them as a join over everything already
+            // scheduled on the device, matching their `wait_for` semantics.
+            let rec = CommandRecord::interval(self.device.id(), EngineKind::Compute, t, t)
+                .with_seq(seq)
+                .on_stream(self.stream_id)
+                .with_kind(CmdKind::Marker)
+                .at_enqueue(enqueue_host_s)
+                .with_host_sync(self.shared.stats.host_synced_s())
+                .with_label("marker");
+            self.shared.stats.record_group(std::slice::from_ref(&rec));
+        }
         Event {
             kind: EventKind::Marker,
             device: self.device.id(),
             engine: EngineKind::Compute,
             start_s: t,
             end_s: t,
+            seq,
             launch: None,
         }
     }
@@ -241,6 +287,8 @@ impl CommandQueue {
         let bytes = std::mem::size_of_val(src);
         self.shared.stats.add_h2d(bytes);
         let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
+        let lo = (offset.unwrap_or(0) * std::mem::size_of::<T>()) as u64;
+        let writes = vec![AccessRange::new(buf.id(), lo, lo + bytes as u64)];
         Ok(self.schedule(
             EngineKind::Copy,
             EventKind::WriteBuffer,
@@ -248,6 +296,9 @@ impl CommandQueue {
             deps,
             conservative,
             None,
+            Vec::new(),
+            writes,
+            "h2d",
         ))
     }
 
@@ -291,6 +342,8 @@ impl CommandQueue {
         let bytes = std::mem::size_of_val(dst);
         self.shared.stats.add_d2h(bytes);
         let dur = self.shared.topology.transfer_s(bytes, concurrent.max(1));
+        let lo = (offset.unwrap_or(0) * std::mem::size_of::<T>()) as u64;
+        let reads = vec![AccessRange::new(buf.id(), lo, lo + bytes as u64)];
         let ev = self.schedule(
             EngineKind::Copy,
             EventKind::ReadBuffer,
@@ -298,9 +351,13 @@ impl CommandQueue {
             deps,
             conservative,
             None,
+            reads,
+            Vec::new(),
+            "d2h",
         );
         if blocking {
             self.shared.host_clock.sync_to(ev.end_s);
+            self.shared.stats.note_host_sync(ev.end_s);
         }
         Ok(ev)
     }
@@ -362,6 +419,7 @@ impl CommandQueue {
         self.check_device(buf)?;
         buf.fill(v);
         let dur = buf.size_bytes() as f64 / self.device.spec().mem_bandwidth_bytes_s;
+        let writes = vec![AccessRange::whole(buf.id(), buf.size_bytes())];
         Ok(self.schedule(
             EngineKind::Copy,
             EventKind::FillBuffer,
@@ -369,6 +427,9 @@ impl CommandQueue {
             &[],
             true,
             None,
+            Vec::new(),
+            writes,
+            "fill",
         ))
     }
 
@@ -437,11 +498,15 @@ impl CommandQueue {
         deps: &[Event],
         conservative: bool,
     ) -> Result<Event> {
-        let stats = exec::execute(
+        // Track per-buffer access envelopes only when someone will consume
+        // them — tracking costs a few branches per element access.
+        let track = self.shared.stats.sink_active();
+        let (stats, access) = exec::execute_traced(
             self.device.spec(),
             &kernel.body,
             nd,
             self.profile.compute_efficiency,
+            track,
         )?;
         let dur = stats.duration_s + self.profile.launch_cost_s(kernel.n_args);
         self.shared
@@ -454,13 +519,18 @@ impl CommandQueue {
             deps,
             conservative,
             Some(stats),
+            access.reads,
+            access.writes,
+            &kernel.name,
         ))
     }
 
     /// Wait until every command on this queue is done (`clFinish`): the
     /// host clock catches up with the device timeline.
     pub fn finish(&self) {
-        self.shared.host_clock.sync_to(self.device.clock().now_s());
+        let now = self.device.clock().now_s();
+        self.shared.host_clock.sync_to(now);
+        self.shared.stats.note_host_sync(now);
     }
 }
 

@@ -12,6 +12,18 @@ impl fmt::Display for DeviceId {
     }
 }
 
+/// Identifies one device allocation, unique across the whole process for
+/// the lifetime of the program (ids are never reused, so a trace recorded
+/// before a buffer was dropped still names it unambiguously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(pub u64);
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
 /// Element types storable in device buffers and SkelCL vectors.
 ///
 /// Mirrors the paper's statement that `Vector` is "a generic container class
