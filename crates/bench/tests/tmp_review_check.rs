@@ -1,0 +1,8 @@
+#[test]
+fn checked_overlap_leg_does_not_panic() {
+    std::env::set_var("SKELCL_CHECK", "1");
+    let s = skelcl_bench::overlap_iterate_virtual_s(64, 64, 2, 3, true);
+    let s2 = skelcl_bench::overlap_upload_virtual_s(64, 64, 2, true);
+    std::env::remove_var("SKELCL_CHECK");
+    assert!(s > 0.0 && s2 > 0.0);
+}
