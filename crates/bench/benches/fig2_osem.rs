@@ -56,6 +56,10 @@ fn bench_fig2(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Perf ledger: persist this figure's measured legs when
+    // SKELCL_LEDGER_DIR is set (see skelcl_bench::ledger).
+    skelcl_bench::ledger::write_fig("fig2");
 }
 
 criterion_group! {

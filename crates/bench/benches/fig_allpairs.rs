@@ -43,6 +43,10 @@ fn bench_allpairs(c: &mut Criterion) {
             naive / tiled
         );
     }
+
+    // Perf ledger: persist this figure's measured legs when
+    // SKELCL_LEDGER_DIR is set (see skelcl_bench::ledger).
+    skelcl_bench::ledger::write_fig("fig_allpairs");
 }
 
 criterion_group! {

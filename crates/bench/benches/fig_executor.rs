@@ -118,9 +118,9 @@ fn bench_executor(c: &mut Criterion) {
         "fig_executor check: {n_jobs} jobs x{DEVICES} device(s): uncoalesced {:.1} jobs/s \
          (p99 {:.3e} s), coalesced {:.1} jobs/s (p99 {:.3e} s), {:.2}x throughput in {} launches",
         unc.jobs_per_s,
-        unc.latency.p99,
+        unc.latency.p99.unwrap_or(0.0),
         coa.jobs_per_s,
-        coa.latency.p99,
+        coa.latency.p99.unwrap_or(0.0),
         coa.jobs_per_s / unc.jobs_per_s,
         coa.batches,
     );
@@ -161,6 +161,11 @@ fn bench_executor(c: &mut Criterion) {
         fifo.hog_p99_s,
         wrr.hog_p99_s,
     );
+
+    // Perf ledger: persist the throughput legs when SKELCL_LEDGER_DIR is
+    // set (the fairness legs measure per-tenant latency, not makespan, and
+    // route around the reporting timers).
+    skelcl_bench::ledger::write_fig("fig_executor");
 }
 
 criterion_group! {

@@ -54,6 +54,10 @@ fn bench_iterate(c: &mut Criterion) {
             );
         }
     }
+
+    // Perf ledger: persist this figure's measured legs when
+    // SKELCL_LEDGER_DIR is set (see skelcl_bench::ledger).
+    skelcl_bench::ledger::write_fig("fig_iterate");
 }
 
 criterion_group! {

@@ -47,6 +47,10 @@ fn bench_reduce2d(c: &mut Criterion) {
             );
         }
     }
+
+    // Perf ledger: persist this figure's measured legs when
+    // SKELCL_LEDGER_DIR is set (see skelcl_bench::ledger).
+    skelcl_bench::ledger::write_fig("fig_reduce2d");
 }
 
 criterion_group! {

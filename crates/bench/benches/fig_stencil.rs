@@ -26,6 +26,10 @@ fn bench_stencil_scaling(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Perf ledger: persist this figure's measured legs when
+    // SKELCL_LEDGER_DIR is set (see skelcl_bench::ledger).
+    skelcl_bench::ledger::write_fig("fig_stencil");
 }
 
 criterion_group! {

@@ -1,0 +1,95 @@
+//! `benchdiff` — the perf-ledger regression gate.
+//!
+//! ```text
+//! benchdiff [--threshold 0.20] <old BENCH_*.json> <new BENCH_*.json>
+//! ```
+//!
+//! Loads two ledgers written by `skelcl_bench::ledger::write_fig`, prints
+//! a per-leg delta table of modeled (virtual) seconds, and exits with:
+//!
+//! * `0` — every matched leg is within the threshold and no baseline leg
+//!   disappeared;
+//! * `1` — at least one leg regressed past the threshold, or a leg from
+//!   the baseline is missing in the new ledger (coverage loss);
+//! * `2` — usage, IO, or parse error (including an unknown schema
+//!   version).
+//!
+//! The threshold is a fractional slowdown: `--threshold 0.20` fails legs
+//! that got ≥ 20 % slower in virtual seconds. Because the ledger records
+//! deterministic modeled time, there is no noise floor to tune around —
+//! any delta is a real behaviour change.
+
+use skelcl_bench::ledger::{diff_ledgers, Ledger};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: benchdiff [--threshold <fraction>] <old.json> <new.json>";
+const DEFAULT_THRESHOLD: f64 = 0.20;
+
+fn run() -> Result<bool, String> {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --threshold `{v}`: {e}"))?;
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err(format!(
+                        "--threshold must be a finite fraction ≥ 0, got {v}"
+                    ));
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let old = Ledger::load(Path::new(old_path))?;
+    let new = Ledger::load(Path::new(new_path))?;
+    if old.fig != new.fig {
+        return Err(format!(
+            "ledger mismatch: `{old_path}` is {} but `{new_path}` is {}",
+            old.fig, new.fig
+        ));
+    }
+
+    let diff = diff_ledgers(&old, &new, threshold);
+    println!(
+        "benchdiff {}: {} (run {}) vs {} (run {}), threshold {:.0}%",
+        old.fig,
+        old_path,
+        old.run_id,
+        new_path,
+        new.run_id,
+        threshold * 100.0
+    );
+    print!("{}", diff.render());
+    if diff.failed() {
+        println!(
+            "FAIL: {} leg(s) regressed past {:.0}%, {} baseline leg(s) missing",
+            diff.regressions().len(),
+            threshold * 100.0,
+            diff.only_old.len()
+        );
+    } else {
+        println!("OK: {} leg(s) within threshold", diff.deltas.len());
+    }
+    Ok(diff.failed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("benchdiff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

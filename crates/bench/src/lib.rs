@@ -5,6 +5,8 @@
 //! benches reuse the same runners with `iter_custom`, reporting *virtual*
 //! (modeled) seconds so results are host-machine independent.
 
+pub mod ledger;
+
 use criterion::{BenchmarkGroup, BenchmarkId, Criterion};
 use skelcl::report::RunReport;
 use skelcl::{Context, Distribution, Reduce, ReduceStrategy, Scan, ScanStrategy, Vector, Zip};
@@ -149,7 +151,9 @@ pub fn time_virtual_reported_with(
     let trace = platform.take_timeline_trace();
     let report = RunReport::collect(label, platform, compute_efficiency, delta, &trace, window_s);
     println!("{}", report.summary_line());
-    window_s - delta.build_virtual_ns as f64 * 1e-9
+    let virtual_s = window_s - delta.build_virtual_ns as f64 * 1e-9;
+    ledger::record_report(&report, virtual_s);
+    virtual_s
 }
 
 /// [`time_virtual_reported`] for context-driven runs: when the context has
@@ -181,7 +185,9 @@ pub fn time_virtual_reported_ctx(ctx: &Context, label: &str, f: impl FnOnce()) -
         report = report.with_hazards_checked(checked);
     }
     println!("{}", report.summary_line());
-    window_s - delta.build_virtual_ns as f64 * 1e-9
+    let virtual_s = window_s - delta.build_virtual_ns as f64 * 1e-9;
+    ledger::record_report(&report, virtual_s);
+    virtual_s
 }
 
 /// Fig-overlap metric: copy-engine busy time that runs *concurrently with
@@ -713,10 +719,39 @@ pub fn overlap_iterate_virtual_s(
     n: usize,
     overlapped: bool,
 ) -> f64 {
+    overlap_iterate_impl(rows, cols, devices, n, overlapped, false)
+}
+
+/// [`overlap_iterate_virtual_s`] with skelcheck's online hazard checker
+/// armed for the run (the public API equivalent of `SKELCL_CHECK=1`): the
+/// figure's checker-overhead column measures this against the unchecked
+/// leg, and the reported summary line proves the checker vetted every
+/// enqueue group in the window.
+pub fn overlap_iterate_checked_virtual_s(
+    rows: usize,
+    cols: usize,
+    devices: usize,
+    n: usize,
+    overlapped: bool,
+) -> f64 {
+    overlap_iterate_impl(rows, cols, devices, n, overlapped, true)
+}
+
+fn overlap_iterate_impl(
+    rows: usize,
+    cols: usize,
+    devices: usize,
+    n: usize,
+    overlapped: bool,
+    checked: bool,
+) -> f64 {
     use skelcl::{Matrix, MatrixDistribution};
 
     let platform = figure_platform(devices);
     let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    if checked {
+        ctx.enable_online_hazard_check();
+    }
     let plate = Matrix::from_vec(&ctx, rows, cols, skelcl_iterative::heat_plate(rows, cols));
     plate
         .set_distribution(MatrixDistribution::RowBlock { halo: 1 })
@@ -725,9 +760,10 @@ pub fn overlap_iterate_virtual_s(
     let st = skelcl_iterative::skelcl_impl::heat_skeleton();
     st.iterate(&plate, 1).expect("warm");
     let schedule = if overlapped { "overlapped" } else { "serial" };
+    let suffix = if checked { " checked" } else { "" };
     time_virtual_reported_ctx(
         &ctx,
-        &format!("fig_overlap iterate {rows}x{cols} n={n} {schedule} x{devices}"),
+        &format!("fig_overlap iterate {rows}x{cols} n={n} {schedule}{suffix} x{devices}"),
         || {
             if overlapped {
                 st.iterate(&plate, n).expect("iterate");
@@ -780,10 +816,36 @@ pub fn overlap_upload_virtual_s(
     chunk_rows: usize,
     streamed: bool,
 ) -> f64 {
+    overlap_upload_impl(rows, cols, devices, chunk_rows, streamed, false)
+}
+
+/// [`overlap_upload_virtual_s`] under the online hazard checker — see
+/// [`overlap_iterate_checked_virtual_s`].
+pub fn overlap_upload_checked_virtual_s(
+    rows: usize,
+    cols: usize,
+    devices: usize,
+    chunk_rows: usize,
+    streamed: bool,
+) -> f64 {
+    overlap_upload_impl(rows, cols, devices, chunk_rows, streamed, true)
+}
+
+fn overlap_upload_impl(
+    rows: usize,
+    cols: usize,
+    devices: usize,
+    chunk_rows: usize,
+    streamed: bool,
+    checked: bool,
+) -> f64 {
     use skelcl::{Matrix, MatrixDistribution};
 
     let platform = figure_platform(devices);
     let ctx = Context::from_platform(platform.clone(), skelcl::DEFAULT_WORK_GROUP);
+    if checked {
+        ctx.enable_online_hazard_check();
+    }
     let st = upload_stencil();
     // Warm the generated program with a throwaway matrix.
     st.apply(&Matrix::from_vec(
@@ -799,9 +861,10 @@ pub fn overlap_upload_virtual_s(
         .set_distribution(MatrixDistribution::RowBlock { halo: 2 })
         .expect("dist");
     let schedule = if streamed { "streamed" } else { "blocking" };
+    let suffix = if checked { " checked" } else { "" };
     time_virtual_reported_ctx(
         &ctx,
-        &format!("fig_overlap upload {rows}x{cols} {schedule} x{devices}"),
+        &format!("fig_overlap upload {rows}x{cols} {schedule}{suffix} x{devices}"),
         || {
             if streamed {
                 st.apply_streamed(&plate, chunk_rows).expect("streamed");
@@ -1018,6 +1081,10 @@ pub fn run_executor_throughput_leg(
             .devices(devices)
             .max_batch(if coalesced { 16 } else { 1 })
             .queue_depth(jobs_per_tenant)
+            // Generous internal latency target: the figure isn't an SLO
+            // study, but running under a target exercises the deadline-miss
+            // accounting so the summary line and ledger carry an SLO block.
+            .latency_slo(1.0)
             .paused(),
     );
     let ids: Vec<_> = (0..tenants)
@@ -1081,7 +1148,11 @@ pub fn run_executor_throughput_leg(
     if checked > 0 {
         report = report.with_hazards_checked(checked);
     }
+    if let Some(slo) = exec.slo_summary() {
+        report = report.with_slo(slo);
+    }
     println!("{}", report.summary_line());
+    ledger::record_report(&report, makespan_s);
     ExecutorLeg {
         makespan_s,
         jobs_per_s: outputs.len() as f64 / makespan_s,

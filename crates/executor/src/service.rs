@@ -37,7 +37,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use skelcl::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-use skelcl::{Context, ContextConfig, ProgramRegistry};
+use skelcl::{Context, ContextConfig, ProgramRegistry, SloSummary};
 use vgpu::Platform;
 
 use crate::handle::{JobError, JobHandle, JobReport, Slot, SubmitError};
@@ -76,6 +76,12 @@ pub struct ExecutorConfig {
     /// Start with the dispatcher paused (tests/benches pre-load queues,
     /// then `resume` for a deterministic dispatch schedule).
     pub paused: bool,
+    /// Optional per-job latency target (virtual seconds). When set, each
+    /// completed job whose submit→ready latency exceeds the target bumps
+    /// its tenant's `executor.tenant.<name>.slo_miss` counter and the
+    /// service-wide `executor.slo_misses`; [`Executor::slo_summary`]
+    /// aggregates the verdict for [`skelcl::RunReport::with_slo`].
+    pub latency_slo_s: Option<f64>,
 }
 
 impl Default for ExecutorConfig {
@@ -91,6 +97,7 @@ impl Default for ExecutorConfig {
             program_capacity: 0,
             program_quota: 0,
             paused: false,
+            latency_slo_s: None,
         }
     }
 }
@@ -126,6 +133,12 @@ impl ExecutorConfig {
         self.paused = true;
         self
     }
+
+    /// Set the per-job latency SLO target (virtual seconds).
+    pub fn latency_slo(mut self, target_s: f64) -> Self {
+        self.latency_slo_s = Some(target_s);
+        self
+    }
 }
 
 /// Opaque tenant identifier returned by [`Executor::add_tenant`].
@@ -137,6 +150,10 @@ struct Queued {
     slot: Arc<Slot>,
     submit_s: f64,
     epoch: u64,
+    /// Span id allocated at submit when span collection is on — the job's
+    /// trace identity, so its queue-wait and service intervals land in the
+    /// Chrome trace as children of one per-job span.
+    span: Option<u64>,
 }
 
 struct Tenant {
@@ -150,6 +167,8 @@ struct Tenant {
     rejected: Counter,
     depth: Gauge,
     latency: Histogram,
+    slo_miss: Counter,
+    shed_rate: Gauge,
 }
 
 struct SchedState {
@@ -173,6 +192,8 @@ struct ServiceMetrics {
     coalesced_jobs: Counter,
     stale_epoch_jobs: Counter,
     latency: Histogram,
+    slo_miss: Counter,
+    shed_rate: Gauge,
 }
 
 impl ServiceMetrics {
@@ -185,6 +206,18 @@ impl ServiceMetrics {
             coalesced_jobs: reg.counter("executor.coalesced_jobs"),
             stale_epoch_jobs: reg.counter("executor.stale_epoch_jobs"),
             latency: reg.histogram("executor.latency_s"),
+            slo_miss: reg.counter("executor.slo_misses"),
+            shed_rate: reg.gauge("executor.shed_rate"),
+        }
+    }
+
+    /// Recompute the service-wide shed-rate gauge (shed / arrivals).
+    fn update_shed_rate(&self) {
+        let accepted = self.submitted.get();
+        let shed = self.rejected.get();
+        let total = accepted + shed;
+        if total > 0 {
+            self.shed_rate.set(shed as f64 / total as f64);
         }
     }
 }
@@ -200,6 +233,16 @@ struct Shared {
     metrics: ServiceMetrics,
 }
 
+/// Recompute a tenant's shed-rate gauge (shed / arrivals).
+fn update_tenant_shed_rate(t: &Tenant) {
+    let accepted = t.submitted.get();
+    let shed = t.rejected.get();
+    let total = accepted + shed;
+    if total > 0 {
+        t.shed_rate.set(shed as f64 / total as f64);
+    }
+}
+
 /// One batch popped from the scheduler, with everything `execute` needs so
 /// the lock is not held across device work.
 struct BatchPlan {
@@ -209,6 +252,7 @@ struct BatchPlan {
     tenant: String,
     completed: Counter,
     latency: Histogram,
+    slo_miss: Counter,
 }
 
 /// The multi-tenant executor service. See the module docs for the model.
@@ -303,6 +347,8 @@ impl Executor {
             rejected: reg.counter(&format!("executor.tenant.{name}.rejected")),
             depth: reg.gauge(&format!("executor.tenant.{name}.queue_depth")),
             latency: reg.histogram(&format!("executor.tenant.{name}.latency_s")),
+            slo_miss: reg.counter(&format!("executor.tenant.{name}.slo_miss")),
+            shed_rate: reg.gauge(&format!("executor.tenant.{name}.shed_rate")),
             name,
         });
         TenantId(id)
@@ -326,7 +372,9 @@ impl Executor {
             .ok_or(SubmitError::UnknownTenant)?;
         if t.queue.len() >= depth_limit {
             t.rejected.inc();
+            update_tenant_shed_rate(t);
             self.shared.metrics.rejected.inc();
+            self.shared.metrics.update_shed_rate();
             return Err(SubmitError::QueueFull {
                 tenant: t.name.clone(),
                 depth: depth_limit,
@@ -338,10 +386,13 @@ impl Executor {
             slot: Arc::clone(&slot),
             submit_s,
             epoch,
+            span: self.shared.root.alloc_span_id(),
         });
         t.submitted.inc();
         t.depth.set(t.queue.len() as f64);
+        update_tenant_shed_rate(t);
         self.shared.metrics.submitted.inc();
+        self.shared.metrics.update_shed_rate();
         st.pending += 1;
         if fifo_mode {
             st.fifo.push_back(tenant.0);
@@ -395,6 +446,21 @@ impl Executor {
     pub fn queue_depth(&self, tenant: TenantId) -> usize {
         let st = self.shared.state.lock().unwrap();
         st.tenants.get(tenant.0).map_or(0, |t| t.queue.len())
+    }
+
+    /// Service-wide SLO verdict so far: deadline misses against the
+    /// configured [`ExecutorConfig::latency_slo`] target, completed jobs,
+    /// and shed submissions. `None` when no target was configured. Attach
+    /// to a [`skelcl::RunReport`] via `with_slo` so serving figures (and
+    /// the telemetry JSON export) carry it.
+    pub fn slo_summary(&self) -> Option<SloSummary> {
+        let target_s = self.shared.cfg.latency_slo_s?;
+        Some(SloSummary {
+            target_s,
+            deadline_misses: self.shared.metrics.slo_miss.get(),
+            jobs: self.shared.metrics.completed.get(),
+            shed: self.shared.metrics.rejected.get(),
+        })
     }
 }
 
@@ -515,6 +581,7 @@ fn take_batch(shared: &Shared, st: &mut SchedState) -> BatchPlan {
         tenant: t.name.clone(),
         completed: t.completed.clone(),
         latency: t.latency.clone(),
+        slo_miss: t.slo_miss.clone(),
     }
 }
 
@@ -527,6 +594,7 @@ fn execute(shared: &Shared, plan: BatchPlan) {
         tenant,
         completed,
         latency,
+        slo_miss,
     } = plan;
     let kind = jobs[0].job.kind();
     let batched = jobs.len();
@@ -561,6 +629,13 @@ fn execute(shared: &Shared, plan: BatchPlan) {
                 };
                 latency.observe(report.latency_s());
                 shared.metrics.latency.observe(report.latency_s());
+                if let Some(target) = shared.cfg.latency_slo_s {
+                    if report.latency_s() > target {
+                        slo_miss.inc();
+                        shared.metrics.slo_miss.inc();
+                    }
+                }
+                record_job_spans(shared, &q, &report);
                 completed.inc();
                 shared.metrics.completed.inc();
                 q.slot.fill(Ok((out, report)));
@@ -573,6 +648,56 @@ fn execute(shared: &Shared, plan: BatchPlan) {
             }
         }
     }
+}
+
+/// Emit the job's trace spans: a whole-job `executor.job` span over
+/// `[submit, ready]` with `executor.job.queue_wait` and
+/// `executor.job.service` children, all tagged with the tenant so the
+/// Chrome exporter routes them to the tenant's lane. The job span is a
+/// *root* span — its interval starts at submit time, before the dispatch
+/// batch opened, so parenting it under `executor.batch` would violate the
+/// nesting invariant. Stale-epoch jobs are skipped (their submit timestamp
+/// belongs to a dead clock).
+fn record_job_spans(shared: &Shared, q: &Queued, report: &JobReport) {
+    let Some(span_id) = q.span else { return };
+    if report.stale_epoch {
+        return;
+    }
+    let tag = |extra: bool| {
+        let mut attrs = vec![
+            ("tenant", report.tenant.clone()),
+            ("kind", report.kind.to_string()),
+        ];
+        if extra {
+            attrs.push(("batched", report.batched.to_string()));
+        }
+        attrs
+    };
+    let ctx = &shared.root;
+    let id = ctx.record_interval_span(
+        Some(span_id),
+        "executor.job",
+        None,
+        report.submit_s,
+        report.ready_s,
+        tag(true),
+    );
+    ctx.record_interval_span(
+        None,
+        "executor.job.queue_wait",
+        id,
+        report.submit_s,
+        report.start_s,
+        tag(false),
+    );
+    ctx.record_interval_span(
+        None,
+        "executor.job.service",
+        id,
+        report.start_s,
+        report.ready_s,
+        tag(false),
+    );
 }
 
 #[cfg(test)]
@@ -860,6 +985,80 @@ mod tests {
             "the light job must not split the heavy tenant's quantum: \
              {split} of {} heavy jobs ran before it (stale rr_turns_left)",
             heavy_ready.len()
+        );
+    }
+
+    #[test]
+    fn slo_misses_and_shed_rate_are_tracked() {
+        // An impossible 0-second target: every completed job misses it.
+        let exec = Executor::new(
+            ExecutorConfig::default()
+                .queue_depth(2)
+                .latency_slo(0.0)
+                .paused(),
+        );
+        let t = exec.add_tenant("slo", 1);
+        let mut handles = Vec::new();
+        for i in 0..2 {
+            handles.push(
+                exec.submit(
+                    t,
+                    Job::RowSum {
+                        data: ramp(16, i as f32),
+                    },
+                )
+                .unwrap(),
+            );
+        }
+        // Two shed submissions against two accepted: shed rate 0.5.
+        for _ in 0..2 {
+            exec.submit(
+                t,
+                Job::RowSum {
+                    data: ramp(16, 9.0),
+                },
+            )
+            .unwrap_err();
+        }
+        exec.drain();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert_eq!(
+            exec.metrics().counter_value("executor.tenant.slo.slo_miss"),
+            Some(2),
+            "every job misses a 0-second target"
+        );
+        assert_eq!(exec.metrics().counter_value("executor.slo_misses"), Some(2));
+        let shed = exec.metrics().snapshot()["executor.tenant.slo.shed_rate"]
+            .as_gauge()
+            .unwrap();
+        assert!((shed - 0.5).abs() < 1e-12, "shed_rate={shed}");
+
+        let slo = exec.slo_summary().expect("target configured");
+        assert_eq!(slo.deadline_misses, 2);
+        assert_eq!(slo.jobs, 2);
+        assert_eq!(slo.shed, 2);
+        assert!((slo.miss_rate() - 1.0).abs() < 1e-12);
+        assert!((slo.shed_rate() - 0.5).abs() < 1e-12);
+
+        // No target configured → no summary, no misses counted.
+        let plain = Executor::new(ExecutorConfig::default());
+        let t = plain.add_tenant("p", 1);
+        plain
+            .submit(
+                t,
+                Job::RowSum {
+                    data: ramp(16, 0.0),
+                },
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(plain.slo_summary().is_none());
+        assert_eq!(
+            plain.metrics().counter_value("executor.slo_misses"),
+            Some(0)
         );
     }
 

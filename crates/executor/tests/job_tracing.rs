@@ -1,0 +1,194 @@
+//! Structural round-trip of the executor's per-job tracing: every
+//! completed job must emit a whole-job span with queue-wait and service
+//! children, and the Chrome exporter must route them onto per-tenant
+//! lanes (one process per tenant, threads: jobs / queue wait / service).
+//! Mirrors the skeleton-span round-trip suite in `skelcl/tests/trace_export.rs`.
+
+use skelcl::report::json::{parse, Json};
+use skelcl::{chrome_trace_json, verify_span_nesting};
+use skelcl_executor::{Executor, ExecutorConfig, Job};
+
+fn ramp(n: usize, salt: f32) -> Vec<f32> {
+    (0..n).map(|i| (i as f32).mul_add(0.25, salt)).collect()
+}
+
+/// Run a small two-tenant workload with spans on and return the recorded
+/// spans plus the engine timeline.
+fn traced_run() -> (Vec<skelcl::SpanRecord>, Vec<vgpu::CommandRecord>) {
+    let exec = Executor::new(
+        ExecutorConfig::default()
+            .devices(2)
+            .max_batch(1)
+            .latency_slo(10.0)
+            .paused(),
+    );
+    let alice = exec.add_tenant("alice", 1);
+    let bob = exec.add_tenant("bob", 1);
+
+    // Warm programs so the traced window is pure dispatch + service.
+    let warm = [
+        exec.submit(
+            alice,
+            Job::RowSum {
+                data: ramp(64, 0.0),
+            },
+        )
+        .unwrap(),
+        exec.submit(
+            bob,
+            Job::RowSum {
+                data: ramp(64, 1.0),
+            },
+        )
+        .unwrap(),
+    ];
+    exec.drain();
+    for h in warm {
+        h.wait().unwrap();
+    }
+
+    exec.pause();
+    let ctx = exec.context().clone();
+    ctx.enable_spans();
+    ctx.platform().enable_timeline_trace();
+    ctx.platform().reset_clocks();
+    ctx.clear_spans();
+
+    let mut handles = Vec::new();
+    for j in 0..3 {
+        handles.push(
+            exec.submit(
+                alice,
+                Job::RowSum {
+                    data: ramp(64, j as f32),
+                },
+            )
+            .unwrap(),
+        );
+        handles.push(
+            exec.submit(
+                bob,
+                Job::RowSum {
+                    data: ramp(64, 10.0 + j as f32),
+                },
+            )
+            .unwrap(),
+        );
+    }
+    exec.drain();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    ctx.platform().sync_all();
+    (ctx.take_spans(), ctx.platform().take_timeline_trace())
+}
+
+#[test]
+fn every_job_emits_queue_wait_and_service_children() {
+    let (spans, _) = traced_run();
+    if let Some(violations) = verify_span_nesting(&spans) {
+        panic!("span nesting violated:\n{violations}");
+    }
+    let jobs: Vec<_> = spans.iter().filter(|s| s.name == "executor.job").collect();
+    assert_eq!(jobs.len(), 6, "3 jobs per tenant, 2 tenants");
+    for job in &jobs {
+        let tenant = job
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "tenant")
+            .map(|(_, v)| v.as_str())
+            .expect("job span carries its tenant");
+        assert!(tenant == "alice" || tenant == "bob", "{tenant}");
+        let children: Vec<_> = spans.iter().filter(|s| s.parent == Some(job.id)).collect();
+        assert_eq!(children.len(), 2, "queue_wait + service per job");
+        let wait = children
+            .iter()
+            .find(|s| s.name == "executor.job.queue_wait")
+            .expect("queue_wait child");
+        let service = children
+            .iter()
+            .find(|s| s.name == "executor.job.service")
+            .expect("service child");
+        // The two children partition the job: submit ≤ dispatch ≤ ready.
+        assert_eq!(wait.start_s, job.start_s);
+        assert!((wait.end_s - service.start_s).abs() < 1e-12);
+        assert_eq!(service.end_s, job.end_s);
+        assert!(service.duration_s() > 0.0, "service does real work");
+    }
+}
+
+#[test]
+fn chrome_export_routes_jobs_onto_tenant_lanes() {
+    let (spans, trace) = traced_run();
+    let out = chrome_trace_json(&spans, &trace);
+    let doc = parse(&out).expect("exporter emits valid JSON");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+    // One named process per tenant, above the device pid range.
+    let tenant_pids: Vec<(f64, String)> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+        .filter_map(|e| {
+            let name = e.get("args")?.get("name")?.as_str()?;
+            let pid = e.get("pid")?.as_num()?;
+            name.strip_prefix("tenant:").map(|t| (pid, t.to_string()))
+        })
+        .collect();
+    assert_eq!(tenant_pids.len(), 2, "{tenant_pids:?}");
+    for (pid, _) in &tenant_pids {
+        assert!(*pid >= 100.0, "tenant lanes sit above device pids: {pid}");
+    }
+    let pid_of = |tenant: &str| {
+        tenant_pids
+            .iter()
+            .find(|(_, t)| t == tenant)
+            .map(|(p, _)| *p)
+            .expect("tenant lane")
+    };
+
+    // Serving events land on their tenant's pid with the lane encoding
+    // jobs=0 / queue wait=1 / service=2; none leak onto the span track.
+    let serving: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Json::as_str) == Some("serving"))
+        .collect();
+    assert_eq!(serving.len(), 18, "3 spans per job × 6 jobs");
+    for e in &serving {
+        let name = e.get("name").unwrap().as_str().unwrap();
+        let tenant = e
+            .get("args")
+            .unwrap()
+            .get("tenant")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert_eq!(e.get("pid").unwrap().as_num(), Some(pid_of(tenant)));
+        let want_tid = match name {
+            "executor.job" => 0.0,
+            "executor.job.queue_wait" => 1.0,
+            "executor.job.service" => 2.0,
+            other => panic!("unexpected serving span {other}"),
+        };
+        assert_eq!(e.get("tid").unwrap().as_num(), Some(want_tid), "{name}");
+    }
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.get("cat").and_then(Json::as_str) == Some("skeleton")
+                && e.get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap_or("")
+                    .starts_with("executor.job")),
+        "job spans must not also appear on the depth-stacked track"
+    );
+
+    // Engine events still occupy the device pids untouched by the lanes.
+    assert!(events
+        .iter()
+        .any(|e| e.get("cat").and_then(Json::as_str) == Some("engine")
+            && e.get("pid")
+                .unwrap()
+                .as_num()
+                .is_some_and(|p| (1.0..100.0).contains(&p))));
+}

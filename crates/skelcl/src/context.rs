@@ -642,6 +642,59 @@ impl Context {
         SpanGuard::open(self, name)
     }
 
+    /// Allocate a span id for a later [`Context::record_interval_span`]
+    /// call, or `None` when span collection is off. The executor uses this
+    /// to stamp a job at submit time so its queue-wait and service
+    /// intervals can be recorded when the job completes.
+    pub fn alloc_span_id(&self) -> Option<u64> {
+        self.inner
+            .spans
+            .enabled()
+            .then(|| self.inner.spans.alloc_id())
+    }
+
+    /// Record a span whose interval `[start_s, end_s]` was measured
+    /// externally (both on the current clock epoch's virtual clock),
+    /// without going through a [`SpanGuard`]. `id` is a previously
+    /// allocated [`Context::alloc_span_id`] value or `None` to allocate one
+    /// now; the recorded id is returned. A no-op returning `None` when span
+    /// collection is off. Interval spans carry zero counter deltas — they
+    /// describe scheduling (queue wait, service time), not platform work.
+    pub fn record_interval_span(
+        &self,
+        id: Option<u64>,
+        name: &'static str,
+        parent: Option<u64>,
+        start_s: f64,
+        end_s: f64,
+        attrs: Vec<(&'static str, String)>,
+    ) -> Option<u64> {
+        if !self.inner.spans.enabled() {
+            return None;
+        }
+        let id = id.unwrap_or_else(|| self.inner.spans.alloc_id());
+        let epoch = self.inner.platform.clock_epoch();
+        self.inner.spans.record(
+            SpanRecord {
+                id,
+                parent,
+                name,
+                attrs,
+                start_s,
+                end_s: end_s.max(start_s),
+                epoch,
+                stats: vgpu::StatsSnapshot::default(),
+                halo_exchanges: 0,
+                program_cache_hits: 0,
+                program_cache_misses: 0,
+                trace_first: 0,
+                trace_len: 0,
+            },
+            epoch,
+        );
+        Some(id)
+    }
+
     pub(crate) fn span_collector(&self) -> &SpanCollector {
         &self.inner.spans
     }

@@ -128,6 +128,25 @@
 //!    per-device engine utilization, copy-under-compute overlap, and a
 //!    roofline verdict (achieved vs. the [`vgpu::timing`] cost model's
 //!    peak rates), and [`text_report`] renders it for humans.
+//! 4. **Telemetry export** (the [`telemetry`] module) — everything above
+//!    in machine-readable form: [`export_json`] writes a schema-versioned
+//!    JSON document (version [`telemetry::SCHEMA_VERSION`]) carrying the
+//!    full [`Context::metrics_snapshot`] plus any number of
+//!    [`RunReport`]s — roofline %, engine utilization, overlap
+//!    efficiency, exact latency quantiles (`null` for empty
+//!    distributions, never a fabricated 0), skelcheck counters, and SLO
+//!    accounting ([`SloSummary`]) — and [`render_prometheus`] emits the
+//!    metrics snapshot in Prometheus text exposition format (histograms
+//!    as summaries with nearest-rank quantile series). The bench perf
+//!    ledger (`skelcl-bench`'s `BENCH_<fig>.json` artifacts and the
+//!    `benchdiff` regression gate) is built on this serializer; see
+//!    `examples/telemetry_export.rs`.
+//!
+//! The executor's serving layer feeds the same pipeline: every job emits
+//! queue-wait and service spans into the Chrome trace (one lane per
+//! tenant), and per-tenant SLO gauges (deadline misses against a
+//! configured latency target, shed rate) ride [`RunReport`] and the JSON
+//! export.
 //!
 //! Clock-epoch hygiene: `vgpu::Platform::reset_clocks` starts a new epoch;
 //! spans that straddle a reset are discarded, while metrics (monotonic
@@ -454,6 +473,7 @@ pub mod metrics;
 pub mod report;
 pub mod scalar;
 pub mod skeletons;
+pub mod telemetry;
 pub mod trace;
 pub mod vector;
 
@@ -464,7 +484,9 @@ pub use error::{Error, Result};
 pub use matrix::{Matrix, MatrixDistribution};
 pub use meter::work;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry};
-pub use report::{chrome_trace_json, roofline_report, text_report, RooflineReport, RunReport};
+pub use report::{
+    chrome_trace_json, roofline_report, text_report, RooflineReport, RunReport, SloSummary,
+};
 pub use scalar::Scalar;
 pub use skeletons::{AllPairs, AllPairsStrategy};
 pub use skeletons::{Boundary, Map, MapArgs, MapOverlap, MapVoid, Reduce, Scan, Zip, ZipArgs};
@@ -472,6 +494,7 @@ pub use skeletons::{Boundary2D, Stencil2D, Stencil2DView};
 pub use skeletons::{MapIndex, MapReduce, ReduceStrategy, ScanStrategy};
 pub use skeletons::{PipeView, Pipeline, PipelineExpr};
 pub use skeletons::{ReduceCols, ReduceColsArg, ReduceRows, ReduceRowsArg};
+pub use telemetry::{export_json, render_prometheus, run_report_json};
 pub use trace::{verify_span_nesting, SpanGuard, SpanRecord};
 pub use vector::{Distribution, Vector};
 

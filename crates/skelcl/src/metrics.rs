@@ -110,7 +110,7 @@ impl Histogram {
         let d = self.0.lock();
         let mut sorted = d.samples.clone();
         sorted.sort_by(f64::total_cmp);
-        quantile_sorted(&sorted, q)
+        quantile_sorted(&sorted, q).unwrap_or(0.0)
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -120,37 +120,45 @@ impl Histogram {
         HistogramSnapshot {
             count: d.count,
             sum: d.sum,
-            min: d.min,
-            max: d.max,
+            min: (d.count > 0).then_some(d.min),
+            max: (d.count > 0).then_some(d.max),
             p50: quantile_sorted(&sorted, 0.50),
             p90: quantile_sorted(&sorted, 0.90),
             p99: quantile_sorted(&sorted, 0.99),
+            dropped: d.dropped,
         }
     }
 }
 
-/// Nearest-rank quantile over an ascending-sorted slice (0 when empty).
-fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank quantile over an ascending-sorted slice (`None` when empty —
+/// an empty distribution has no quantiles, and exporters must say so rather
+/// than fabricate a 0).
+fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let n = sorted.len();
     let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
-    sorted[rank.clamp(1, n) - 1]
+    Some(sorted[rank.clamp(1, n) - 1])
 }
 
-/// Point-in-time copy of a [`Histogram`]. `min`/`max`/quantiles are 0 when
-/// empty. `p50`/`p90`/`p99` are exact nearest-rank quantiles of all samples
-/// observed up to the snapshot.
+/// Point-in-time copy of a [`Histogram`]. `min`/`max` and the quantiles are
+/// `None` when no samples were observed — a snapshot never invents a value
+/// for an empty distribution (the export path serializes them as JSON
+/// `null`). With exactly one sample, every quantile *is* that sample.
+/// `p50`/`p90`/`p99` are exact nearest-rank quantiles of all samples
+/// observed up to the snapshot; `dropped` counts non-finite samples
+/// rejected at `observe`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: f64,
-    pub min: f64,
-    pub max: f64,
-    pub p50: f64,
-    pub p90: f64,
-    pub p99: f64,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    pub p50: Option<f64>,
+    pub p90: Option<f64>,
+    pub p99: Option<f64>,
+    pub dropped: u64,
 }
 
 impl HistogramSnapshot {
@@ -300,19 +308,19 @@ mod tests {
         h.observe(3.0);
         let s = h.snapshot();
         assert_eq!(s.count, 3);
-        assert_eq!(s.min, 2.0);
-        assert_eq!(s.max, 4.0);
+        assert_eq!(s.min, Some(2.0));
+        assert_eq!(s.max, Some(4.0));
         assert_eq!(s.mean(), 3.0);
     }
 
     #[test]
-    fn empty_histogram_is_all_zero() {
+    fn empty_histogram_has_no_quantiles() {
         let h = Histogram::default();
         let s = h.snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.p50, 0.0);
-        assert_eq!(s.p99, 0.0);
+        assert_eq!((s.min, s.max), (None, None));
+        assert_eq!((s.p50, s.p90, s.p99), (None, None, None));
         assert_eq!(h.quantile(0.5), 0.0);
     }
 
@@ -328,9 +336,9 @@ mod tests {
         assert_eq!(h.quantile(0.99), 99.0);
         assert_eq!(h.quantile(1.0), 100.0);
         let s = h.snapshot();
-        assert_eq!((s.p50, s.p90, s.p99), (50.0, 90.0, 99.0));
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.max, 100.0);
+        assert_eq!((s.p50, s.p90, s.p99), (Some(50.0), Some(90.0), Some(99.0)));
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(100.0));
     }
 
     #[test]
@@ -338,7 +346,8 @@ mod tests {
         let h = Histogram::default();
         h.observe(7.5);
         let s = h.snapshot();
-        assert_eq!((s.p50, s.p90, s.p99), (7.5, 7.5, 7.5));
+        assert_eq!((s.p50, s.p90, s.p99), (Some(7.5), Some(7.5), Some(7.5)));
+        assert_eq!((s.min, s.max), (Some(7.5), Some(7.5)));
     }
 
     #[test]
@@ -358,8 +367,9 @@ mod tests {
         assert_eq!(s.count, 2);
         assert_eq!(s.sum, 4.0);
         assert_eq!(s.mean(), 2.0);
-        assert_eq!((s.min, s.max), (1.0, 3.0));
-        assert_eq!((s.p50, s.p90, s.p99), (1.0, 3.0, 3.0));
+        assert_eq!((s.min, s.max), (Some(1.0), Some(3.0)));
+        assert_eq!((s.p50, s.p90, s.p99), (Some(1.0), Some(3.0), Some(3.0)));
+        assert_eq!(s.dropped, 3, "snapshot carries the rejected-sample tally");
         assert_eq!(h.quantile(1.0), 3.0);
     }
 

@@ -28,7 +28,7 @@ use vgpu::{
 };
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -47,7 +47,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Format an f64 as a JSON number (non-finite values degrade to 0).
-fn json_num(v: f64) -> String {
+pub fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -60,13 +60,22 @@ fn us(t_s: f64) -> f64 {
     t_s * 1e6
 }
 
+/// Process id of the first tenant lane in [`chrome_trace_json`]. Devices
+/// occupy `1 + d`, so the base leaves room for 99 devices before a
+/// collision — far above any modeled platform.
+const TENANT_PID_BASE: usize = 100;
+
 /// Export skeleton spans plus the engine timeline as Chrome trace-event
 /// JSON (the `{"traceEvents": [...]}` object form).
 ///
 /// Layout: process 0 is the SkelCL span track (one thread per nesting
 /// depth); process `1 + d` is device `d`, with thread 0 the compute engine
-/// and thread 1 the copy engine. All events are `ph: "X"` (complete)
-/// events with microsecond timestamps on the virtual clock.
+/// and thread 1 the copy engine. Executor job spans (name `executor.job*`
+/// carrying a `tenant` attr) get one process per tenant starting at pid
+/// 100, with thread 0 the whole-job span, thread 1 queue wait, and thread
+/// 2 service — so Perfetto shows a serving lane per tenant. All events are
+/// `ph: "X"` (complete) events with microsecond timestamps on the virtual
+/// clock.
 pub fn chrome_trace_json(spans: &[SpanRecord], trace: &[CommandRecord]) -> String {
     let mut events: Vec<String> = Vec::new();
 
@@ -76,6 +85,41 @@ pub fn chrome_trace_json(spans: &[SpanRecord], trace: &[CommandRecord]) -> Strin
          \"args\":{\"name\":\"skelcl spans\"}}"
             .to_string(),
     );
+
+    fn tenant_of(s: &SpanRecord) -> Option<&str> {
+        if !s.name.starts_with("executor.job") {
+            return None;
+        }
+        s.attrs
+            .iter()
+            .find(|(k, _)| *k == "tenant")
+            .map(|(_, v)| v.as_str())
+    }
+
+    // Tenant lanes in first-appearance order, so pid assignment is stable
+    // across exports of the same run.
+    let mut tenants: Vec<&str> = Vec::new();
+    for s in spans {
+        if let Some(t) = tenant_of(s) {
+            if !tenants.contains(&t) {
+                tenants.push(t);
+            }
+        }
+    }
+    for (i, t) in tenants.iter().enumerate() {
+        let pid = TENANT_PID_BASE + i;
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"tenant:{}\"}}}}",
+            json_escape(t)
+        ));
+        for (tid, lane) in [(0, "jobs"), (1, "queue wait"), (2, "service")] {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{lane}\"}}}}"
+            ));
+        }
+    }
 
     // Span nesting depth = distance to the root through parent links.
     let depth_of = |span: &SpanRecord| -> usize {
@@ -115,13 +159,29 @@ pub fn chrome_trace_json(spans: &[SpanRecord], trace: &[CommandRecord]) -> Strin
         for (k, v) in &s.attrs {
             let _ = write!(args, ",\"{}\":\"{}\"", json_escape(k), json_escape(v));
         }
+        // Executor job spans route to their tenant's lane; everything else
+        // stacks by nesting depth on the span process.
+        let (cat, pid, tid) = match tenant_of(s) {
+            Some(t) => {
+                let pid = TENANT_PID_BASE + tenants.iter().position(|x| *x == t).unwrap_or(0);
+                let tid = match s.name {
+                    "executor.job.queue_wait" => 1,
+                    "executor.job.service" => 2,
+                    _ => 0,
+                };
+                ("serving", pid, tid)
+            }
+            None => ("skeleton", 0, depth_of(s)),
+        };
         events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"skeleton\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-             \"pid\":0,\"tid\":{},\"args\":{{{}}}}}",
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
             json_escape(s.name),
+            cat,
             json_num(us(s.start_s)),
             json_num(us(s.duration_s())),
-            depth_of(s),
+            pid,
+            tid,
             args,
         ));
     }
@@ -375,6 +435,44 @@ impl DeviceUtilization {
     }
 }
 
+/// Service-level-objective accounting for one serving window: completed
+/// jobs judged against a latency target, plus submissions shed at the
+/// queue. Attached to a [`RunReport`] via [`RunReport::with_slo`] and
+/// carried into the JSON export.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSummary {
+    /// Latency target (virtual seconds) jobs are judged against.
+    pub target_s: f64,
+    /// Completed jobs whose submit→ready latency exceeded `target_s`.
+    pub deadline_misses: u64,
+    /// Completed jobs in the window.
+    pub jobs: u64,
+    /// Submissions rejected at the admission queue (shed).
+    pub shed: u64,
+}
+
+impl SloSummary {
+    /// Fraction of completed jobs that overshot the target (0 when no jobs
+    /// completed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.jobs > 0 {
+            self.deadline_misses as f64 / self.jobs as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of submissions shed at the queue (0 when nothing arrived).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.jobs + self.shed;
+        if total > 0 {
+            self.shed as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything one measured run produced, in reportable form: counter
 /// deltas, per-device utilization from the timeline trace, and the
 /// roofline verdict.
@@ -395,6 +493,9 @@ pub struct RunReport {
     /// during the window (set via [`RunReport::with_hazards_checked`];
     /// `None` when the checker was off).
     pub hazards_checked: Option<u64>,
+    /// SLO accounting for serving runs (set via [`RunReport::with_slo`];
+    /// `None` for plain kernel figures or when no target was configured).
+    pub slo: Option<SloSummary>,
 }
 
 impl RunReport {
@@ -439,6 +540,7 @@ impl RunReport {
             roofline: roofline_report(platform, compute_efficiency, delta, window_s),
             latency: None,
             hazards_checked: None,
+            slo: None,
         }
     }
 
@@ -455,6 +557,13 @@ impl RunReport {
     /// so figure output shows the run executed under checking.
     pub fn with_hazards_checked(mut self, n: u64) -> RunReport {
         self.hazards_checked = Some(n);
+        self
+    }
+
+    /// Attach SLO accounting (deadline misses against a latency target and
+    /// queue shed counts) so serving figures report it alongside latency.
+    pub fn with_slo(mut self, slo: SloSummary) -> RunReport {
+        self.slo = Some(slo);
         self
     }
 
@@ -495,10 +604,22 @@ impl RunReport {
         metrics
             .gauge("skelcl.overlap.efficiency")
             .set(self.overlap_efficiency());
-        if let Some(lat) = &self.latency {
-            metrics.gauge("skelcl.latency.p50_s").set(lat.p50);
-            metrics.gauge("skelcl.latency.p90_s").set(lat.p90);
-            metrics.gauge("skelcl.latency.p99_s").set(lat.p99);
+        if let Some(lat) = self.latency.filter(|l| l.count > 0) {
+            // count > 0 guarantees the quantiles exist.
+            metrics
+                .gauge("skelcl.latency.p50_s")
+                .set(lat.p50.unwrap_or(0.0));
+            metrics
+                .gauge("skelcl.latency.p90_s")
+                .set(lat.p90.unwrap_or(0.0));
+            metrics
+                .gauge("skelcl.latency.p99_s")
+                .set(lat.p99.unwrap_or(0.0));
+        }
+        if let Some(slo) = &self.slo {
+            metrics.gauge("skelcl.slo.target_s").set(slo.target_s);
+            metrics.gauge("skelcl.slo.miss_rate").set(slo.miss_rate());
+            metrics.gauge("skelcl.slo.shed_rate").set(slo.shed_rate());
         }
     }
 
@@ -521,7 +642,22 @@ impl RunReport {
             let _ = write!(out, " | overlap {:.0}%", 100.0 * self.overlap_efficiency());
         }
         if let Some(lat) = self.latency.filter(|l| l.count > 0) {
-            let _ = write!(out, " | lat p50 {:.2e} s p99 {:.2e} s", lat.p50, lat.p99);
+            let _ = write!(
+                out,
+                " | lat p50 {:.2e} s p99 {:.2e} s",
+                lat.p50.unwrap_or(0.0),
+                lat.p99.unwrap_or(0.0)
+            );
+        }
+        if let Some(slo) = &self.slo {
+            let _ = write!(
+                out,
+                " | slo {:.0e} s miss {}/{} shed {:.0}%",
+                slo.target_s,
+                slo.deadline_misses,
+                slo.jobs,
+                100.0 * slo.shed_rate()
+            );
         }
         if let Some(n) = self.hazards_checked {
             let _ = write!(out, " | skelcheck {n} enqueues");
@@ -587,7 +723,23 @@ impl std::fmt::Display for RunReport {
             writeln!(
                 f,
                 "  latency  : n={} p50 {:.3e} s, p90 {:.3e} s, p99 {:.3e} s, max {:.3e} s",
-                lat.count, lat.p50, lat.p90, lat.p99, lat.max
+                lat.count,
+                lat.p50.unwrap_or(0.0),
+                lat.p90.unwrap_or(0.0),
+                lat.p99.unwrap_or(0.0),
+                lat.max.unwrap_or(0.0)
+            )?;
+        }
+        if let Some(slo) = &self.slo {
+            writeln!(
+                f,
+                "  slo      : target {:.3e} s, {} of {} job(s) missed ({:.1}%), {} shed ({:.1}%)",
+                slo.target_s,
+                slo.deadline_misses,
+                slo.jobs,
+                100.0 * slo.miss_rate(),
+                slo.shed,
+                100.0 * slo.shed_rate()
             )?;
         }
         if let Some(n) = self.hazards_checked {
@@ -1100,6 +1252,110 @@ mod tests {
         // Without latency attached the line stays clean.
         let plain = RunReport::collect("k", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3);
         assert!(!plain.summary_line().contains("lat p50"));
+    }
+
+    #[test]
+    fn slo_summary_rides_the_summary_and_gauges() {
+        let platform = Platform::new(
+            vgpu::PlatformConfig::default()
+                .devices(1)
+                .spec(vgpu::DeviceSpec::tiny())
+                .cache_tag("report-slo-test"),
+        );
+        let slo = SloSummary {
+            target_s: 1e-3,
+            deadline_misses: 3,
+            jobs: 60,
+            shed: 20,
+        };
+        assert!((slo.miss_rate() - 0.05).abs() < 1e-12);
+        assert!((slo.shed_rate() - 0.25).abs() < 1e-12);
+        let report = RunReport::collect("svc", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3)
+            .with_slo(slo);
+        let line = report.summary_line();
+        assert!(line.contains("slo"), "{line}");
+        assert!(line.contains("miss 3/60"), "{line}");
+        assert!(
+            text_report(&report).contains("3 of 60 job(s) missed"),
+            "{report}"
+        );
+
+        let metrics = MetricsRegistry::default();
+        report.publish(&metrics);
+        let snap = metrics.snapshot();
+        assert!((snap["skelcl.slo.miss_rate"].as_gauge().unwrap() - 0.05).abs() < 1e-12);
+        assert!((snap["skelcl.slo.shed_rate"].as_gauge().unwrap() - 0.25).abs() < 1e-12);
+
+        // Without SLO accounting the line stays clean.
+        let plain = RunReport::collect("k", &platform, 1.0, StatsSnapshot::default(), &[], 1e-3);
+        assert!(!plain.summary_line().contains("slo"));
+    }
+
+    #[test]
+    fn executor_job_spans_get_tenant_lanes() {
+        let mk = |id, name: &'static str, tenant: &str, start: f64, end: f64| SpanRecord {
+            id,
+            parent: None,
+            name,
+            attrs: vec![("tenant", tenant.to_string()), ("kind", "axpb".to_string())],
+            start_s: start,
+            end_s: end,
+            epoch: 0,
+            stats: StatsSnapshot::default(),
+            halo_exchanges: 0,
+            program_cache_hits: 0,
+            program_cache_misses: 0,
+            trace_first: 0,
+            trace_len: 0,
+        };
+        let spans = vec![
+            mk(0, "executor.job", "alice", 0.0, 3e-3),
+            mk(1, "executor.job.queue_wait", "alice", 0.0, 1e-3),
+            mk(2, "executor.job.service", "alice", 1e-3, 3e-3),
+            mk(3, "executor.job", "bob\"quoted", 1e-3, 4e-3),
+        ];
+        let out = chrome_trace_json(&spans, &[]);
+        let v = parse(&out).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let serving: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("serving"))
+            .collect();
+        assert_eq!(serving.len(), 4);
+        // All of alice's spans share one pid; lanes split by tid.
+        let pid_of = |name: &str, tenant_pid: f64| {
+            serving
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .map(|e| {
+                    assert_eq!(e.get("pid").unwrap().as_num(), Some(tenant_pid));
+                    e.get("tid").unwrap().as_num().unwrap()
+                })
+                .unwrap()
+        };
+        assert_eq!(pid_of("executor.job", 100.0), 0.0);
+        assert_eq!(pid_of("executor.job.queue_wait", 100.0), 1.0);
+        assert_eq!(pid_of("executor.job.service", 100.0), 2.0);
+        // Second tenant gets the next pid, with its name escaped in the meta.
+        let bob_meta = events
+            .iter()
+            .find(|e| {
+                e.get("name").unwrap().as_str() == Some("process_name")
+                    && e.get("pid").unwrap().as_num() == Some(101.0)
+            })
+            .expect("tenant process meta");
+        assert_eq!(
+            bob_meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("tenant:bob\"quoted")
+        );
+        // No serving span leaked onto the depth-stacked pid-0 track.
+        assert!(
+            events
+                .iter()
+                .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("skeleton"))
+                .count()
+                == 0
+        );
     }
 
     #[test]

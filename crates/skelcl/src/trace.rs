@@ -123,6 +123,22 @@ impl SpanCollector {
         }
     }
 
+    /// Allocate a span id without opening a guard — for interval spans
+    /// whose endpoints are timestamps captured elsewhere (e.g. the
+    /// executor's per-job queue-wait/service intervals, reconstructed at
+    /// completion time from the submit/dispatch/ready clocks).
+    pub(crate) fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record a fully-formed span that never went through the open stack.
+    /// Stale-epoch records are discarded, same as [`close`](Self::close).
+    pub(crate) fn record(&self, record: SpanRecord, current_epoch: u64) {
+        if record.epoch == current_epoch {
+            self.state.lock().records.push(record);
+        }
+    }
+
     /// Take completed records, dropping any from stale epochs.
     pub(crate) fn take(&self, current_epoch: u64) -> Vec<SpanRecord> {
         let mut records = std::mem::take(&mut self.state.lock().records);

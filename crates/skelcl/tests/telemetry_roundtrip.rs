@@ -1,0 +1,190 @@
+//! Round-trip of the telemetry export: everything `export_json` writes
+//! must re-parse with the in-tree JSON parser into exactly the structures
+//! it came from — including metric names that need escaping (tenant names
+//! embed user strings), non-finite-sample `dropped` counts, and the
+//! empty/singleton histogram edge cases.
+
+use skelcl::metrics::{MetricValue, MetricsRegistry};
+use skelcl::report::json::{parse, Json};
+use skelcl::report::{RunReport, SloSummary};
+use skelcl::{export_json, Histogram};
+use vgpu::{Platform, PlatformConfig, StatsSnapshot};
+
+/// A registry shaped like a real serving run: executor counters, gauges,
+/// latency histograms (empty / singleton / populated-with-rejects), and
+/// per-tenant metrics whose names carry characters JSON must escape.
+fn serving_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::default();
+    reg.counter("executor.jobs_completed").add(12);
+    reg.gauge("executor.shed_rate").set(0.125);
+    // Tenant names are user strings: quotes and backslashes must survive.
+    reg.counter("executor.tenant.acme \"prod\\east\".slo_miss")
+        .add(3);
+    reg.gauge("executor.tenant.acme \"prod\\east\".shed_rate")
+        .set(0.5);
+    let lat = reg.histogram("executor.latency_s");
+    lat.observe(1e-3);
+    lat.observe(2e-3);
+    lat.observe(8e-3);
+    lat.observe(f64::NAN);
+    lat.observe(f64::INFINITY);
+    reg.histogram("executor.empty_latency_s");
+    reg.histogram("executor.single_latency_s").observe(4.5e-3);
+    reg
+}
+
+fn assert_histograms_equal(parsed: &Json, snap: &skelcl::HistogramSnapshot, what: &str) {
+    assert_eq!(
+        parsed.get("count").unwrap().as_num(),
+        Some(snap.count as f64),
+        "{what} count"
+    );
+    assert_eq!(
+        parsed.get("sum").unwrap().as_num(),
+        Some(snap.sum),
+        "{what} sum"
+    );
+    assert_eq!(
+        parsed.get("dropped").unwrap().as_num(),
+        Some(snap.dropped as f64),
+        "{what} dropped"
+    );
+    for (key, want) in [
+        ("min", snap.min),
+        ("max", snap.max),
+        ("p50", snap.p50),
+        ("p90", snap.p90),
+        ("p99", snap.p99),
+    ] {
+        match want {
+            Some(v) => assert_eq!(parsed.get(key).unwrap().as_num(), Some(v), "{what} {key}"),
+            None => assert_eq!(parsed.get(key), Some(&Json::Null), "{what} {key}"),
+        }
+    }
+}
+
+#[test]
+fn export_reparses_into_the_exact_snapshot() {
+    let reg = serving_registry();
+    let snap = reg.snapshot();
+
+    let platform = Platform::new(
+        PlatformConfig::default()
+            .devices(2)
+            .cache_tag("telemetry-roundtrip"),
+    );
+    let lat = Histogram::default();
+    lat.observe(2.5e-3);
+    let report = RunReport::collect(
+        "roundtrip \"serving\" x2",
+        &platform,
+        1.0,
+        StatsSnapshot::default(),
+        &[],
+        1e-2,
+    )
+    .with_latency(lat.snapshot())
+    .with_hazards_checked(7)
+    .with_slo(SloSummary {
+        target_s: 5e-3,
+        deadline_misses: 2,
+        jobs: 12,
+        shed: 4,
+    });
+
+    let doc = parse(&export_json(&snap, std::slice::from_ref(&report)))
+        .expect("export must be valid JSON");
+
+    // Every metric survives by its exact (unescaped-on-parse) name.
+    let metrics = doc.get("metrics").unwrap().as_obj().unwrap();
+    assert_eq!(metrics.len(), snap.len(), "no metric gained or lost");
+    for (name, value) in &snap {
+        let parsed = metrics
+            .get(name)
+            .unwrap_or_else(|| panic!("metric `{name}` lost in export"));
+        match value {
+            MetricValue::Counter(c) => {
+                assert_eq!(
+                    parsed.get("type").unwrap().as_str(),
+                    Some("counter"),
+                    "{name}"
+                );
+                assert_eq!(
+                    parsed.get("value").unwrap().as_num(),
+                    Some(*c as f64),
+                    "{name}"
+                );
+            }
+            MetricValue::Gauge(g) => {
+                assert_eq!(
+                    parsed.get("type").unwrap().as_str(),
+                    Some("gauge"),
+                    "{name}"
+                );
+                assert_eq!(parsed.get("value").unwrap().as_num(), Some(*g), "{name}");
+            }
+            MetricValue::Histogram(h) => {
+                assert_eq!(
+                    parsed.get("type").unwrap().as_str(),
+                    Some("histogram"),
+                    "{name}"
+                );
+                assert_histograms_equal(parsed.get("value").unwrap(), h, name);
+            }
+        }
+    }
+    // The escaped tenant name specifically: quotes and backslash intact,
+    // and its rejected-sample accounting rode along.
+    assert!(
+        metrics.contains_key("executor.tenant.acme \"prod\\east\".slo_miss"),
+        "escaped tenant metric must round-trip: {:?}",
+        metrics.keys().collect::<Vec<_>>()
+    );
+    let lat_parsed = metrics
+        .get("executor.latency_s")
+        .unwrap()
+        .get("value")
+        .unwrap();
+    assert_eq!(lat_parsed.get("count").unwrap().as_num(), Some(3.0));
+    assert_eq!(
+        lat_parsed.get("dropped").unwrap().as_num(),
+        Some(2.0),
+        "NaN and Inf observations are counted as dropped, not silently eaten"
+    );
+
+    // The run report round-trips structurally too.
+    let reports = doc.get("run_reports").unwrap().as_arr().unwrap();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(
+        r.get("label").unwrap().as_str(),
+        Some("roundtrip \"serving\" x2")
+    );
+    assert_eq!(r.get("window_s").unwrap().as_num(), Some(report.window_s));
+    assert_eq!(
+        r.get("devices").unwrap().as_arr().unwrap().len(),
+        report.devices.len()
+    );
+    let rf = r.get("roofline").unwrap();
+    assert_eq!(
+        rf.get("pct_of_modeled_peak").unwrap().as_num(),
+        Some(report.roofline.pct_of_modeled_peak())
+    );
+    assert_eq!(
+        rf.get("bound").unwrap().as_str(),
+        Some(report.roofline.bound())
+    );
+    assert_histograms_equal(
+        r.get("latency").unwrap(),
+        &report.latency.unwrap(),
+        "report latency",
+    );
+    assert_eq!(r.get("hazards_checked").unwrap().as_num(), Some(7.0));
+    let slo = r.get("slo").unwrap();
+    assert_eq!(slo.get("target_s").unwrap().as_num(), Some(5e-3));
+    assert_eq!(slo.get("deadline_misses").unwrap().as_num(), Some(2.0));
+    assert_eq!(slo.get("jobs").unwrap().as_num(), Some(12.0));
+    assert_eq!(slo.get("shed").unwrap().as_num(), Some(4.0));
+    assert_eq!(slo.get("miss_rate").unwrap().as_num(), Some(2.0 / 12.0));
+    assert_eq!(slo.get("shed_rate").unwrap().as_num(), Some(4.0 / 16.0));
+}
